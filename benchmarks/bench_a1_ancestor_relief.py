@@ -1,0 +1,54 @@
+"""A1 (ablation) — what the commutative-ancestor relief buys.
+
+The full protocol vs the retained-locks-only variant whose conflict test
+never relaxes formal conflicts (cases 1 and 2 of Section 4.1 disabled).
+Both are correct; the ablation quantifies the concurrency the two cases
+recover on the order-entry mix under contention.
+
+Expected shape (asserted): the full protocol commits the workload with
+strictly higher throughput and a (much) lower blocking rate.
+"""
+
+from repro.bench import run_closed_loop
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.orderentry.workload import WorkloadConfig
+from bench_common import print_rows
+
+POINTS = [1, 2, 4]  # items: hottest to cooler
+
+
+def experiment():
+    rows = []
+    for n_items in POINTS:
+        row = {"n_items": n_items}
+        for label, factory in (
+            ("semantic", SemanticLockingProtocol),
+            ("semantic-no-relief", SemanticNoReliefProtocol),
+        ):
+            metrics = run_closed_loop(
+                factory,
+                WorkloadConfig(n_items=n_items, orders_per_item=3, seed=31 + n_items),
+                n_transactions=30,
+                mpl=6,
+            )
+            row[f"{label}/throughput"] = round(metrics.throughput, 4)
+            row[f"{label}/block_rate"] = round(metrics.blocking_rate, 4)
+            row[f"{label}/deadlocks"] = metrics.deadlocks
+        rows.append(row)
+    return rows
+
+
+def test_a1_ancestor_relief(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_rows(rows, "A1 — full protocol vs no-ancestor-relief ablation")
+
+    for row in rows:
+        assert row["semantic/throughput"] > row["semantic-no-relief/throughput"], row
+        assert row["semantic/block_rate"] < row["semantic-no-relief/block_rate"], row
+
+    hottest = rows[0]
+    speedup = hottest["semantic/throughput"] / max(
+        hottest["semantic-no-relief/throughput"], 1e-9
+    )
+    print(f"\nrelief speedup at the hottest point: {speedup:.2f}x")
+    assert speedup > 1.5

@@ -1,0 +1,208 @@
+"""Shared experiment drivers for the benchmark suite.
+
+Each ``experiment_*`` function runs one of the DESIGN.md experiments and
+returns a structured result; the ``bench_*`` modules time them with
+pytest-benchmark (single round — these are reproductions, not
+micro-benchmarks), assert the paper's qualitative shape, and print the
+regenerated tables/series (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import format_table, run_closed_loop
+from repro.core.kernel import TransactionManager
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.core.serializability import is_semantically_serializable
+from repro.orderentry.schema import PAID, SHIPPED, build_order_entry_database
+from repro.orderentry.transactions import make_t1, make_t2, make_t3
+from repro.orderentry.workload import WorkloadConfig
+from repro.protocols.base import CCProtocol
+from repro.protocols.closed_nested import ClosedNestedProtocol
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+from repro.protocols.two_phase_page import PageLockingProtocol
+from repro.runtime.scheduler import Scheduler
+
+ALL_PROTOCOLS = {
+    "semantic": SemanticLockingProtocol,
+    "semantic-no-relief": SemanticNoReliefProtocol,
+    "open-nested-naive": OpenNestedNaiveProtocol,
+    "closed-nested": ClosedNestedProtocol,
+    "object-rw-2pl": ObjectRW2PLProtocol,
+    "page-2pl": PageLockingProtocol,
+}
+
+CORRECT_PROTOCOLS = {
+    k: v for k, v in ALL_PROTOCOLS.items() if k != "open-nested-naive"
+}
+
+
+def run_fig4(protocol: Optional[CCProtocol] = None, seed: Optional[int] = None):
+    """T1 (ship) concurrent with T2 (pay) on the same two orders."""
+    built = build_order_entry_database(n_items=2, orders_per_item=2)
+    from repro.core.kernel import run_transactions
+
+    kernel = run_transactions(
+        built.db,
+        {
+            "T1": make_t1(built.item(0), 1, built.item(1), 2),
+            "T2": make_t2(built.item(0), 1, built.item(1), 2),
+        },
+        protocol=protocol,
+        policy="random" if seed is not None else "fifo",
+        seed=seed,
+    )
+    return built, kernel
+
+
+def run_fig5(protocol: CCProtocol, seed: int):
+    """T1 ships two orders; T3 bypasses the items to test 'shipped'."""
+    from repro.core.kernel import run_transactions
+
+    built = build_order_entry_database(n_items=2, orders_per_item=1)
+    kernel = run_transactions(
+        built.db,
+        {
+            "T1": make_t1(built.item(0), 1, built.item(1), 1),
+            "T3": make_t3(built.order(0, 0), built.order(1, 0)),
+        },
+        protocol=protocol,
+        policy="random",
+        seed=seed,
+    )
+    return built, kernel
+
+
+def run_fig6(protocol: CCProtocol):
+    """T1 completed ShipOrder(i1, o1); T4 then tests payment of o1."""
+    built = build_order_entry_database(n_items=2, orders_per_item=1)
+    scheduler = Scheduler()
+    kernel = TransactionManager(built.db, protocol=protocol, scheduler=scheduler)
+    gate = scheduler.create_signal()
+
+    def probe(node, phase):
+        if (
+            phase == "post"
+            and node.invocation.operation == "ShipOrder"
+            and node.top_level_name == "T1"
+            and not gate.done
+        ):
+            gate.fire()
+        return None
+
+    kernel.probe = probe
+
+    async def t4(tx):
+        await gate
+        first = await tx.call(built.order(0, 0), "TestStatus", PAID)
+        second = await tx.call(built.order(1, 0), "TestStatus", PAID)
+        return (first, second)
+
+    kernel.spawn("T1", make_t1(built.item(0), 1, built.item(1), 1))
+    kernel.spawn("T4", t4)
+    kernel.run()
+    blocks = [e for e in kernel.trace.of_kind("block") if e.txn == "T4"]
+    return built, kernel, blocks
+
+
+def run_fig7(protocol: CCProtocol):
+    """T5 totals payments while T1 is mid-ShipOrder (ChangeStatus done)."""
+    built = build_order_entry_database(
+        n_items=1, orders_per_item=1, initial_events=frozenset({PAID})
+    )
+    scheduler = Scheduler()
+    kernel = TransactionManager(built.db, protocol=protocol, scheduler=scheduler)
+    g_mid = scheduler.create_signal()
+    g_go = scheduler.create_signal()
+    status_oid = built.status_atom(0, 0).oid
+
+    def probe(node, phase):
+        if phase == "post" and node.invocation.operation == "ChangeStatus":
+            g_mid.fire()
+            return g_go
+        if (
+            phase == "pre"
+            and node.top_level_name == "T5"
+            and node.invocation.operation == "Get"
+            and node.target == status_oid
+            and not g_go.done
+        ):
+            g_go.fire()
+        return None
+
+    kernel.probe = probe
+
+    async def t1(tx):
+        return await tx.call(built.item(0), "ShipOrder", 1)
+
+    async def t5(tx):
+        await g_mid
+        return await tx.call(built.item(0), "TotalPayment")
+
+    kernel.spawn("T1", t1)
+    kernel.spawn("T5", t5)
+    kernel.run()
+    return built, kernel
+
+
+def sweep_mpl(mpls, n_transactions=30, protocols=None, seed=11):
+    """P1: throughput / response time vs multiprogramming level."""
+    protocols = protocols or ALL_PROTOCOLS
+    rows = []
+    for mpl in mpls:
+        row: dict = {"mpl": mpl}
+        resp: dict = {"mpl": mpl}
+        for label, factory in protocols.items():
+            metrics = run_closed_loop(
+                factory,
+                WorkloadConfig(n_items=3, orders_per_item=3, seed=seed),
+                n_transactions=n_transactions,
+                mpl=mpl,
+            )
+            row[label] = round(metrics.throughput, 4)
+            resp[label] = round(metrics.mean_response, 2)
+        rows.append((row, resp))
+    return rows
+
+
+def sweep_contention(item_counts, n_transactions=30, protocols=None, seed=23, repeats=3):
+    """P2: blocking, aborts, throughput vs contention (fewer items = hotter).
+
+    Each point aggregates *repeats* independent streams (different
+    seeds, identical across protocols) to smooth scheduling noise.
+    """
+    from repro.bench.metrics import aggregate
+
+    protocols = protocols or ALL_PROTOCOLS
+    rows = []
+    for n_items in item_counts:
+        block_row: dict = {"n_items": n_items}
+        abort_row: dict = {"n_items": n_items}
+        tput_row: dict = {"n_items": n_items}
+        for label, factory in protocols.items():
+            runs = [
+                run_closed_loop(
+                    factory,
+                    WorkloadConfig(
+                        n_items=n_items,
+                        orders_per_item=3,
+                        seed=seed + n_items + 1000 * r,
+                    ),
+                    n_transactions=n_transactions,
+                    mpl=6,
+                )
+                for r in range(repeats)
+            ]
+            metrics = aggregate(runs)
+            block_row[label] = round(metrics.blocking_rate, 4)
+            abort_row[label] = round(metrics.abort_rate, 4)
+            tput_row[label] = round(metrics.throughput, 4)
+        rows.append((block_row, abort_row, tput_row))
+    return rows
+
+
+def print_rows(rows, title):
+    print()
+    print(format_table(rows, title))

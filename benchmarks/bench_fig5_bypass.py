@@ -1,0 +1,57 @@
+"""F5 — Fig. 5: bypassing encapsulation breaks the naive protocol.
+
+T3 invokes TestStatus directly on the Order objects (bypassing Item)
+while T1 ships.  The Section-3 protocol — which releases a completed
+subtransaction's locks — admits an execution where T3 observes one order
+shipped and the other not (non-serializable; the reduction checker
+proves it).  The full protocol's retained locks block T3 until T1's
+top-level commit, so T3 only ever sees consistent snapshots.
+"""
+
+from repro.core.protocol import SemanticLockingProtocol
+from repro.core.serializability import is_semantically_serializable
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from bench_common import run_fig5
+
+SEEDS = range(40)
+
+
+def experiment():
+    anomaly = None
+    for seed in SEEDS:
+        built, kernel = run_fig5(OpenNestedNaiveProtocol(), seed)
+        if kernel.handles["T3"].result == (True, False):
+            verdict = is_semantically_serializable(kernel.history(), db=built.db)
+            anomaly = (seed, kernel.handles["T3"].result, verdict)
+            break
+
+    safe_outcomes = set()
+    all_serializable = True
+    for seed in SEEDS:
+        built, kernel = run_fig5(SemanticLockingProtocol(), seed)
+        safe_outcomes.add(kernel.handles["T3"].result)
+        verdict = is_semantically_serializable(kernel.history(), db=built.db)
+        all_serializable = all_serializable and verdict.serializable
+    return anomaly, safe_outcomes, all_serializable
+
+
+def test_fig5_bypass(benchmark):
+    anomaly, safe_outcomes, all_serializable = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    print("\nFig. 5 — the bypass anomaly\n")
+    assert anomaly is not None, "naive protocol should admit the anomaly"
+    seed, observed, verdict = anomaly
+    print(f"naive protocol, seed {seed}: T3 observed {observed}")
+    print(f"  -> order 1 shipped, order 2 not: impossible in any serial execution")
+    print(f"  -> reduction checker: serializable = {verdict.serializable}")
+    assert observed == (True, False)
+    assert not verdict.serializable
+    assert not verdict.exhausted  # a proven negative, not a budget miss
+
+    print(f"\nfull protocol over {len(list(SEEDS))} interleavings:")
+    print(f"  T3 outcomes: {sorted(safe_outcomes)}")
+    print(f"  every history serializable: {all_serializable}")
+    assert safe_outcomes <= {(True, True), (False, False)}
+    assert all_serializable

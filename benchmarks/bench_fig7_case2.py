@@ -1,0 +1,62 @@
+"""F7 — Fig. 7: case 2, commutative but not yet committed ancestor.
+
+T5's TotalPayment (which bypasses the Order encapsulation, reading each
+status atom directly — footnote 4) requests a Get on o1's status atom
+while T1's ShipOrder is still active, though its ChangeStatus
+subtransaction has committed.  The formal conflict with the retained Put
+lock is relieved through the commuting ancestors (ShipOrder,
+TotalPayment), but since ShipOrder has not committed, T5 waits — exactly
+until the ShipOrder *subtransaction* commit, not T1's top-level commit.
+"""
+
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.core.serializability import is_semantically_serializable
+from bench_common import run_fig7
+
+
+def event_indexes(kernel, waiter_txn, releaser_txn):
+    events = list(kernel.trace)
+    regrant = next(
+        i for i, e in enumerate(events) if e.kind == "regrant" and e.txn == waiter_txn
+    )
+    release = next(
+        i for i, e in enumerate(events) if e.kind == "release" and e.txn == releaser_txn
+    )
+    return regrant, release
+
+
+def experiment():
+    built, kernel_full = run_fig7(SemanticLockingProtocol())
+    __, kernel_ablation = run_fig7(SemanticNoReliefProtocol())
+    verdict = is_semantically_serializable(kernel_full.history(), db=built.db)
+    return kernel_full, kernel_ablation, verdict
+
+
+def test_fig7_case2(benchmark):
+    kernel_full, kernel_ablation, verdict = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    print("\nFig. 7 — case 2: commutative but not yet committed ancestor\n")
+    blocks = [e for e in kernel_full.trace.of_kind("block") if e.txn == "T5"]
+    assert blocks, "T5's status read must hit the retained Put lock"
+    history = kernel_full.history()
+    ship = next(r for r in history.records if r.operation == "ShipOrder")
+    print(f"T5 blocked, waits_for = {blocks[0].detail['waits_for']} "
+          f"(the ShipOrder subtransaction, node {ship.node_id})")
+    assert blocks[0].detail["waits_for"] == [ship.node_id]
+
+    # full protocol: woken by the subtransaction commit, before T1's release
+    regrant, release = event_indexes(kernel_full, "T5", "T1")
+    print(f"full protocol:      T5 re-granted at trace index {regrant}, "
+          f"T1 released at {release} (subtransaction-commit wake)")
+    assert regrant < release
+
+    # ablation: only T1's top-level release unblocks T5
+    regrant_a, release_a = event_indexes(kernel_ablation, "T5", "T1")
+    print(f"no-relief ablation: T5 re-granted at trace index {regrant_a}, "
+          f"T1 released at {release_a} (top-level wait)")
+    assert regrant_a > release_a
+
+    assert kernel_full.handles["T5"].result == 10
+    assert verdict.serializable

@@ -1,0 +1,50 @@
+"""P1 (extension) — throughput & response time vs multiprogramming level.
+
+The paper makes a qualitative claim — commutativity-based locking
+"greatly improves the possible concurrency" — but (as an ICDE'93
+protocol paper) reports no measurements.  This bench supplies the
+missing study on the discrete-event simulator: the same T1–T5 stream
+runs under every protocol at increasing multiprogramming levels.
+
+Expected shape (asserted):
+* at MPL 1 all protocols perform alike (no concurrency to exploit);
+* at high MPL the semantic protocol beats every *correct* baseline on
+  throughput;
+* the naive open-nested protocol is allowed to match the semantic one —
+  it takes the same locks, it just releases them unsafely early.
+"""
+
+from bench_common import ALL_PROTOCOLS, print_rows, sweep_mpl
+
+MPLS = [1, 2, 4, 8]
+
+
+def experiment():
+    return sweep_mpl(MPLS, n_transactions=30)
+
+
+def test_p1_throughput(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    throughput_rows = [t for t, __ in rows]
+    response_rows = [r for __, r in rows]
+    print_rows(throughput_rows, "P1a — throughput (committed txns / virtual time) vs MPL")
+    print_rows(response_rows, "P1b — mean response time (virtual) vs MPL")
+
+    # MPL 1: roughly protocol-independent (within 25%, retry noise aside)
+    base = throughput_rows[0]
+    values = [base[label] for label in ALL_PROTOCOLS]
+    assert max(values) <= min(values) * 1.35, base
+
+    # high MPL: semantic dominates every correct baseline
+    top = throughput_rows[-1]
+    for label in ("semantic-no-relief", "closed-nested", "object-rw-2pl", "page-2pl"):
+        assert top["semantic"] > top[label], (label, top)
+
+    # and the mean response time tells the same story
+    top_resp = response_rows[-1]
+    for label in ("closed-nested", "object-rw-2pl", "page-2pl"):
+        assert top_resp["semantic"] < top_resp[label], (label, top_resp)
+
+    # concurrency actually helps the semantic protocol
+    assert top["semantic"] > throughput_rows[0]["semantic"]

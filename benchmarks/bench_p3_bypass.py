@@ -1,0 +1,88 @@
+"""P3 (extension) — effect of the bypass fraction.
+
+Sweeps the share of transactions that bypass encapsulation (the direct
+TestStatus checkers T3/T4) against the encapsulation-respecting
+T1/T2/T5 mix, and runs both the full semantic protocol and the naive
+Section-3 protocol on identical streams, checking every committed
+history with the reduction checker.
+
+Expected shape (asserted):
+
+* the semantic protocol's histories are serializable at every bypass
+  level (safety is free);
+* the naive protocol produces at least one non-serializable history
+  once bypassing appears.
+"""
+
+from repro.bench import run_closed_loop
+from repro.core.protocol import SemanticLockingProtocol
+from repro.core.serializability import is_semantically_serializable
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from repro.core.kernel import run_transactions
+from bench_common import print_rows
+
+BYPASS_SHARES = [0.0, 0.25, 0.5]
+RUNS_PER_POINT = 6
+TXNS_PER_RUN = 6
+
+
+def mix_for(share: float) -> dict[str, float]:
+    base = {"T1": 1.0, "T2": 1.0, "T5": 0.5}
+    if share <= 0:
+        return base
+    weight = sum(base.values()) * share / (1 - share)
+    return {**base, "T3": weight / 2, "T4": weight / 2}
+
+
+def run_point(share: float, protocol_factory, seed: int):
+    """One small concurrent batch; returns (violations, commits)."""
+    config = WorkloadConfig(
+        n_items=2, orders_per_item=2, mix=mix_for(share), seed=seed
+    )
+    workload = OrderEntryWorkload(config)
+    programs = dict(workload.take(TXNS_PER_RUN))
+    kernel = run_transactions(
+        workload.db, programs, protocol=protocol_factory(), policy="random", seed=seed
+    )
+    verdict = is_semantically_serializable(kernel.history(), db=workload.db)
+    commits = sum(1 for h in kernel.handles.values() if h.committed)
+    return (0 if verdict.serializable else 1), commits
+
+
+def experiment():
+    rows = []
+    for share in BYPASS_SHARES:
+        row = {"bypass_share": share}
+        for label, factory in (
+            ("semantic", SemanticLockingProtocol),
+            ("open-nested-naive", OpenNestedNaiveProtocol),
+        ):
+            violations = 0
+            commits = 0
+            for r in range(RUNS_PER_POINT):
+                v, c = run_point(share, factory, seed=100 * r + int(share * 100))
+                violations += v
+                commits += c
+            row[f"{label}/violations"] = violations
+            row[f"{label}/commits"] = commits
+        rows.append(row)
+    return rows
+
+
+def test_p3_bypass(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_rows(
+        rows,
+        "P3 — serializability violations vs bypass share "
+        f"({RUNS_PER_POINT} batches x {TXNS_PER_RUN} txns per point)",
+    )
+
+    # the semantic protocol never admits a violation
+    assert all(row["semantic/violations"] == 0 for row in rows), rows
+
+    # without bypassing, the naive protocol is correct too
+    assert rows[0]["open-nested-naive/violations"] == 0, rows[0]
+
+    # with bypassing, the naive protocol eventually gets caught
+    assert any(row["open-nested-naive/violations"] > 0 for row in rows[1:]), rows

@@ -1,0 +1,73 @@
+"""The semantic protocol under real OS threads.
+
+The deterministic scheduler is the primary runtime, but the lock manager
+and conflict test are runtime-agnostic: this demo drives the same
+transaction coroutines on ``threading.Thread``s and verifies the same
+invariants — commuting updates all commit, no lost updates, the history
+is semantically serializable.
+
+Run:  python examples/threads_demo.py
+"""
+
+from repro import Database, TypeSpec
+from repro.core.kernel import TransactionManager
+from repro.core.serializability import is_semantically_serializable
+from repro.runtime.threads import ThreadedRuntime
+
+TALLY = TypeSpec("Tally")
+
+
+# The inverse matters: if a transaction aborts after some Bumps have
+# committed (as open subtransactions), they are compensated by negative
+# Bumps — physical state restore would erase concurrent increments.
+@TALLY.method(inverse=lambda result, args: ("Bump", (-args[0],)))
+async def Bump(ctx, tally, amount):
+    """Increment; commutes with other increments."""
+    value = tally.impl_component("value")
+    await ctx.put(value, await ctx.get(value) + amount)
+    return None
+
+
+TALLY.matrix.allow("Bump", "Bump")
+
+
+def main() -> None:
+    db = Database()
+    tally = db.new_encapsulated(TALLY, "tally")
+    db.attach_child(tally)
+    impl = db.new_tuple("tally-impl")
+    impl.add_component("value", db.new_atom("value", 0))
+    tally.set_implementation(impl)
+
+    runtime = ThreadedRuntime()
+    kernel = TransactionManager(db, scheduler=runtime.scheduler)
+
+    n_threads, bumps_each = 6, 5
+
+    def make_program(thread_no):
+        async def program(tx):
+            for __ in range(bumps_each):
+                await tx.call(tally, "Bump", 1)
+        return program
+
+    for i in range(n_threads):
+        kernel.spawn(f"thread-{i}", make_program(i))
+
+    print(f"running {n_threads} threads x {bumps_each} commuting Bump(1) each...")
+    runtime.run()
+
+    value = tally.impl_component("value").raw_get()
+    committed = sum(1 for h in kernel.handles.values() if h.committed)
+    print(f"committed transactions: {committed}/{n_threads}")
+    print(f"final tally: {value} (expected {committed * bumps_each} "
+          f"from {committed} committed transactions)")
+    print(f"lock waits: {kernel.metrics.blocks}, "
+          f"subtransaction restarts: {kernel.metrics.subtxn_restarts}, "
+          f"compensations: {kernel.metrics.compensations}")
+    result = is_semantically_serializable(kernel.history(), db=db)
+    print(f"history semantically serializable: {result.serializable}")
+    assert value == committed * bumps_each, "lost or phantom update!"
+
+
+if __name__ == "__main__":
+    main()

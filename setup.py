@@ -1,0 +1,4 @@
+"""Setup shim for legacy (offline, no-wheel) editable installs."""
+from setuptools import setup
+
+setup()

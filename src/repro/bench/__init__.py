@@ -1,0 +1,15 @@
+"""Benchmark harness: closed-loop workload runs, sweeps, reporting."""
+
+from repro.bench.metrics import RunMetrics, aggregate
+from repro.bench.harness import DEFAULT_COST_MODEL, run_closed_loop, sweep_protocols
+from repro.bench.report import format_table, format_markdown_table
+
+__all__ = [
+    "RunMetrics",
+    "aggregate",
+    "DEFAULT_COST_MODEL",
+    "run_closed_loop",
+    "sweep_protocols",
+    "format_table",
+    "format_markdown_table",
+]

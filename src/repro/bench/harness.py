@@ -1,0 +1,169 @@
+"""Closed-loop workload runner and protocol sweeps.
+
+The performance study runs a *quasi-closed* system: ``mpl``
+transactions are active at any time; when one finishes it spawns the
+next from the stream (keeping the multiprogramming level constant up to
+commit-boundary jitter).  Aborted transactions are retried in follow-up
+rounds, as a real order-entry client would.
+
+All timing is virtual: the cost model charges each operation on the
+scheduler's discrete-event clock, so throughput and response times are
+functions of blocking behaviour only — exactly what a concurrency
+control comparison wants to isolate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.kernel import CostModel, TransactionManager, TransactionProgram
+from repro.bench.metrics import RunMetrics, collect
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+from repro.protocols.base import CCProtocol
+from repro.runtime.scheduler import Scheduler
+
+# One unit per storage-level operation, half for dispatching a method,
+# one for transaction setup: arbitrary but fixed across protocols.
+DEFAULT_COST_MODEL = CostModel(generic_op=1.0, method_op=0.5, transaction_setup=1.0)
+
+ProtocolFactory = Callable[[], CCProtocol]
+
+
+def run_closed_loop(
+    protocol_factory: ProtocolFactory,
+    config: WorkloadConfig,
+    n_transactions: int = 40,
+    mpl: int = 4,
+    cost_model: Optional[CostModel] = None,
+    max_retry_rounds: int = 3,
+    policy: str = "random",
+) -> RunMetrics:
+    """Run one workload under one protocol; return its metrics.
+
+    The database, transaction stream, and interleavings all derive from
+    ``config.seed``, so different protocols see byte-identical inputs.
+    """
+    protocol = protocol_factory()
+    workload = OrderEntryWorkload(config)
+    stream = deque(workload.take(n_transactions))
+    scheduler = Scheduler(policy=policy, seed=config.seed)
+    kernel = TransactionManager(
+        workload.db,
+        protocol=protocol,
+        scheduler=scheduler,
+        cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
+    )
+
+    def spawn_next() -> None:
+        if stream:
+            name, program = stream.popleft()
+            kernel.spawn(name, _with_continuation(program))
+
+    def _with_continuation(program: TransactionProgram) -> TransactionProgram:
+        async def wrapped(tx):
+            try:
+                return await program(tx)
+            finally:
+                spawn_next()  # keep the multiprogramming level constant
+
+        return wrapped
+
+    for __ in range(min(mpl, len(stream))):
+        spawn_next()
+    kernel.run()
+
+    # Retry aborted transactions (fresh attempts, same kernel/clock) —
+    # a real client would resubmit a deadlock victim.
+    retries = 0
+    already_retried: set[str] = set()
+    for __ in range(max_retry_rounds):
+        to_retry = [
+            h
+            for h in kernel.handles.values()
+            if h.aborted and h.name not in already_retried
+        ]
+        if not to_retry:
+            break
+        for handle in to_retry:
+            already_retried.add(handle.name)
+            base_kind = handle.name.split("+", 1)[0]
+            program = _retry_program_for(workload, base_kind)
+            if program is None:
+                continue
+            retries += 1
+            kernel.spawn(f"{handle.name}+r{retries}", program)
+        kernel.run()
+    return collect(kernel, protocol.name, retries=retries)
+
+
+def _retry_program_for(workload: OrderEntryWorkload, name: str):
+    """Regenerate the program for a named workload transaction.
+
+    Workload transactions are parameterised by their name's kind and the
+    stream position; regenerating with a derived seed gives an
+    equivalent (same-kind) transaction — adequate for throughput
+    measurement, where the retried work matters, not its exact keys.
+    """
+    kind = name.split("-", 1)[0]
+    if kind not in ("T0", "T1", "T2", "T3", "T4", "T5"):
+        return None
+    saved_mix = workload.config.mix
+    try:
+        workload.config.mix = {kind: 1.0}
+        workload._types = [kind]
+        workload._weights = [1.0]
+        __, program = workload.next_transaction()
+    finally:
+        workload.config.mix = saved_mix
+        workload._types = sorted(t for t, w in saved_mix.items() if w > 0)
+        workload._weights = [saved_mix[t] for t in workload._types]
+    return program
+
+
+def sweep_protocols(
+    protocol_factories: dict[str, ProtocolFactory],
+    config_factory: Callable[[int], WorkloadConfig],
+    values: list[int],
+    n_transactions: int = 40,
+    mpl_from_value: Optional[Callable[[int], int]] = None,
+    repeats: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> dict[str, list[RunMetrics]]:
+    """Run every protocol over a parameter sweep.
+
+    Args:
+        protocol_factories: label -> zero-arg protocol constructor.
+        config_factory: sweep value -> workload config (vary contention,
+            mix, ...).  The seed should incorporate the value so streams
+            differ across sweep points but agree across protocols.
+        values: the sweep points.
+        mpl_from_value: sweep value -> multiprogramming level (defaults
+            to a constant 4); pass ``lambda v: v`` for an MPL sweep.
+        repeats: independent repetitions (different seeds) per point,
+            aggregated into the reported metrics.
+
+    Returns:
+        label -> list of aggregated metrics, one per sweep value.
+    """
+    from repro.bench.metrics import aggregate
+
+    results: dict[str, list[RunMetrics]] = {label: [] for label in protocol_factories}
+    for value in values:
+        for label, factory in protocol_factories.items():
+            runs = []
+            for repeat in range(repeats):
+                config = config_factory(value)
+                config.seed = config.seed + 1000 * repeat
+                mpl = mpl_from_value(value) if mpl_from_value is not None else 4
+                runs.append(
+                    run_closed_loop(
+                        factory,
+                        config,
+                        n_transactions=n_transactions,
+                        mpl=mpl,
+                        cost_model=cost_model,
+                    )
+                )
+            results[label].append(aggregate(runs))
+    return results

@@ -1,0 +1,109 @@
+"""Metrics extracted from kernel runs for the performance study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import TransactionManager
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated outcome of one workload run."""
+
+    protocol: str
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    deadlocks: int = 0
+    blocks: int = 0
+    subtxn_restarts: int = 0
+    compensations: int = 0
+    actions: int = 0
+    clock: float = 0.0
+    total_response: float = 0.0
+    max_locks_held: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per unit of virtual time."""
+        if self.clock <= 0:
+            return float(self.committed)
+        return self.committed / self.clock
+
+    @property
+    def mean_response(self) -> float:
+        """Mean virtual response time of committed transactions."""
+        if not self.committed:
+            return 0.0
+        return self.total_response / self.committed
+
+    @property
+    def blocking_rate(self) -> float:
+        """Lock waits per executed action."""
+        if not self.actions:
+            return 0.0
+        return self.blocks / self.actions
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        if not total:
+            return 0.0
+        return self.aborted / total
+
+    def row(self) -> dict[str, float | int | str]:
+        """Flat dict for table rendering."""
+        return {
+            "protocol": self.protocol,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "throughput": round(self.throughput, 4),
+            "mean_resp": round(self.mean_response, 2),
+            "blocks": self.blocks,
+            "block_rate": round(self.blocking_rate, 4),
+            "deadlocks": self.deadlocks,
+            "restarts": self.subtxn_restarts,
+            "max_locks": self.max_locks_held,
+        }
+
+
+def collect(kernel: "TransactionManager", protocol_name: str, retries: int = 0) -> RunMetrics:
+    """Read a finished kernel's counters into a :class:`RunMetrics`."""
+    metrics = RunMetrics(protocol=protocol_name, retries=retries)
+    metrics.deadlocks = kernel.metrics.deadlocks
+    metrics.blocks = kernel.metrics.blocks
+    metrics.subtxn_restarts = kernel.metrics.subtxn_restarts
+    metrics.compensations = kernel.metrics.compensations
+    metrics.actions = kernel.metrics.actions
+    metrics.clock = kernel.scheduler.clock
+    metrics.max_locks_held = kernel.locks.max_locks_held
+    for handle in kernel.handles.values():
+        if handle.committed:
+            metrics.committed += 1
+            metrics.total_response += handle.response_time
+        elif handle.aborted:
+            metrics.aborted += 1
+    return metrics
+
+
+def aggregate(runs: list[RunMetrics]) -> RunMetrics:
+    """Sum counters (and clocks) across repeated runs of one protocol."""
+    if not runs:
+        raise ValueError("nothing to aggregate")
+    total = RunMetrics(protocol=runs[0].protocol)
+    for run in runs:
+        total.committed += run.committed
+        total.aborted += run.aborted
+        total.retries += run.retries
+        total.deadlocks += run.deadlocks
+        total.blocks += run.blocks
+        total.subtxn_restarts += run.subtxn_restarts
+        total.compensations += run.compensations
+        total.actions += run.actions
+        total.clock += run.clock
+        total.total_response += run.total_response
+        total.max_locks_held = max(total.max_locks_held, run.max_locks_held)
+    return total

@@ -1,0 +1,40 @@
+"""Plain-text and markdown table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+
+def format_table(rows: Iterable[Mapping[str, Any]], title: str = "") -> str:
+    """Fixed-width table from a list of uniform dicts."""
+    rows = list(rows)
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    table = [headers] + [[str(row[h]) for h in headers] for row in rows]
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Iterable[Mapping[str, Any]], title: str = "") -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md snippets)."""
+    rows = list(rows)
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for __ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[h]) for h in headers) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.conflict` — the semantic conflict test of Fig. 9;
+* :mod:`repro.core.protocol` — the locking protocol of Fig. 8 packaged
+  as a pluggable :class:`~repro.protocols.base.CCProtocol`;
+* :mod:`repro.core.kernel` — the transaction manager executing method
+  invocation hierarchies as open nested transactions;
+* :mod:`repro.core.serializability` — the BBG89 tree-reduction checker
+  used as ground truth for "semantic serializability".
+"""
+
+from repro.core.conflict import actions_commute, test_conflict
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.core.kernel import TransactionContext, TransactionManager, TxnHandle
+from repro.core.serializability import ReductionResult, is_semantically_serializable
+
+__all__ = [
+    "actions_commute",
+    "test_conflict",
+    "SemanticLockingProtocol",
+    "SemanticNoReliefProtocol",
+    "TransactionContext",
+    "TransactionManager",
+    "TxnHandle",
+    "ReductionResult",
+    "is_semantically_serializable",
+]

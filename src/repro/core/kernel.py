@@ -1,0 +1,1075 @@
+"""The transaction manager kernel.
+
+Executes OODBS transactions as open nested transactions (Fig. 8): every
+method invocation or generic operation becomes an action node, acquires
+the locks its protocol demands (blocking in the object's FCFS queue on
+conflict), executes — methods by running their bodies, which invoke
+further operations through the same kernel — and completes, letting the
+protocol decide the fate of the subtree's locks (retain / release /
+inherit).  Top-level commit releases the whole tree's locks.
+
+The kernel also owns:
+
+* the waits-for graph and deadlock resolution (victim abort);
+* undo bookkeeping and the abort path: committed subtransactions are
+  compensated by their registered inverse operations, run as ordinary
+  subtransactions under the protocol; generic leaves are undone
+  physically;
+* history recording for the semantic-serializability checker;
+* a structured trace log for the Fig. 8 conformance tests.
+
+Everything runs on a deterministic cooperative
+:class:`~repro.runtime.scheduler.Scheduler`; with a cost model the same
+machinery is a discrete-event performance simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Iterable, Mapping, Optional, Union
+
+from repro.errors import (
+    CompensationError,
+    DeadlockError,
+    SubtransactionRestart,
+    TransactionAborted,
+    UnknownOperationError,
+)
+from repro.objects.atoms import AtomicObject
+from repro.objects.base import DatabaseObject
+from repro.objects.database import Database
+from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
+from repro.objects.oid import Oid
+from repro.objects.sets import SetObject
+from repro.objects.tuples import TupleObject
+from repro.protocols.base import CCProtocol, LockSpec
+from repro.core.protocol import SemanticLockingProtocol
+from repro.runtime.scheduler import Pause, Scheduler, Task
+from repro.semantics.generic import (
+    GET,
+    INSERT,
+    PUT,
+    READONLY_GENERIC_OPS,
+    REMOVE,
+    SCAN,
+    SELECT,
+    SIZE,
+    TRANSACTION,
+)
+from repro.semantics.invocation import Invocation
+from repro.txn.compensation import UndoEntry, UndoLog
+from repro.txn.history import History, HistoryRecorder
+from repro.txn.locks import LockTable, PendingRequest
+from repro.txn.transaction import NodeStatus, TransactionNode
+from repro.txn.waits import WaitsForGraph
+from repro.util.ids import IdGenerator
+from repro.util.seq import SequenceCounter
+from repro.util.tracelog import TraceEvent, TraceLog
+
+TransactionProgram = Callable[["TransactionContext"], Awaitable[Any]]
+
+_GENERIC_OPS = frozenset({GET, PUT, INSERT, REMOVE, SELECT, SCAN, SIZE})
+
+
+@dataclass
+class CostModel:
+    """Virtual-time costs for the discrete-event performance study.
+
+    A zero model (the default) turns the run into a pure interleaving
+    simulation; nonzero costs make the scheduler's clock meaningful so
+    throughput and response times can be measured.
+    """
+
+    generic_op: float = 0.0
+    method_op: float = 0.0
+    transaction_setup: float = 0.0
+
+    def cost_of(self, operation: str) -> float:
+        if operation in _GENERIC_OPS:
+            return self.generic_op
+        if operation == TRANSACTION:
+            return self.transaction_setup
+        return self.method_op
+
+
+@dataclass
+class KernelMetrics:
+    """Counters accumulated over a kernel run."""
+
+    commits: int = 0
+    aborts: int = 0
+    deadlocks: int = 0
+    blocks: int = 0
+    compensations: int = 0
+    actions: int = 0
+    subtxn_restarts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "deadlocks": self.deadlocks,
+            "blocks": self.blocks,
+            "compensations": self.compensations,
+            "actions": self.actions,
+            "subtxn_restarts": self.subtxn_restarts,
+        }
+
+
+@dataclass
+class TxnHandle:
+    """The kernel-side view of one spawned top-level transaction."""
+
+    name: str
+    root: TransactionNode
+    task: Optional[Task] = None
+    committed: bool = False
+    aborted: bool = False
+    aborting: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
+    start_clock: float = 0.0
+    end_clock: float = 0.0
+    restarts: int = 0  # subtransaction restarts suffered so far
+
+    @property
+    def response_time(self) -> float:
+        """Virtual time from start to commit/abort."""
+        return self.end_clock - self.start_clock
+
+
+class TransactionContext:
+    """What a transaction program / method body sees.
+
+    Bound to one action node; every operation invoked through it becomes
+    a child action of that node.  Method bodies receive a context bound
+    to the method's own subtransaction, so invocation hierarchies nest
+    naturally.
+    """
+
+    def __init__(self, kernel: "TransactionManager", node: TransactionNode) -> None:
+        self._kernel = kernel
+        self._node = node
+
+    @property
+    def db(self) -> Database:
+        return self._kernel.db
+
+    @property
+    def node(self) -> TransactionNode:
+        return self._node
+
+    @property
+    def txn_name(self) -> str:
+        return self._node.top_level_name
+
+    # ------------------------------------------------------------------
+    # Invocations
+    # ------------------------------------------------------------------
+    async def call(self, obj: Union[DatabaseObject, Oid], operation: str, *args: Any) -> Any:
+        """Invoke a method or generic operation on *obj* (synchronized)."""
+        target = self._kernel.db.resolve(obj) if isinstance(obj, Oid) else obj
+        return await self._kernel.invoke(self._node, target, operation, args)
+
+    async def get(self, atom: AtomicObject) -> Any:
+        """Synchronized ``Get`` on an atomic object."""
+        return await self.call(atom, GET)
+
+    async def put(self, atom: AtomicObject, value: Any) -> None:
+        """Synchronized ``Put`` on an atomic object."""
+        await self.call(atom, PUT, value)
+
+    async def insert(self, set_obj: SetObject, key: Any, member: DatabaseObject) -> None:
+        """Synchronized keyed ``Insert`` into a set object."""
+        await self._kernel.invoke(
+            self._node, set_obj, INSERT, (key,), exec_args=(key, member)
+        )
+
+    async def remove(self, set_obj: SetObject, key: Any) -> DatabaseObject:
+        """Synchronized keyed ``Remove``; returns the removed member."""
+        return await self.call(set_obj, REMOVE, key)
+
+    async def select(self, set_obj: SetObject, key: Any) -> Optional[DatabaseObject]:
+        """Synchronized keyed lookup (the paper's generic ``Select``)."""
+        return await self.call(set_obj, SELECT, key)
+
+    async def scan(self, set_obj: SetObject) -> list[tuple[Any, DatabaseObject]]:
+        """Synchronized full scan of a set object."""
+        return await self.call(set_obj, SCAN)
+
+    async def size(self, set_obj: SetObject) -> int:
+        """Synchronized cardinality of a set object."""
+        return await self.call(set_obj, SIZE)
+
+    async def pause(self) -> None:
+        """Voluntary scheduling point (no cost)."""
+        await Pause(0.0)
+
+    # ------------------------------------------------------------------
+    # Object creation (with undo)
+    # ------------------------------------------------------------------
+    def create_atom(self, name: str, value: Any = None) -> AtomicObject:
+        """Create a fresh atom; destroyed again if the transaction aborts."""
+        return self._kernel.create_object(self._node, "atom", name, value=value)
+
+    def create_tuple(self, name: str) -> TupleObject:
+        return self._kernel.create_object(self._node, "tuple", name)
+
+    def create_set(self, name: str) -> SetObject:
+        return self._kernel.create_object(self._node, "set", name)
+
+    def create_encapsulated(self, spec: TypeSpec, name: str) -> EncapsulatedObject:
+        return self._kernel.create_object(self._node, "encapsulated", name, spec=spec)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def abort(self, reason: str = "application rollback") -> None:
+        """Abort the enclosing top-level transaction."""
+        raise TransactionAborted(self.txn_name, reason)
+
+
+class TransactionManager:
+    """The kernel; see module docstring."""
+
+    def __init__(
+        self,
+        db: Database,
+        protocol: Optional[CCProtocol] = None,
+        scheduler: Optional[Scheduler] = None,
+        cost_model: Optional[CostModel] = None,
+        deadlock_policy: str = "detect",
+        wal=None,
+    ) -> None:
+        if deadlock_policy not in ("detect", "wait-die", "wound-wait"):
+            raise ValueError(f"unknown deadlock policy {deadlock_policy!r}")
+        self.db = db
+        self.protocol = protocol if protocol is not None else SemanticLockingProtocol()
+        self.protocol.bind(db)
+        self.locks = LockTable()
+        self.protocol.bind_lock_table(self.locks)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.scheduler.on_stall = self._on_stall
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        # Deadlock handling: "detect" (waits-for cycle detection with
+        # victim restart/abort — the default), or the classical
+        # timestamp-based *prevention* schemes "wait-die" (a requester
+        # younger than a conflicting holder aborts itself) and
+        # "wound-wait" (a requester older than a conflicting holder
+        # aborts the holder).  Timestamps are transaction begin
+        # sequence numbers, so both schemes are starvation-free.
+        self.deadlock_policy = deadlock_policy
+        # After this many subtransaction restarts a deadlock victim is
+        # aborted outright (livelock guard).  FCFS queueing makes
+        # repeated deadlocks with the *same* partner impossible, so the
+        # cap only needs to exceed the plausible number of distinct
+        # hot-spot partners.
+        self.max_subtxn_restarts = 25
+        # Optional write-ahead log (repro.recovery.wal.WriteAheadLog):
+        # when set, physical updates, non-read-only subtransaction
+        # commits, and transaction outcomes are logged for multi-level
+        # crash recovery.
+        self.wal = wal
+        self.waits = WaitsForGraph()
+        self.recorder = HistoryRecorder(db)
+        self.undo = UndoLog()
+        self.trace = TraceLog()
+        self.seq = SequenceCounter()
+        self.metrics = KernelMetrics()
+        self.handles: dict[str, TxnHandle] = {}
+        self._ids = IdGenerator()
+        # Optional execution probe: called as probe(node, phase) with
+        # phase "pre" (after the scheduling point, before lock
+        # acquisition) and "post" (after the action completed).  May
+        # return an awaitable to suspend the transaction at that point —
+        # tests and the figure benches use this to pin down the paper's
+        # exact interleavings without fragile step counting.
+        self.probe: Optional[
+            Callable[[TransactionNode, str], Optional[Awaitable[Any]]]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, program: TransactionProgram) -> TxnHandle:
+        """Register a top-level transaction to run under this kernel."""
+        root = TransactionNode(
+            node_id=name,
+            parent=None,
+            target=self.db.oid,
+            invocation=Invocation(TRANSACTION, (name,)),
+            completion_signal=self.scheduler.create_signal(f"done-{name}"),
+        )
+        handle = TxnHandle(name=name, root=root)
+        self.handles[name] = handle
+        handle.task = self.scheduler.spawn(name, self._run_top(handle, program))
+        return handle
+
+    def run(self) -> None:
+        """Run every spawned transaction to completion."""
+        self.scheduler.run()
+
+    def history(self) -> History:
+        return self.recorder.history()
+
+    # ------------------------------------------------------------------
+    # Top-level execution
+    # ------------------------------------------------------------------
+    async def _run_top(self, handle: TxnHandle, program: TransactionProgram) -> Any:
+        root = handle.root
+        handle.start_clock = self.scheduler.clock
+        root.begin_seq = self.seq.tick()
+        self._trace(root, "begin")
+        self._wal_txn_status(handle.name, "begin")
+        ctx = TransactionContext(self, root)
+        try:
+            cost = self.cost_model.cost_of(TRANSACTION)
+            if cost:
+                await Pause(cost)
+            await self._acquire_locks_for(root)
+            handle.result = await program(ctx)
+        except TransactionAborted as aborted:
+            handle.aborting = True
+            await self._abort_transaction(handle, aborted)
+            return None
+        except SubtransactionRestart as restart:  # pragma: no cover - defensive
+            # A restart signal must be handled at its subtransaction's
+            # frame; reaching the root indicates a kernel bug, but abort
+            # cleanly rather than killing the scheduler.
+            handle.aborting = True
+            await self._abort_transaction(
+                handle,
+                TransactionAborted(handle.name, f"unhandled restart: {restart}"),
+            )
+            return None
+        except Exception as error:
+            # Application errors (failed inserts, bugs in method bodies)
+            # abort the transaction; the error stays inspectable on the
+            # handle rather than killing the whole scheduler run.
+            handle.aborting = True
+            await self._abort_transaction(
+                handle, TransactionAborted(handle.name, f"application error: {error!r}")
+            )
+            handle.error = error
+            return None
+        self._complete_node(root)
+        self._wal_txn_status(handle.name, "commit")
+        handle.committed = True
+        handle.end_clock = self.scheduler.clock
+        self.metrics.commits += 1
+        return handle.result
+
+    # ------------------------------------------------------------------
+    # Action execution (Fig. 8's exec-transaction)
+    # ------------------------------------------------------------------
+    async def invoke(
+        self,
+        parent: TransactionNode,
+        target: DatabaseObject,
+        operation: str,
+        args: tuple[Any, ...],
+        exec_args: Optional[tuple[Any, ...]] = None,
+        is_compensation: bool = False,
+        compensates: Optional[str] = None,
+    ) -> Any:
+        """Create, lock, execute, and complete one child action."""
+        invocation = Invocation(operation, args)
+        node = TransactionNode(
+            node_id=self._ids.next_id("a"),
+            parent=parent,
+            target=target.oid,
+            invocation=invocation,
+            completion_signal=self.scheduler.create_signal(),
+        )
+        node.readonly = self._is_readonly(target, operation)
+        node.is_compensation = is_compensation or parent.is_compensation
+        node.compensates = compensates
+        self.recorder.snapshot_target(target.oid)
+        self.metrics.actions += 1
+
+        cost = self.cost_model.cost_of(operation)
+        await Pause(cost)  # scheduling point (+ virtual CPU time)
+        await self._run_probe(node, "pre")
+
+        while True:
+            try:
+                await self._acquire_locks_for(node)
+                node.begin_seq = self.seq.tick()
+                result = await self._execute(node, target, operation, exec_args or args)
+                break
+            except SubtransactionRestart as restart:
+                if restart.node is not node:
+                    raise  # an enclosing subtransaction is the restart scope
+                await self._rollback_subtransaction(node)
+                await Pause(cost)  # let the conflicting transaction run
+
+        node.result = result
+        self._attach_inverse(node, target, operation, args, result)
+        self._complete_node(node)
+        await self._run_probe(node, "post")
+        return result
+
+    async def _rollback_subtransaction(self, node: TransactionNode) -> None:
+        """Undo a not-yet-committed subtransaction so it can retry.
+
+        Committed children are compensated, leaves are undone
+        physically, the subtree's locks are released, and its records
+        are dropped from the history (a restarted subtransaction's
+        do/undo pair nets out to nothing).
+        """
+        self._trace(node, "restart")
+        self.metrics.subtxn_restarts += 1
+        root = node.root()
+        prior_root_children = len(root.children)
+        await self._undo_children(node, in_restart=True)
+        discarded = {n.node_id for n in node.descendants(include_self=True)}
+        # Compensations spawned by the rollback attach to the root; their
+        # records net out against the discarded do-records, so drop them
+        # from the history as well (their *effects* stand, of course).
+        compensations = root.children[prior_root_children:]
+        for comp in compensations:
+            discarded.update(n.node_id for n in comp.descendants(include_self=True))
+        for node_id in discarded:
+            self.undo.discard(node_id)
+        self.recorder.discard_nodes(discarded - {node.node_id})
+        released = self.locks.release_subtree(node)
+        node.children.clear()
+        self._trace(node, "restart-released", count=len(released))
+        self._after_lock_change()
+
+    async def _run_probe(self, node: TransactionNode, phase: str) -> None:
+        if self.probe is None:
+            return
+        awaitable = self.probe(node, phase)
+        if awaitable is not None:
+            await awaitable
+
+    # ------------------------------------------------------------------
+    # Write-ahead logging (multi-level recovery)
+    # ------------------------------------------------------------------
+    def _wal_attached_address(self, obj: DatabaseObject):
+        """The object's logical address, or None if not under the root.
+
+        Changes to detached objects (e.g. an order under construction
+        before its Insert) need no log records: the Insert's member
+        snapshot captures them.
+        """
+        node = obj
+        while node.parent is not None:
+            node = node.parent
+        if node is not self.db:
+            return None
+        from repro.recovery.addresses import address_of
+
+        return address_of(obj)
+
+    def _wal_update(self, node: TransactionNode, operation: str, target: DatabaseObject, **fields: Any) -> None:
+        if self.wal is None:
+            return
+        address = self._wal_attached_address(target)
+        if address is None:
+            return
+        from repro.recovery.wal import UpdateRecord
+
+        node_path = tuple(
+            n.node_id for n in reversed(list(node.ancestors(include_self=True)))
+        )
+        self.wal.append(
+            UpdateRecord(
+                lsn=self.wal.next_lsn(),
+                txn=node.top_level_name,
+                node_path=node_path,
+                operation=operation,
+                target=address,
+                **fields,
+            )
+        )
+
+    def _wal_txn_status(self, txn: str, status: str) -> None:
+        if self.wal is None:
+            return
+        from repro.recovery.wal import TxnStatusRecord
+
+        self.wal.append(TxnStatusRecord(lsn=self.wal.next_lsn(), txn=txn, status=status))
+
+    def _wal_subtxn_commit(self, node: TransactionNode) -> None:
+        if self.wal is None or node.is_top_level or node.readonly:
+            return
+        if node.invocation.operation in _GENERIC_OPS:
+            return
+        target = self.db.resolve(node.target)
+        if not isinstance(target, EncapsulatedObject):
+            return
+        address = self._wal_attached_address(target)
+        if address is None:
+            return
+        from repro.recovery.wal import SubtxnCommitRecord
+
+        inverse = self.undo.inverse_for(node.node_id)
+        self.wal.append(
+            SubtxnCommitRecord(
+                lsn=self.wal.next_lsn(),
+                txn=node.top_level_name,
+                node_id=node.node_id,
+                subtree_ids=tuple(
+                    n.node_id for n in node.descendants(include_self=True)
+                ),
+                target=address,
+                operation=node.invocation.operation,
+                args=node.invocation.args,
+                inverse_operation=inverse.inverse_operation if inverse else None,
+                inverse_args=tuple(inverse.inverse_args) if inverse else (),
+                compensates=node.compensates,
+            )
+        )
+
+    def _is_readonly(self, target: DatabaseObject, operation: str) -> bool:
+        if operation in READONLY_GENERIC_OPS:
+            return True
+        if operation in _GENERIC_OPS:
+            return False
+        if isinstance(target, EncapsulatedObject):
+            return target.spec.method_spec(operation).readonly
+        return False
+
+    async def _execute(
+        self,
+        node: TransactionNode,
+        target: DatabaseObject,
+        operation: str,
+        args: tuple[Any, ...],
+    ) -> Any:
+        if operation in _GENERIC_OPS:
+            return self._execute_generic(node, target, operation, args)
+        if isinstance(target, EncapsulatedObject):
+            spec = target.spec.method_spec(operation)
+            ctx = TransactionContext(self, node)
+            return await spec.body(ctx, target, *args)
+        raise UnknownOperationError(
+            f"object {target.oid} does not understand operation {operation!r}"
+        )
+
+    def _execute_generic(
+        self,
+        node: TransactionNode,
+        target: DatabaseObject,
+        operation: str,
+        args: tuple[Any, ...],
+    ) -> Any:
+        # Physical undo is recorded even inside compensations: a
+        # compensation is never *logically* compensated, but it may be
+        # rolled back and retried by subtransaction restart.
+        record_undo = True
+        if operation == GET:
+            return target.raw_get()
+        if operation == PUT:
+            old_value = target.raw_get()
+            target.raw_put(args[0])
+            self._wal_update(node, "Put", target, before=old_value, after=args[0])
+            if record_undo:
+                self.undo.attach(
+                    node.node_id,
+                    UndoEntry.make_physical(
+                        f"Put {target.oid} back to {old_value!r}",
+                        lambda t=target, v=old_value: t.raw_put(v),
+                    ),
+                )
+            return None
+        if operation == INSERT:
+            key, member = args
+            target.raw_insert(key, member)
+            if self.wal is not None:
+                from repro.recovery.addresses import snapshot
+
+                self._wal_update(
+                    node, "Insert", target, key=key, member_snapshot=snapshot(member)
+                )
+            if record_undo:
+                self.undo.attach(
+                    node.node_id,
+                    UndoEntry.make_physical(
+                        f"remove key {key!r} from {target.oid}",
+                        lambda t=target, k=key: t.raw_remove(k),
+                    ),
+                )
+            return None
+        if operation == REMOVE:
+            key = args[0]
+            member = target.raw_remove(key)
+            if self.wal is not None:
+                from repro.recovery.addresses import snapshot
+
+                self._wal_update(
+                    node, "Remove", target, key=key, member_snapshot=snapshot(member)
+                )
+            if record_undo:
+                self.undo.attach(
+                    node.node_id,
+                    UndoEntry.make_physical(
+                        f"re-insert key {key!r} into {target.oid}",
+                        lambda t=target, k=key, m=member: t.raw_insert(k, m),
+                    ),
+                )
+            return member
+        if operation == SELECT:
+            return target.raw_select(args[0])
+        if operation == SCAN:
+            return target.raw_scan()
+        if operation == SIZE:
+            return target.raw_size()
+        raise UnknownOperationError(f"unknown generic operation {operation!r}")
+
+    def _attach_inverse(
+        self,
+        node: TransactionNode,
+        target: DatabaseObject,
+        operation: str,
+        args: tuple[Any, ...],
+        result: Any,
+    ) -> None:
+        if node.is_compensation or operation in _GENERIC_OPS:
+            return
+        if not isinstance(target, EncapsulatedObject):
+            return
+        spec = target.spec.method_spec(operation)
+        if spec.readonly or spec.inverse is None:
+            return
+        inverse = spec.inverse(result, args)
+        if inverse is None:
+            return
+        inverse_op, inverse_args = inverse
+        self.undo.attach(
+            node.node_id,
+            UndoEntry.make_inverse(
+                f"compensate {operation} with {inverse_op}{inverse_args!r}",
+                target.oid,
+                inverse_op,
+                tuple(inverse_args),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Object creation with undo
+    # ------------------------------------------------------------------
+    def create_object(
+        self,
+        node: TransactionNode,
+        kind: str,
+        name: str,
+        value: Any = None,
+        spec: Optional[TypeSpec] = None,
+    ) -> DatabaseObject:
+        if kind == "atom":
+            obj: DatabaseObject = self.db.new_atom(name, value)
+        elif kind == "tuple":
+            obj = self.db.new_tuple(name)
+        elif kind == "set":
+            obj = self.db.new_set(name)
+        elif kind == "encapsulated":
+            assert spec is not None
+            obj = self.db.new_encapsulated(spec, name)
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown object kind {kind!r}")
+        if not node.is_compensation:
+            self.undo.attach(
+                node.node_id,
+                UndoEntry.make_physical(
+                    f"destroy created object {obj.oid}",
+                    lambda o=obj, db=self.db: db.destroy(o),
+                ),
+            )
+        return obj
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    async def _acquire_locks_for(self, node: TransactionNode) -> None:
+        for lock_spec in self.protocol.lock_specs(node):
+            await self._acquire(node, lock_spec)
+
+    async def _acquire(self, node: TransactionNode, spec: LockSpec) -> None:
+        self._trace(node, "request", target=str(spec.target), mode=str(spec.invocation))
+        blockers = self.locks.compute_blockers(
+            node, spec.target, spec.invocation, self._tester
+        )
+        if not blockers:
+            self.locks.grant(node, spec.target, spec.invocation)
+            self._trace(node, "grant", target=str(spec.target), mode=str(spec.invocation))
+            return
+
+        blockers = self._apply_prevention_policy(node, blockers)
+        if not blockers:
+            # wound-wait may have cleared the way synchronously; retest.
+            blockers = self.locks.compute_blockers(
+                node, spec.target, spec.invocation, self._tester
+            )
+            if not blockers:
+                self.locks.grant(node, spec.target, spec.invocation)
+                self._trace(node, "grant", target=str(spec.target), mode=str(spec.invocation))
+                return
+
+        signal = self.scheduler.create_signal(f"grant-{node.node_id}")
+        pending = self.locks.enqueue(node, spec.target, spec.invocation, signal)
+        pending.blockers = blockers
+        self.metrics.blocks += 1
+        self._trace(
+            node,
+            "block",
+            target=str(spec.target),
+            mode=str(spec.invocation),
+            waits_for=sorted(b.node_id for b in blockers),
+        )
+        try:
+            self._sync_waits()
+            if self.deadlock_policy == "detect":
+                self._resolve_deadlocks(requester=node)
+            await signal
+        except BaseException:
+            self.locks.cancel(pending)
+            self._sync_waits()
+            raise
+        self._sync_waits()
+        self._trace(node, "wake", target=str(spec.target), mode=str(spec.invocation))
+
+    def _apply_prevention_policy(
+        self, node: TransactionNode, blockers: set[TransactionNode]
+    ) -> set[TransactionNode]:
+        """Wait-die / wound-wait timestamp checks before waiting.
+
+        Returns the (possibly reduced) blocker set the requester should
+        wait for; raises :class:`DeadlockError` when wait-die sacrifices
+        the requester.  Under "detect" this is a no-op.
+        """
+        if self.deadlock_policy == "detect" or not blockers:
+            return blockers
+        my_root = node.root()
+        my_ts = my_root.begin_seq or 0
+
+        def ts(blocker: TransactionNode) -> int:
+            return blocker.root().begin_seq or 0
+
+        if self.deadlock_policy == "wait-die":
+            handle = self.handles[my_root.top_level_name]
+            if handle.aborting:
+                # Compensations must run to completion: an aborting
+                # transaction never dies, it waits.  (The detection
+                # machinery remains as the stall backstop.)
+                return blockers
+            # Younger requesters die instead of waiting on older holders.
+            older_holders = [b for b in blockers if ts(b) < my_ts]
+            if older_holders:
+                self.metrics.deadlocks += 1
+                handle.aborting = True
+                self._trace(node, "die", holders=sorted(b.node_id for b in older_holders))
+                raise DeadlockError(
+                    my_root.top_level_name,
+                    (my_root.top_level_name, older_holders[0].top_level_name),
+                )
+            return blockers
+
+        # wound-wait: older requesters wound younger holders, then wait.
+        survivors: set[TransactionNode] = set()
+        for blocker in blockers:
+            victim_name = blocker.top_level_name
+            victim = self.handles.get(victim_name)
+            if victim is None or victim.aborting or ts(blocker) < my_ts:
+                survivors.add(blocker)  # wait for elders / the already-dying
+                continue
+            self.metrics.deadlocks += 1
+            victim.aborting = True
+            self._trace(node, "wound", victim=victim_name)
+            assert victim.task is not None
+            self.scheduler.interrupt(
+                victim.task,
+                DeadlockError(victim_name, (my_root.top_level_name, victim_name)),
+            )
+            for pending in list(self._all_pending()):
+                if pending.node.root() is victim.root:
+                    self.locks.cancel(pending)
+            survivors.add(blocker)  # its abort completion is the wake event
+        return survivors
+
+    def _tester(
+        self,
+        holder: TransactionNode,
+        holder_invocation: Invocation,
+        requester: TransactionNode,
+        requester_invocation: Invocation,
+        target: Oid,
+    ) -> Optional[TransactionNode]:
+        return self.protocol.test_conflict(
+            holder, holder_invocation, requester, requester_invocation, target
+        )
+
+    def _after_lock_change(self) -> None:
+        granted = self.locks.reevaluate(self._tester)
+        for pending in granted:
+            self._trace(pending.node, "regrant", target=str(pending.target))
+        self._sync_waits()
+        self._resolve_deadlocks()
+
+    def _sync_waits(self) -> None:
+        """Rebuild the waits-for graph from the current lock queues."""
+        self.waits = WaitsForGraph()
+        for pending in self._all_pending():
+            waiter = pending.node.top_level_name
+            holders = {b.top_level_name for b in pending.blockers}
+            self.waits.set_waits(waiter, holders)
+
+    def _all_pending(self) -> Iterable[PendingRequest]:
+        return self.locks.iter_pending()
+
+    # ------------------------------------------------------------------
+    # Deadlock handling
+    # ------------------------------------------------------------------
+    def _resolve_deadlocks(self, requester: Optional[TransactionNode] = None) -> None:
+        """Detect cycles and abort victims until the graph is acyclic.
+
+        The victim is the *youngest* transaction in the cycle (latest
+        ``begin_seq``) that is not already aborting — a deterministic
+        choice that never starves old transactions.  If the requester
+        itself is chosen, the deadlock error is raised in its coroutine
+        directly; otherwise the victim's task is interrupted.
+        """
+        while True:
+            cycle = None
+            if requester is not None:
+                cycle = self.waits.find_cycle_through(requester.top_level_name)
+            if cycle is None:
+                cycle = self.waits.find_any_cycle()
+            if cycle is None:
+                return
+            self.metrics.deadlocks += 1
+            victim, error = self._pick_victim_and_resolution(cycle)
+            victim_name = victim.name
+            self._trace(
+                victim.root,
+                "deadlock",
+                cycle=cycle,
+                victim=victim_name,
+                resolution="restart"
+                if isinstance(error, SubtransactionRestart)
+                else "abort",
+            )
+            if isinstance(error, TransactionAborted):
+                victim.aborting = True
+            self.waits.remove_transaction(victim_name)
+            if requester is not None and victim_name == requester.top_level_name:
+                raise error
+            assert victim.task is not None
+            self.scheduler.interrupt(victim.task, error)
+            # Cancel the victim's queued request right away so the cycle
+            # check below sees the updated queues.
+            for pending in list(self._all_pending()):
+                if pending.node.root() is victim.root:
+                    self.locks.cancel(pending)
+            self._sync_waits()
+
+    def _pick_victim_and_resolution(
+        self, cycle: list[str]
+    ) -> tuple[TxnHandle, Union[SubtransactionRestart, DeadlockError]]:
+        """Choose whom to sacrifice and how.
+
+        Preference order: youngest non-aborting transaction (restart if
+        possible, else abort); then aborting transactions, which can
+        only be *restarted* (their compensations must complete) — if a
+        cycle consists solely of aborting transactions none of which has
+        a restartable scope, compensation cannot proceed and we fail
+        loudly.
+        """
+        def youth(name: str) -> tuple[int, str]:
+            begin = self.handles[name].root.begin_seq or 0
+            return (begin, name)
+
+        non_aborting = sorted(
+            (n for n in cycle if not self.handles[n].aborting), key=youth, reverse=True
+        )
+        aborting = sorted(
+            (n for n in cycle if self.handles[n].aborting), key=youth, reverse=True
+        )
+        for name in non_aborting + aborting:
+            handle = self.handles[name]
+            resolution = self._victim_resolution(handle, cycle)
+            if handle.aborting and isinstance(resolution, DeadlockError):
+                continue  # cannot doubly abort; try the next candidate
+            return handle, resolution
+        raise CompensationError(
+            f"deadlock cycle {cycle} consists only of aborting transactions "
+            "with no restartable subtransaction"
+        )
+
+    def _victim_resolution(
+        self, victim: TxnHandle, cycle: list[str]
+    ) -> Union[SubtransactionRestart, DeadlockError]:
+        """Restart the victim's blocked subtransaction if possible.
+
+        The standard multilevel-transaction remedy: when the victim's
+        blocked request sits inside an active non-top-level
+        subtransaction, rolling back and retrying just that
+        subtransaction releases its subtree's locks and breaks the
+        cycle without aborting the whole transaction.  Falls back to a
+        full abort when the blocked action is a direct child of the
+        transaction root or the victim has restarted too often
+        (livelock guard).
+        """
+        blocked_node: Optional[TransactionNode] = None
+        for pending in self._all_pending():
+            if pending.node.root() is victim.root:
+                blocked_node = pending.node
+                break
+        scope = blocked_node.parent if blocked_node is not None else None
+        # Compensating transactions must run to completion, so their
+        # restart budget is not capped.
+        within_budget = victim.aborting or victim.restarts < self.max_subtxn_restarts
+        can_restart = (
+            scope is not None
+            and not scope.is_top_level
+            and scope.active
+            and within_budget
+        )
+        if can_restart:
+            victim.restarts += 1
+            assert scope is not None
+            return SubtransactionRestart(scope)
+        return DeadlockError(victim.name, tuple(cycle))
+
+    def _on_stall(self, blocked_tasks: list[Task]) -> bool:
+        """Scheduler stall hook: last-resort deadlock resolution."""
+        before = self.metrics.deadlocks
+        self._resolve_deadlocks()
+        return self.metrics.deadlocks > before
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete_node(self, node: TransactionNode) -> None:
+        node.mark_committed(self.seq.tick())
+        self.recorder.on_node_end(node)
+        self._trace(node, "commit")
+        self._wal_subtxn_commit(node)
+        if node.is_top_level:
+            released = self.locks.release_tree(node)
+            self.waits.remove_transaction(node.top_level_name)
+            self._trace(node, "release", count=len(released))
+        else:
+            self.protocol.on_node_complete(node, self.locks)
+        self._after_lock_change()
+
+    # ------------------------------------------------------------------
+    # Abort and compensation
+    # ------------------------------------------------------------------
+    async def _abort_transaction(self, handle: TxnHandle, reason: TransactionAborted) -> None:
+        root = handle.root
+        self._trace(root, "abort", reason=reason.reason)
+        if isinstance(reason, DeadlockError):
+            pass  # already counted at detection time
+        try:
+            await self._undo_children(root)
+            # The root's own physical entries (objects created directly
+            # from the top-level context) are undone last.
+            for entry in reversed(self.undo.physical_for(root.node_id)):
+                assert entry.physical is not None
+                entry.physical()
+                self._trace(root, "undo", what=entry.description)
+        except TransactionAborted as nested:  # pragma: no cover - defensive
+            raise CompensationError(
+                f"compensation of {handle.name} was itself aborted: {nested}"
+            ) from nested
+        root.mark_aborted(self.seq.tick())
+        self.recorder.on_node_end(root)
+        released = self.locks.release_tree(root)
+        self.waits.remove_transaction(handle.name)
+        self._trace(root, "release", count=len(released))
+        handle.aborted = True
+        handle.error = reason
+        handle.end_clock = self.scheduler.clock
+        self.metrics.aborts += 1
+        self._wal_txn_status(handle.name, "abort")
+        self._after_lock_change()
+
+    async def _undo_children(self, node: TransactionNode, in_restart: bool = False) -> None:
+        # Compensations spawned below append to node.children; iterate a
+        # snapshot so they are not revisited.
+        for child in reversed(list(node.children)):
+            await self._undo_node(child, in_restart=in_restart)
+
+    async def _undo_node(self, node: TransactionNode, in_restart: bool = False) -> None:
+        if node.is_compensation and not in_restart:
+            return  # compensations stand (abort path)
+        if node.status is NodeStatus.ABORTED:
+            return
+        inverse = self.undo.inverse_for(node.node_id)
+        if node.completed and inverse is not None:
+            target = self.db.resolve(inverse.inverse_target)
+            self._trace(node, "compensate", with_=inverse.description)
+            await self.invoke(
+                node.root(),
+                target,
+                inverse.inverse_operation or "",
+                tuple(inverse.inverse_args),
+                is_compensation=True,
+                compensates=node.node_id,
+            )
+            self.metrics.compensations += 1
+            return
+        # Structural / physical undo: children first (reverse order),
+        # then this node's own physical entries, last-in-first-out.
+        # For a *committed* update method without a registered inverse
+        # this physically restores state — unsound if a concurrent
+        # transaction already performed a commuting update on the same
+        # objects (the paper's rationale for compensation).  Types with
+        # commutative update methods must declare inverses; the trace
+        # flags the fallback so such omissions are visible.
+        if node.completed and not node.readonly and node.children:
+            self._trace(node, "structural-undo-fallback")
+        await self._undo_children(node)
+        for entry in reversed(self.undo.physical_for(node.node_id)):
+            assert entry.physical is not None
+            entry.physical()
+            self._trace(node, "undo", what=entry.description)
+        if node.active:
+            node.mark_aborted(self.seq.tick())
+            self.recorder.on_node_end(node)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _trace(self, node: TransactionNode, kind: str, **detail: Any) -> None:
+        self.trace.emit(
+            TraceEvent(
+                seq=self.seq.value,
+                kind=kind,
+                node=node.node_id,
+                txn=node.top_level_name,
+                detail=detail,
+            )
+        )
+
+
+def run_transactions(
+    db: Database,
+    programs: Mapping[str, TransactionProgram],
+    protocol: Optional[CCProtocol] = None,
+    policy: str = "fifo",
+    seed: Optional[int] = None,
+    script: Optional[Iterable[str]] = None,
+    cost_model: Optional[CostModel] = None,
+    deadlock_policy: str = "detect",
+) -> TransactionManager:
+    """Convenience: run a set of named transaction programs to completion.
+
+    Returns the kernel, whose ``handles`` carry per-transaction outcomes
+    and whose ``history()`` / ``metrics`` / ``trace`` expose the run.
+    """
+    scheduler = Scheduler(policy=policy, seed=seed, script=script)
+    kernel = TransactionManager(
+        db,
+        protocol=protocol,
+        scheduler=scheduler,
+        cost_model=cost_model,
+        deadlock_policy=deadlock_policy,
+    )
+    for name, program in programs.items():
+        kernel.spawn(name, program)
+    kernel.run()
+    return kernel

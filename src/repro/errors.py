@@ -1,0 +1,100 @@
+"""Exception hierarchy for the semantic concurrency control library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single handler while still
+being able to distinguish the interesting cases (deadlock-induced aborts,
+protocol violations, schema errors).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An object, type, or method definition is inconsistent.
+
+    Raised for duplicate method names, unknown operations referenced by a
+    compatibility matrix, attempts to give an object two composition
+    parents (non-disjoint complex objects are out of scope), and similar
+    definition-time mistakes.
+    """
+
+
+class UnknownObjectError(ReproError):
+    """An OID does not resolve to a live object in the database."""
+
+
+class UnknownOperationError(ReproError):
+    """An operation name is not defined for the target object's type."""
+
+
+class TransactionError(ReproError):
+    """Base class for errors tied to a specific transaction execution."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and must not continue.
+
+    The kernel raises this inside a transaction's coroutine when the
+    transaction is chosen as a deadlock victim or when the application
+    requests a rollback.  User code should generally let it propagate;
+    the kernel catches it at the transaction root and runs compensation.
+    """
+
+    def __init__(self, txn_name: str, reason: str) -> None:
+        super().__init__(f"transaction {txn_name!r} aborted: {reason}")
+        self.txn_name = txn_name
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was selected as the victim of a deadlock cycle."""
+
+    def __init__(self, txn_name: str, cycle: tuple[str, ...]) -> None:
+        cycle_text = " -> ".join(cycle)
+        super().__init__(txn_name, f"deadlock cycle {cycle_text}")
+        self.cycle = cycle
+
+
+class SubtransactionRestart(BaseException):
+    """Internal control-flow signal: roll back and retry one subtransaction.
+
+    Raised into a transaction's coroutine when a deadlock cycle can be
+    broken by restarting the victim's innermost active subtransaction
+    instead of aborting the whole transaction (the standard multilevel
+    transaction technique; cf. the paper's references [HW91, Wei91]).
+    Derives from :class:`BaseException` so that application-level
+    ``except Exception`` handlers in method bodies cannot swallow it;
+    the kernel catches it at the owning subtransaction's frame.
+    """
+
+    def __init__(self, node) -> None:
+        super().__init__(f"restart subtransaction {getattr(node, 'node_id', node)!r}")
+        self.node = node
+
+
+class ProtocolViolation(ReproError):
+    """Internal invariant of a concurrency control protocol was broken.
+
+    Seeing this exception indicates a bug in a protocol implementation,
+    not a recoverable runtime condition.
+    """
+
+
+class CompensationError(TransactionError):
+    """A committed subtransaction could not be compensated during abort."""
+
+
+class RuntimeEngineError(ReproError):
+    """The execution runtime reached an inconsistent state.
+
+    For example: all tasks are blocked but no deadlock cycle exists, or a
+    coroutine awaited a foreign awaitable the scheduler cannot service.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

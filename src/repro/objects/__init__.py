@@ -1,0 +1,30 @@
+"""Object model substrate.
+
+Implements the paper's "object structure graph model as a lowest common
+denominator" (Section 2.1): atomic objects, tuple objects, keyed set
+objects, and encapsulated abstract-data-type objects, arranged in a
+*disjoint* composition hierarchy rooted at a :class:`Database`.
+"""
+
+from repro.objects.oid import Oid
+from repro.objects.base import DatabaseObject
+from repro.objects.atoms import AtomicObject
+from repro.objects.tuples import TupleObject
+from repro.objects.sets import SetObject
+from repro.objects.encapsulated import EncapsulatedObject, MethodSpec, TypeSpec
+from repro.objects.database import Database
+from repro.objects.schema import SchemaGraph, describe_database
+
+__all__ = [
+    "Oid",
+    "DatabaseObject",
+    "AtomicObject",
+    "TupleObject",
+    "SetObject",
+    "EncapsulatedObject",
+    "MethodSpec",
+    "TypeSpec",
+    "Database",
+    "SchemaGraph",
+    "describe_database",
+]

@@ -1,0 +1,36 @@
+"""Atomic objects.
+
+An atomic object holds a single Python value and supports the two generic
+operations of the paper: ``Get`` (read the value) and ``Put`` (replace the
+value).  The methods here are *raw*, unsynchronized accessors; all
+synchronized access goes through the kernel, which acquires the
+appropriate locks and records undo information before calling them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.objects.base import DatabaseObject
+from repro.objects.oid import Oid
+
+ATOM_TYPE_NAME = "Atom"
+
+
+class AtomicObject(DatabaseObject):
+    """Leaf of the composition tree: a named, mutable value."""
+
+    def __init__(self, oid: Oid, name: str, value: Any = None) -> None:
+        super().__init__(oid, name)
+        self._value = value
+
+    def raw_get(self) -> Any:
+        """Unsynchronized read (kernel use only)."""
+        return self._value
+
+    def raw_put(self, value: Any) -> None:
+        """Unsynchronized write (kernel use only)."""
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"<Atom {self.oid} {self.name!r}={self._value!r}>"

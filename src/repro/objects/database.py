@@ -1,0 +1,123 @@
+"""The database root object and object factory.
+
+A :class:`Database` is the root of the composition tree (the paper's
+object ``DB``), the registry resolving OIDs to live objects, and the
+factory through which all objects are created — creation assigns OIDs
+from a deterministic generator and backs stateful objects with storage
+records, so identical construction sequences produce identical databases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import UnknownObjectError
+from repro.objects.atoms import ATOM_TYPE_NAME, AtomicObject
+from repro.objects.base import DatabaseObject
+from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
+from repro.objects.oid import Oid
+from repro.objects.sets import SetObject
+from repro.objects.tuples import TupleObject, TUPLE_TYPE_NAME
+from repro.semantics.compatibility import CompatibilityMatrix
+from repro.semantics.generic import DATABASE_TYPE_NAME, SET_TYPE_NAME, generic_matrix_for
+from repro.storage.manager import StorageManager
+from repro.util.ids import IdGenerator
+
+
+class Database(DatabaseObject):
+    """Root object, object registry, and object factory."""
+
+    def __init__(self, name: str = "DB", records_per_page: int = 8) -> None:
+        self._ids = IdGenerator()
+        super().__init__(self._new_oid(DATABASE_TYPE_NAME), name)
+        self.storage = StorageManager(records_per_page)
+        self._registry: dict[Oid, DatabaseObject] = {self.oid: self}
+
+    def _new_oid(self, type_name: str) -> Oid:
+        return Oid(type_name, self._ids.next_number("oid"))
+
+    def _register(self, obj: DatabaseObject) -> DatabaseObject:
+        self._registry[obj.oid] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def new_atom(self, name: str, value: Any = None) -> AtomicObject:
+        """Create an atomic object backed by a storage record."""
+        atom = AtomicObject(self._new_oid(ATOM_TYPE_NAME), name, value)
+        self.storage.allocate(atom.oid)
+        self._register(atom)
+        return atom
+
+    def new_tuple(self, name: str) -> TupleObject:
+        """Create an (initially empty) tuple object."""
+        obj = TupleObject(self._new_oid(TUPLE_TYPE_NAME), name)
+        self._register(obj)
+        return obj
+
+    def new_set(self, name: str) -> SetObject:
+        """Create a set object; its membership directory gets a record."""
+        obj = SetObject(self._new_oid(SET_TYPE_NAME), name)
+        self.storage.allocate(obj.oid)
+        self._register(obj)
+        return obj
+
+    def new_encapsulated(self, spec: TypeSpec, name: str) -> EncapsulatedObject:
+        """Create an instance of the encapsulated type *spec*."""
+        obj = EncapsulatedObject(self._new_oid(spec.name), name, spec)
+        self._register(obj)
+        return obj
+
+    def destroy(self, obj: DatabaseObject) -> None:
+        """Drop *obj* (and its records) from the database.
+
+        The object must already be detached from the composition tree.
+        Used by the undo path when rolling back object creation.
+        """
+        for node in obj.subtree():
+            if self.storage.has_record(node.oid):
+                self.storage.release(node.oid)
+            self._registry.pop(node.oid, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def resolve(self, oid: Oid) -> DatabaseObject:
+        """Return the live object with the given OID."""
+        try:
+            return self._registry[oid]
+        except KeyError:
+            raise UnknownObjectError(f"no live object with oid {oid}") from None
+
+    def is_live(self, oid: Oid) -> bool:
+        return oid in self._registry
+
+    @property
+    def object_count(self) -> int:
+        return len(self._registry)
+
+    def matrix_for(self, obj: DatabaseObject) -> Optional[CompatibilityMatrix]:
+        """The compatibility matrix governing actions on *obj*.
+
+        Encapsulated objects use their type's declared matrix; atoms,
+        sets, and the database root use the built-in generic matrices;
+        plain tuples have no synchronized operations and return None.
+        """
+        if isinstance(obj, EncapsulatedObject):
+            return obj.spec.matrix
+        return generic_matrix_for(obj.oid.type_name)
+
+    def matrix_for_oid(self, oid: Oid) -> Optional[CompatibilityMatrix]:
+        return self.matrix_for(self.resolve(oid))
+
+    def composition_parent_map(self) -> dict[Oid, Optional[Oid]]:
+        """Snapshot of the composition tree as an OID parent map.
+
+        The semantic-serializability checker consumes this to decide
+        whether two OIDs belong to disjoint composition subtrees.
+        """
+        parent_of: dict[Oid, Optional[Oid]] = {}
+        for obj in self._registry.values():
+            parent_of[obj.oid] = obj.parent.oid if obj.parent is not None else None
+        return parent_of

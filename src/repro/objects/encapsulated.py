@@ -1,0 +1,175 @@
+"""Encapsulated objects (abstract data types).
+
+An encapsulated object type pairs a set of user-defined methods with a
+compatibility matrix over those methods (Figs. 2 and 3 of the paper).
+Methods are implemented in terms of *other* objects — generic atoms and
+sets, or further encapsulated objects — which is exactly the capability
+(ADTs built from ADTs) that distinguishes this paper from earlier ADT
+concurrency control work.
+
+A method body is an ``async`` function ``(ctx, obj, *args)``: *ctx* is the
+kernel-provided :class:`~repro.core.kernel.TransactionContext` bound to
+the method's subtransaction, through which every access to implementation
+objects is routed (and thereby locked), and *obj* is the encapsulated
+object the method was invoked on.
+
+Methods may register an *inverse*: a function mapping the method's result
+and arguments to a compensating invocation.  Inverses are what make the
+early ("open") commit of subtransactions recoverable — an aborting
+transaction compensates its committed subtransactions instead of
+physically restoring state (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import SchemaError, UnknownOperationError
+from repro.objects.base import DatabaseObject
+from repro.objects.oid import Oid
+from repro.semantics.compatibility import CompatibilityMatrix
+
+MethodBody = Callable[..., Awaitable[Any]]
+InverseFn = Callable[[Any, tuple[Any, ...]], Optional[tuple[str, tuple[Any, ...]]]]
+
+
+@dataclass
+class MethodSpec:
+    """Definition of one method of an encapsulated type.
+
+    Attributes:
+        name: Method name as it appears in the compatibility matrix.
+        body: ``async (ctx, obj, *args) -> result`` implementation.
+        readonly: True if the method never modifies state (no inverse
+            needed on abort; read/write baselines lock it in R mode).
+        inverse: Optional ``(result, args) -> (op_name, args) | None``
+            producing the compensating invocation, or None for methods
+            that cannot be compensated (aborting past them fails).
+        internal: True for operations that exist only as compensations
+            (hidden from the public Fig. 2/3 style tables).
+    """
+
+    name: str
+    body: MethodBody
+    readonly: bool = False
+    inverse: Optional[InverseFn] = None
+    internal: bool = False
+
+
+class TypeSpec:
+    """An encapsulated object type: methods plus compatibility matrix."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.methods: dict[str, MethodSpec] = {}
+        self.matrix = CompatibilityMatrix(name)
+
+    def method(
+        self,
+        body: Optional[MethodBody] = None,
+        *,
+        name: Optional[str] = None,
+        readonly: bool = False,
+        inverse: Optional[InverseFn] = None,
+        internal: bool = False,
+    ) -> Callable[[MethodBody], MethodBody] | MethodBody:
+        """Register a method body; usable directly or as a decorator.
+
+        Example::
+
+            @item_type.method(readonly=True)
+            async def TotalPayment(ctx, item):
+                ...
+        """
+        def register(fn: MethodBody) -> MethodBody:
+            method_name = name or fn.__name__
+            if method_name in self.methods:
+                raise SchemaError(f"type {self.name!r} already defines {method_name!r}")
+            self.methods[method_name] = MethodSpec(
+                name=method_name,
+                body=fn,
+                readonly=readonly,
+                inverse=inverse,
+                internal=internal,
+            )
+            self.matrix.add_operation(method_name)
+            return fn
+
+        if body is not None:
+            return register(body)
+        return register
+
+    def method_spec(self, name: str) -> MethodSpec:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise UnknownOperationError(
+                f"type {self.name!r} has no method {name!r}"
+            ) from None
+
+    @property
+    def public_methods(self) -> tuple[str, ...]:
+        """Method names excluding compensation-only internals."""
+        return tuple(n for n, m in self.methods.items() if not m.internal)
+
+    def validate(self) -> None:
+        """Check the type definition is usable.
+
+        Raises:
+            SchemaError: if the compatibility matrix lacks entries for
+                some pair of methods (the library treats missing entries
+                as conflicts at runtime, but a complete matrix is almost
+                always what the type designer intends).
+        """
+        missing = self.matrix.missing_pairs()
+        if missing:
+            raise SchemaError(
+                f"type {self.name!r} has no compatibility entry for pairs: {missing}"
+            )
+        for spec in self.methods.values():
+            if spec.readonly and spec.inverse is not None:
+                raise SchemaError(
+                    f"method {self.name}.{spec.name} is readonly but has an inverse"
+                )
+
+    def __repr__(self) -> str:
+        return f"<TypeSpec {self.name} methods={list(self.methods)}>"
+
+
+class EncapsulatedObject(DatabaseObject):
+    """An instance of a :class:`TypeSpec`.
+
+    The object's state lives in its *implementation object* (usually a
+    tuple of atoms and sets) attached as a composition child.  Invoking a
+    method on the encapsulated object is a synchronized action; touching
+    the implementation objects directly is possible too — that is the
+    "bypassing of encapsulation" the paper's protocol is built to handle.
+    """
+
+    def __init__(self, oid: Oid, name: str, spec: TypeSpec) -> None:
+        super().__init__(oid, name)
+        self.spec = spec
+        self._impl: Optional[DatabaseObject] = None
+
+    @property
+    def impl(self) -> DatabaseObject:
+        """The implementation object (raises if not yet set)."""
+        if self._impl is None:
+            raise SchemaError(f"{self.oid} has no implementation object")
+        return self._impl
+
+    def set_implementation(self, impl: DatabaseObject) -> DatabaseObject:
+        if self._impl is not None:
+            raise SchemaError(f"{self.oid} already has an implementation object")
+        self.attach_child(impl)
+        self._impl = impl
+        return impl
+
+    def impl_component(self, label: str) -> DatabaseObject:
+        """Navigate to a named component of a tuple implementation."""
+        impl = self.impl
+        component = getattr(impl, "component", None)
+        if component is None:
+            raise SchemaError(f"{self.oid} implementation is not a tuple object")
+        return component(label)

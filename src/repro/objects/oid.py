@@ -1,0 +1,29 @@
+"""Object identifiers.
+
+Every database object carries a unique, immutable :class:`Oid`.  OIDs are
+the keys of the lock table and of the history's composition map, so they
+must be hashable and cheap to compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Oid:
+    """Unique identifier of a database object.
+
+    Attributes:
+        type_name: The object's type label, e.g. ``"Item"`` or ``"Atom"``.
+        number: Dense per-database serial number (unique across all types).
+    """
+
+    type_name: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.type_name}#{self.number}"
+
+    def __repr__(self) -> str:
+        return f"Oid({self.type_name}#{self.number})"

@@ -1,0 +1,130 @@
+"""Object schema graphs (Fig. 1 of the paper).
+
+A :class:`SchemaGraph` is a lightweight description of how object types
+compose: which type contains which, through tuple components, set
+membership, or encapsulation.  :func:`describe_database` derives the
+graph from a live database by walking its composition tree and merging
+structurally identical siblings, reproducing Fig. 1 from the constructed
+order-entry database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objects.atoms import AtomicObject
+from repro.objects.base import DatabaseObject
+from repro.objects.database import Database
+from repro.objects.encapsulated import EncapsulatedObject
+from repro.objects.sets import SetObject
+from repro.objects.tuples import TupleObject
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """A composition edge between two schema nodes."""
+
+    parent: str
+    child: str
+    kind: str  # "component", "member", "implementation"
+    label: str = ""
+
+
+@dataclass
+class SchemaGraph:
+    """Nodes are type labels; edges describe composition."""
+
+    nodes: dict[str, str] = field(default_factory=dict)  # label -> kind
+    edges: list[SchemaEdge] = field(default_factory=list)
+
+    def add_node(self, label: str, kind: str) -> None:
+        self.nodes.setdefault(label, kind)
+
+    def add_edge(self, parent: str, child: str, kind: str, label: str = "") -> None:
+        edge = SchemaEdge(parent, child, kind, label)
+        if edge not in self.edges:
+            self.edges.append(edge)
+
+    def children_of(self, label: str) -> list[SchemaEdge]:
+        return [e for e in self.edges if e.parent == label]
+
+    def format_tree(self, root: str) -> str:
+        """Indented rendering rooted at *root* (Fig. 1 style)."""
+        lines: list[str] = []
+
+        def walk(label: str, depth: int, via: str) -> None:
+            kind = self.nodes.get(label, "?")
+            prefix = "  " * depth
+            note = f" [{via}]" if via else ""
+            lines.append(f"{prefix}{label} : {kind}{note}")
+            for edge in self.children_of(label):
+                walk(edge.child, depth + 1, edge.label or edge.kind)
+
+        walk(root, 0, "")
+        return "\n".join(lines)
+
+
+def _node_kind(obj: DatabaseObject) -> str:
+    if isinstance(obj, Database):
+        return "Database"
+    if isinstance(obj, EncapsulatedObject):
+        return f"Encapsulated({obj.spec.name})"
+    if isinstance(obj, SetObject):
+        return "Set"
+    if isinstance(obj, TupleObject):
+        return "Tuple"
+    if isinstance(obj, AtomicObject):
+        return "Atom"
+    return type(obj).__name__
+
+
+def _type_label(obj: DatabaseObject) -> str:
+    if isinstance(obj, Database):
+        return obj.name
+    if isinstance(obj, EncapsulatedObject):
+        return obj.spec.name
+    if isinstance(obj, (SetObject, TupleObject)):
+        return obj.name.rstrip("0123456789-_") or obj.name
+    if isinstance(obj, AtomicObject):
+        return obj.name.rstrip("0123456789-_") or obj.name
+    return obj.name
+
+
+def describe_database(db: Database) -> SchemaGraph:
+    """Derive the type-level schema graph from a live database.
+
+    Structurally identical siblings (e.g. every ``Item`` under ``Items``)
+    collapse to one schema node, so the graph shows types, not instances.
+    """
+    graph = SchemaGraph()
+    graph.add_node(db.name, _node_kind(db))
+
+    def walk(obj: DatabaseObject, parent_label: str) -> None:
+        if isinstance(obj, TupleObject):
+            for label in obj.component_labels:
+                child = obj.component(label)
+                child_label = _type_label(child)
+                graph.add_node(child_label, _node_kind(child))
+                graph.add_edge(parent_label, child_label, "component", label)
+                walk(child, child_label)
+        elif isinstance(obj, SetObject):
+            for __, member in obj.raw_scan():
+                member_label = _type_label(member)
+                graph.add_node(member_label, _node_kind(member))
+                graph.add_edge(parent_label, member_label, "member", "set of")
+                walk(member, member_label)
+        elif isinstance(obj, EncapsulatedObject):
+            impl = obj.impl
+            impl_label = _type_label(impl)
+            graph.add_node(impl_label, _node_kind(impl))
+            graph.add_edge(parent_label, impl_label, "implementation", "impl")
+            walk(impl, impl_label)
+        else:
+            for child in obj.children:
+                child_label = _type_label(child)
+                graph.add_node(child_label, _node_kind(child))
+                graph.add_edge(parent_label, child_label, "component", child.name)
+                walk(child, child_label)
+
+    walk(db, db.name)
+    return graph

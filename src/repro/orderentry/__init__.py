@@ -1,0 +1,43 @@
+"""The paper's running example: a simplified order-entry application.
+
+Section 2 of the paper (cf. TPC-C's order-entry scenario): a database of
+items, each with a set of orders; encapsulated types ``Item`` (methods
+``NewOrder``, ``ShipOrder``, ``PayOrder``, ``TotalPayment``) and
+``Order`` (``ChangeStatus``, ``TestStatus``), with the compatibility
+matrices of Figs. 2 and 3; transaction types T1–T5; and a configurable
+workload generator for the performance study.
+"""
+
+from repro.orderentry.schema import (
+    ITEM_TYPE,
+    ORDER_TYPE,
+    OrderEntryDatabase,
+    build_order_entry_database,
+)
+from repro.orderentry.models import ItemModel, OrderModel
+from repro.orderentry.transactions import (
+    make_t1,
+    make_t2,
+    make_t3,
+    make_t4,
+    make_t5,
+    make_new_order_txn,
+)
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+__all__ = [
+    "ITEM_TYPE",
+    "ORDER_TYPE",
+    "OrderEntryDatabase",
+    "build_order_entry_database",
+    "ItemModel",
+    "OrderModel",
+    "make_t1",
+    "make_t2",
+    "make_t3",
+    "make_t4",
+    "make_t5",
+    "make_new_order_txn",
+    "OrderEntryWorkload",
+    "WorkloadConfig",
+]

@@ -1,0 +1,136 @@
+"""Behavioural state models of the order-entry types.
+
+These models feed the commutativity deriver
+(:mod:`repro.semantics.derive`): they re-derive the Fig. 2 / Fig. 3
+compatibility matrices from the paper's behavioural definition of
+commutativity, and the F2/F3 experiments cross-check the declared
+matrices against them (declared ``ok`` must never contradict the model).
+
+Modelling note — surrogate order numbers.  The paper's Enqueue argument
+treats ``NewOrder``/``NewOrder`` as compatible because the insertion
+order of system-generated orders is unobservable.  The model encodes
+that idealisation: an invocation's order key is a surrogate derived
+from a per-invocation seed, and ``NewOrder`` returns ``"ok"`` rather
+than the key, so executions differing only in surrogate assignment are
+behaviourally equal.  (The executable implementation draws real order
+numbers from a counter atom; the resulting low-level conflict is
+serialised by leaf locks and relieved by the protocol's case-2 rule —
+see ``repro.orderentry.schema``.)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.orderentry.schema import PAID, SHIPPED
+from repro.semantics.derive import StateModel
+from repro.semantics.invocation import Invocation
+
+# An order in the Item model: (key, customer, quantity, events frozenset)
+_Order = tuple[Any, int, int, frozenset]
+
+
+class OrderModel(StateModel):
+    """State = the frozenset of events that have occurred (Fig. 3)."""
+
+    type_name = "Order"
+
+    def operations(self) -> list[str]:
+        return ["ChangeStatus", "TestStatus", "RemoveStatus"]
+
+    def sample_states(self) -> list[frozenset]:
+        return [
+            frozenset(),
+            frozenset({SHIPPED}),
+            frozenset({PAID}),
+            frozenset({SHIPPED, PAID}),
+        ]
+
+    def sample_invocations(self, operation: str) -> list[Invocation]:
+        return [Invocation(operation, (SHIPPED,)), Invocation(operation, (PAID,))]
+
+    def apply(self, state: frozenset, invocation: Invocation) -> tuple[frozenset, Any]:
+        event = invocation.arg(0)
+        if invocation.operation == "ChangeStatus":
+            return state | {event}, None
+        if invocation.operation == "TestStatus":
+            return state, event in state
+        if invocation.operation == "RemoveStatus":
+            return state - {event}, None
+        raise ValueError(f"unknown operation {invocation.operation!r}")
+
+    def observers(self) -> list[Invocation]:
+        return [Invocation("TestStatus", (SHIPPED,)), Invocation("TestStatus", (PAID,))]
+
+
+class ItemModel(StateModel):
+    """State = (price, quantity-on-hand, orders) for the Fig. 2 check."""
+
+    type_name = "Item"
+
+    PRICE = 10
+
+    def operations(self) -> list[str]:
+        return ["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"]
+
+    def sample_states(self) -> list[tuple]:
+        def order(key: Any, qty: int, *events: str) -> _Order:
+            return (key, 100, qty, frozenset(events))
+
+        return [
+            (self.PRICE, 50, frozenset()),
+            (self.PRICE, 50, frozenset({order(1, 3)})),
+            (self.PRICE, 50, frozenset({order(1, 3), order(2, 5, PAID)})),
+            (self.PRICE, 50, frozenset({order(1, 3, SHIPPED), order(2, 5, SHIPPED, PAID)})),
+        ]
+
+    def sample_invocations(self, operation: str) -> list[Invocation]:
+        if operation == "NewOrder":
+            # (customer, quantity, surrogate seed)
+            return [Invocation("NewOrder", (7, 4, "a")), Invocation("NewOrder", (8, 2, "b"))]
+        if operation in ("ShipOrder", "PayOrder"):
+            # Existing keys, a missing key, and the surrogate a NewOrder
+            # sample would create — the pair that exposes the New/Ship
+            # and New/Pay order-dependence.
+            return [
+                Invocation(operation, (1,)),
+                Invocation(operation, (2,)),
+                Invocation(operation, (("a", 0),)),
+            ]
+        if operation == "TotalPayment":
+            return [Invocation("TotalPayment", ())]
+        raise ValueError(f"unknown operation {operation!r}")
+
+    def apply(self, state: tuple, invocation: Invocation) -> tuple[tuple, Any]:
+        price, qoh, orders = state
+        op = invocation.operation
+        if op == "NewOrder":
+            customer, quantity, seed = invocation.args
+            suffix = sum(1 for (key, *__) in orders if isinstance(key, tuple) and key[0] == seed)
+            key = (seed, suffix)
+            new_order: _Order = (key, customer, quantity, frozenset())
+            return (price, qoh, orders | {new_order}), "ok"
+        if op in ("ShipOrder", "PayOrder"):
+            key = invocation.arg(0)
+            match = next((o for o in orders if o[0] == key), None)
+            if match is None:
+                return state, "no-such-order"
+            event = SHIPPED if op == "ShipOrder" else PAID
+            updated: _Order = (match[0], match[1], match[2], match[3] | {event})
+            new_orders = (orders - {match}) | {updated}
+            new_qoh = qoh - match[2] if op == "ShipOrder" else qoh
+            return (price, new_qoh, new_orders), "shipped" if op == "ShipOrder" else "paid"
+        if op == "TotalPayment":
+            total = sum(qty * price for (__, ___, qty, events) in orders if PAID in events)
+            return state, total
+        raise ValueError(f"unknown operation {op!r}")
+
+    def observers(self) -> list[Invocation]:
+        # TotalPayment is the only read-only Item method; probing with
+        # Ship/Pay return values catches membership differences too.
+        return [
+            Invocation("TotalPayment", ()),
+            Invocation("ShipOrder", (1,)),
+            Invocation("PayOrder", (2,)),
+            Invocation("ShipOrder", (("a", 0),)),
+        ]

@@ -1,0 +1,470 @@
+"""Order-entry schema: the types, methods, and matrices of Section 2.
+
+Object structure (Fig. 1)::
+
+    DB
+    +- Items : Set of Item
+         +- Item (encapsulated)
+              +- impl : Tuple
+                   +- ItemNo, Price, QOH, NextOrderNo : Atom
+                   +- Orders : Set of Order
+                        +- Order (encapsulated)
+                             +- impl : Tuple
+                                  +- OrderNo, CustomerNo, Quantity : Atom
+                                  +- Status : Atom (EventMultiset of events)
+
+An order's status is the *set* of events that have occurred ("new" =
+empty set, then "shipped", "paid", "shipped&paid" — Section 2.2);
+``ChangeStatus`` adds an event to the set and deliberately forgets
+ordering, which is what makes it commute with itself (Fig. 3).
+
+**Fig. 2 reconstruction.**  The OCR of the paper's Item matrix is partly
+garbled; the entries below follow the paper's explicit statements plus
+behavioural commutativity (mechanically cross-checked by the F2 bench
+against :class:`repro.orderentry.models.ItemModel`):
+
+* ``ShipOrder``/``PayOrder`` are compatible (stated in Section 2.2);
+* ``NewOrder``/``NewOrder`` is compatible — the Enqueue argument:
+  order numbers are system-generated surrogates whose particular values
+  are not semantically meaningful;
+* ``NewOrder`` conflicts with ``ShipOrder``/``PayOrder`` (shipping or
+  paying an order behaves differently before vs. after it exists —
+  state-independent commutativity must assume the worst);
+* ``ShipOrder``/``ShipOrder`` and ``PayOrder``/``PayOrder`` are
+  parameter-dependent: compatible iff they name different orders
+  ("taking into account the actual input parameters");
+* ``TotalPayment`` reads only *paid* orders' values, so it conflicts
+  with ``PayOrder`` but commutes with ``NewOrder`` (new orders are
+  unpaid) and ``ShipOrder`` (shipping does not change paid totals).
+
+**Bypassing, by design.**  ``TotalPayment`` reads each order's status
+atom *directly*, bypassing the ``Order`` encapsulation — footnote 4 of
+the paper stipulates exactly this implementation, and it is what makes
+the Fig. 7 scenario arise.
+
+**Compensation.**  Every update method registers an inverse
+(``NewOrder``→``CancelOrder``, ``ShipOrder``→``UnshipOrder``,
+``PayOrder``→``UnpayOrder``, ``ChangeStatus``→``RemoveStatus``); the
+inverses are internal methods with their own (conservative) matrix
+entries, since compensating subtransactions run under the same
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.objects.atoms import AtomicObject
+from repro.objects.database import Database
+from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
+from repro.objects.sets import SetObject
+
+SHIPPED = "shipped"
+PAID = "paid"
+
+NO_SUCH_ORDER = "no-such-order"
+
+
+@dataclass(frozen=True)
+class EventMultiset:
+    """An order's status: events with multiplicities.
+
+    The paper describes the status as a *set* of events whose insertion
+    order is forgotten (that is what makes ``ChangeStatus`` commute with
+    itself).  Plain sets, however, make ``RemoveStatus`` an inexact
+    inverse: if two transactions both record ``paid`` and one later
+    compensates, set-removal would erase the surviving transaction's
+    event too.  Counting multiplicities — the standard escrow-style
+    remedy — keeps ``ChangeStatus`` self-commutative *and* makes the
+    compensation exact, while the observable behaviour (``TestStatus``
+    checks presence) is unchanged.
+    """
+
+    counts: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def of(cls, *events: str) -> "EventMultiset":
+        result = cls()
+        for event in events:
+            result = result.add(event)
+        return result
+
+    def _as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def add(self, event: str) -> "EventMultiset":
+        counts = self._as_dict()
+        counts[event] = counts.get(event, 0) + 1
+        return EventMultiset(tuple(sorted(counts.items())))
+
+    def remove(self, event: str) -> "EventMultiset":
+        """Decrement the event's count (no-op at zero: idempotent)."""
+        counts = self._as_dict()
+        if counts.get(event, 0) <= 1:
+            counts.pop(event, None)
+        else:
+            counts[event] -= 1
+        return EventMultiset(tuple(sorted(counts.items())))
+
+    def count(self, event: str) -> int:
+        return self._as_dict().get(event, 0)
+
+    def __contains__(self, event: str) -> bool:
+        return self.count(event) > 0
+
+    def __iter__(self):
+        """Iterate the observable events (each once, sorted)."""
+        return iter(sorted(self.events))
+
+    @property
+    def events(self) -> frozenset[str]:
+        """The observable event set (what ``TestStatus`` sees)."""
+        return frozenset(event for event, count in self.counts if count > 0)
+
+    def __repr__(self) -> str:
+        if not self.counts:
+            return "status<new>"
+        inner = ",".join(
+            event if count == 1 else f"{event}x{count}" for event, count in self.counts
+        )
+        return f"status<{inner}>"
+
+
+NEW_STATUS = EventMultiset()
+
+
+def render_status(status: "EventMultiset | frozenset[str]") -> str:
+    """The paper's status names: new / shipped / paid / shipped&paid."""
+    events = status.events if isinstance(status, EventMultiset) else frozenset(status)
+    if not events:
+        return "new"
+    return "&".join(sorted(events))
+
+
+# ---------------------------------------------------------------------------
+# Order type (Fig. 3)
+# ---------------------------------------------------------------------------
+ORDER_TYPE = TypeSpec("Order")
+
+
+@ORDER_TYPE.method(inverse=lambda result, args: ("RemoveStatus", (args[0],)))
+async def ChangeStatus(ctx, order, event):
+    """Record that *event* (shipped / paid) has occurred for the order."""
+    status = order.impl_component("Status")
+    events = await ctx.get(status)
+    await ctx.put(status, events.add(event))
+    return None
+
+
+@ORDER_TYPE.method(readonly=True)
+async def TestStatus(ctx, order, event):
+    """True iff *event* has already occurred."""
+    status = order.impl_component("Status")
+    events = await ctx.get(status)
+    return event in events
+
+
+@ORDER_TYPE.method(internal=True)
+async def RemoveStatus(ctx, order, event):
+    """Compensation of :func:`ChangeStatus`: decrement the event's count.
+
+    Exact inverse: if two transactions both recorded the event and one
+    compensates, the survivor's occurrence remains observable.
+    """
+    status = order.impl_component("Status")
+    events = await ctx.get(status)
+    await ctx.put(status, events.remove(event))
+    return None
+
+
+def _build_order_matrix() -> None:
+    matrix = ORDER_TYPE.matrix
+
+    def distinct_event(a, b):
+        return a.arg(0) != b.arg(0)
+
+    matrix.allow("ChangeStatus", "ChangeStatus")  # event-set insertion commutes
+    matrix.allow_if("ChangeStatus", "TestStatus", distinct_event, "ok iff events differ")
+    matrix.allow("TestStatus", "TestStatus")
+    matrix.allow_if("RemoveStatus", "ChangeStatus", distinct_event, "ok iff events differ")
+    matrix.allow_if("RemoveStatus", "TestStatus", distinct_event, "ok iff events differ")
+    # Removing the same event twice is idempotent in both orders.
+    matrix.allow("RemoveStatus", "RemoveStatus")
+
+
+_build_order_matrix()
+ORDER_TYPE.validate()
+
+
+# ---------------------------------------------------------------------------
+# Item type (Fig. 2)
+# ---------------------------------------------------------------------------
+ITEM_TYPE = TypeSpec("Item")
+
+
+@ITEM_TYPE.method(inverse=lambda result, args: ("CancelOrder", (result,)))
+async def NewOrder(ctx, item, customer_no, quantity):
+    """Enter a new order for the item; returns the new OrderNo.
+
+    Order numbers come from the item's ``NextOrderNo`` counter atom.
+    The counter read-modify-write serialises concurrent ``NewOrder``
+    subtransactions at the leaf level, but the retained ``Put`` lock is
+    relieved through the commuting ``NewOrder`` ancestors (the paper's
+    case 1/2), so a second ``NewOrder`` waits at most for the first
+    *subtransaction* commit — not the whole transaction.
+    """
+    counter = item.impl_component("NextOrderNo")
+    order_no = await ctx.get(counter) + 1
+    await ctx.put(counter, order_no)
+
+    order = ctx.create_encapsulated(ORDER_TYPE, f"o{order_no}")
+    impl = ctx.create_tuple(f"order-tuple-{order_no}")
+    impl.add_component("OrderNo", ctx.create_atom("OrderNo", order_no))
+    impl.add_component("CustomerNo", ctx.create_atom("CustomerNo", customer_no))
+    impl.add_component("Quantity", ctx.create_atom("Quantity", quantity))
+    impl.add_component("Status", ctx.create_atom("Status", NEW_STATUS))
+    order.set_implementation(impl)
+
+    orders = item.impl_component("Orders")
+    await ctx.insert(orders, order_no, order)
+    return order_no
+
+
+@ITEM_TYPE.method(inverse=lambda result, args: None if result == NO_SUCH_ORDER else ("UnshipOrder", (args[0],)))
+async def ShipOrder(ctx, item, order_no):
+    """Ship the order: update Quantity-on-hand, mark the order shipped."""
+    orders = item.impl_component("Orders")
+    order = await ctx.select(orders, order_no)
+    if order is None:
+        return NO_SUCH_ORDER
+    quantity = await ctx.get(order.impl_component("Quantity"))
+    qoh = item.impl_component("QOH")
+    on_hand = await ctx.get(qoh)
+    await ctx.put(qoh, on_hand - quantity)
+    await ctx.call(order, "ChangeStatus", SHIPPED)
+    return "shipped"
+
+
+@ITEM_TYPE.method(inverse=lambda result, args: None if result == NO_SUCH_ORDER else ("UnpayOrder", (args[0],)))
+async def PayOrder(ctx, item, order_no):
+    """Record the customer's payment for the order."""
+    orders = item.impl_component("Orders")
+    order = await ctx.select(orders, order_no)
+    if order is None:
+        return NO_SUCH_ORDER
+    await ctx.call(order, "ChangeStatus", PAID)
+    return "paid"
+
+
+@ITEM_TYPE.method(readonly=True)
+async def TotalPayment(ctx, item):
+    """Total value (Price * Quantity) of the orders already paid.
+
+    Deliberately bypasses the ``Order`` encapsulation by reading each
+    order's status atom directly (footnote 4 of the paper: implemented
+    before ``TestStatus`` was added, or for efficiency).
+    """
+    price = await ctx.get(item.impl_component("Price"))
+    orders = item.impl_component("Orders")
+    total = 0
+    for __, order in await ctx.scan(orders):
+        events = await ctx.get(order.impl_component("Status"))  # bypass
+        if PAID in events:
+            quantity = await ctx.get(order.impl_component("Quantity"))
+            total += price * quantity
+    return total
+
+
+@ITEM_TYPE.method(internal=True)
+async def CancelOrder(ctx, item, order_no):
+    """Compensation of :func:`NewOrder`: drop the order again."""
+    orders = item.impl_component("Orders")
+    await ctx.remove(orders, order_no)
+    return None
+
+
+@ITEM_TYPE.method(internal=True)
+async def UnshipOrder(ctx, item, order_no):
+    """Compensation of :func:`ShipOrder`: restore QOH, forget 'shipped'."""
+    orders = item.impl_component("Orders")
+    order = await ctx.select(orders, order_no)
+    if order is None:
+        return NO_SUCH_ORDER
+    quantity = await ctx.get(order.impl_component("Quantity"))
+    qoh = item.impl_component("QOH")
+    on_hand = await ctx.get(qoh)
+    await ctx.put(qoh, on_hand + quantity)
+    await ctx.call(order, "RemoveStatus", SHIPPED)
+    return None
+
+
+@ITEM_TYPE.method(internal=True)
+async def UnpayOrder(ctx, item, order_no):
+    """Compensation of :func:`PayOrder`: forget 'paid'."""
+    orders = item.impl_component("Orders")
+    order = await ctx.select(orders, order_no)
+    if order is None:
+        return NO_SUCH_ORDER
+    await ctx.call(order, "RemoveStatus", PAID)
+    return None
+
+
+def _build_item_matrix() -> None:
+    matrix = ITEM_TYPE.matrix
+    distinct = matrix.allow_if_distinct_arg  # compatible iff order_no differs
+
+    # --- public x public (the Fig. 2 reconstruction) ---
+    matrix.allow("NewOrder", "NewOrder")
+    matrix.conflict("NewOrder", "ShipOrder")
+    matrix.conflict("NewOrder", "PayOrder")
+    matrix.allow("NewOrder", "TotalPayment")
+    distinct("ShipOrder", "ShipOrder")
+    matrix.allow("ShipOrder", "PayOrder")  # stated explicitly in the paper
+    matrix.allow("ShipOrder", "TotalPayment")
+    distinct("PayOrder", "PayOrder")
+    matrix.conflict("PayOrder", "TotalPayment")
+    matrix.allow("TotalPayment", "TotalPayment")
+
+    # --- compensations (internal, conservative where in doubt) ---
+    matrix.allow("CancelOrder", "NewOrder")  # new keys are always fresh
+    distinct("CancelOrder", "ShipOrder")
+    distinct("CancelOrder", "PayOrder")
+    matrix.conflict("CancelOrder", "TotalPayment")
+    distinct("CancelOrder", "CancelOrder")
+
+    matrix.conflict("UnshipOrder", "NewOrder")
+    distinct("UnshipOrder", "ShipOrder")
+    matrix.allow("UnshipOrder", "PayOrder")
+    matrix.allow("UnshipOrder", "TotalPayment")
+    distinct("UnshipOrder", "CancelOrder")
+    distinct("UnshipOrder", "UnshipOrder")
+
+    matrix.conflict("UnpayOrder", "NewOrder")
+    matrix.allow("UnpayOrder", "ShipOrder")
+    distinct("UnpayOrder", "PayOrder")
+    matrix.conflict("UnpayOrder", "TotalPayment")
+    distinct("UnpayOrder", "CancelOrder")
+    matrix.allow("UnpayOrder", "UnshipOrder")
+    distinct("UnpayOrder", "UnpayOrder")
+
+
+_build_item_matrix()
+ITEM_TYPE.validate()
+
+
+# ---------------------------------------------------------------------------
+# Database construction
+# ---------------------------------------------------------------------------
+@dataclass
+class OrderEntryDatabase:
+    """A constructed order-entry database plus convenient handles."""
+
+    db: Database
+    items_set: SetObject
+    items: list[EncapsulatedObject] = field(default_factory=list)
+    # orders[item_index] -> list of (order_no, Order object)
+    orders: list[list[tuple[int, EncapsulatedObject]]] = field(default_factory=list)
+
+    def item(self, index: int) -> EncapsulatedObject:
+        return self.items[index]
+
+    def order(self, item_index: int, order_index: int) -> EncapsulatedObject:
+        return self.orders[item_index][order_index][1]
+
+    def order_no(self, item_index: int, order_index: int) -> int:
+        return self.orders[item_index][order_index][0]
+
+    def status_atom(self, item_index: int, order_index: int) -> AtomicObject:
+        """Direct handle to an order's status atom (for bypass demos)."""
+        order = self.order(item_index, order_index)
+        atom = order.impl_component("Status")
+        assert isinstance(atom, AtomicObject)
+        return atom
+
+
+def make_param_blind_item_type() -> TypeSpec:
+    """An ``Item`` variant whose matrix ignores actual parameters.
+
+    Same method bodies and inverses as :data:`ITEM_TYPE`, but every
+    parameter-dependent cell (e.g. two ``ShipOrder`` calls commute iff
+    they name different orders) is flattened to a plain ``conflict``.
+    This is the A2 ablation: what the paper's "taking into account the
+    actual input parameters" buys.
+    """
+    blind = TypeSpec("Item")
+    for name, spec in ITEM_TYPE.methods.items():
+        blind.methods[name] = spec
+        blind.matrix.add_operation(name)
+    for held in blind.matrix.operations:
+        for requested in blind.matrix.operations:
+            cell = ITEM_TYPE.matrix.entry(held, requested)
+            if cell is None:
+                continue
+            if cell.predicate is not None:
+                blind.matrix.set_entry(held, requested, value=False, symmetric=False)
+            else:
+                blind.matrix.set_entry(held, requested, value=cell.value, symmetric=False)
+    blind.validate()
+    return blind
+
+
+def build_order_entry_database(
+    n_items: int = 2,
+    orders_per_item: int = 2,
+    price: int = 10,
+    quantity_on_hand: int = 1000,
+    order_quantity: int = 1,
+    initial_events: Optional[frozenset[str]] = None,
+    records_per_page: int = 8,
+    item_type: Optional[TypeSpec] = None,
+    order_type: Optional[TypeSpec] = None,
+) -> OrderEntryDatabase:
+    """Construct the Fig. 1 database, pre-populated with orders.
+
+    Orders are created directly (outside any transaction) so tests and
+    benches start from a known state; their initial status defaults to
+    "new" (no events).  ``item_type`` / ``order_type`` allow matrix
+    variants (ablations) to be swapped in.
+    """
+    db = Database("DB", records_per_page=records_per_page)
+    items_set = db.new_set("Items")
+    db.attach_child(items_set)
+    built = OrderEntryDatabase(db=db, items_set=items_set)
+    item_spec = item_type if item_type is not None else ITEM_TYPE
+    order_spec = order_type if order_type is not None else ORDER_TYPE
+
+    events = (
+        NEW_STATUS if initial_events is None else EventMultiset.of(*initial_events)
+    )
+    for i in range(1, n_items + 1):
+        item = db.new_encapsulated(item_spec, f"i{i}")
+        impl = db.new_tuple(f"item-tuple-{i}")
+        impl.add_component("ItemNo", db.new_atom("ItemNo", i))
+        impl.add_component("Price", db.new_atom("Price", price))
+        impl.add_component("QOH", db.new_atom("QOH", quantity_on_hand))
+        impl.add_component("NextOrderNo", db.new_atom("NextOrderNo", orders_per_item))
+        orders_set = db.new_set("Orders")
+        impl.add_component("Orders", orders_set)
+        item.set_implementation(impl)
+        items_set.raw_insert(i, item)
+
+        item_orders: list[tuple[int, EncapsulatedObject]] = []
+        for o in range(1, orders_per_item + 1):
+            order = db.new_encapsulated(order_spec, f"o{i}.{o}")
+            order_impl = db.new_tuple(f"order-tuple-{i}.{o}")
+            order_impl.add_component("OrderNo", db.new_atom("OrderNo", o))
+            order_impl.add_component("CustomerNo", db.new_atom("CustomerNo", 100 + o))
+            order_impl.add_component("Quantity", db.new_atom("Quantity", order_quantity))
+            order_impl.add_component("Status", db.new_atom("Status", events))
+            order.set_implementation(order_impl)
+            orders_set.raw_insert(o, order)
+            item_orders.append((o, order))
+        built.items.append(item)
+        built.orders.append(item_orders)
+    return built
+
+
+def type_matrices() -> dict[str, Any]:
+    """The order-entry matrices, keyed by type name (checker input)."""
+    return {"Item": ITEM_TYPE.matrix, "Order": ORDER_TYPE.matrix}

@@ -1,0 +1,101 @@
+"""The paper's transaction types T1–T5 (Section 2.3).
+
+Each factory returns an ``async`` transaction program taking a
+:class:`~repro.core.kernel.TransactionContext`.
+
+* T1 — ship two orders for two different items (``ShipOrder`` twice);
+* T2 — record payment of two orders for two different items
+  (``PayOrder`` twice);
+* T3 — check the *shipment* of two orders (``TestStatus`` invoked
+  **directly on the Order objects**, bypassing the Item encapsulation —
+  this is the transaction of Fig. 5);
+* T4 — check the *payment* of two orders, likewise bypassing
+  (Fig. 6);
+* T5 — compute the total payment for an item (``TotalPayment``, whose
+  implementation in turn bypasses the Order encapsulation — Fig. 7).
+
+``make_new_order_txn`` is the natural sixth type (order entry) used by
+the extended performance study.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.kernel import TransactionContext, TransactionProgram
+from repro.objects.encapsulated import EncapsulatedObject
+from repro.orderentry.schema import PAID, SHIPPED
+
+
+def make_t1(
+    item1: EncapsulatedObject,
+    order_no1: int,
+    item2: EncapsulatedObject,
+    order_no2: int,
+) -> TransactionProgram:
+    """T1: ship two orders for two different items to a customer."""
+
+    async def t1(tx: TransactionContext) -> tuple[Any, Any]:
+        first = await tx.call(item1, "ShipOrder", order_no1)
+        second = await tx.call(item2, "ShipOrder", order_no2)
+        return (first, second)
+
+    return t1
+
+
+def make_t2(
+    item1: EncapsulatedObject,
+    order_no1: int,
+    item2: EncapsulatedObject,
+    order_no2: int,
+) -> TransactionProgram:
+    """T2: record a customer's payment of two orders for two items."""
+
+    async def t2(tx: TransactionContext) -> tuple[Any, Any]:
+        first = await tx.call(item1, "PayOrder", order_no1)
+        second = await tx.call(item2, "PayOrder", order_no2)
+        return (first, second)
+
+    return t2
+
+
+def make_t3(order1: EncapsulatedObject, order2: EncapsulatedObject) -> TransactionProgram:
+    """T3: check the shipment of two orders — bypassing the items."""
+
+    async def t3(tx: TransactionContext) -> tuple[bool, bool]:
+        first = await tx.call(order1, "TestStatus", SHIPPED)
+        second = await tx.call(order2, "TestStatus", SHIPPED)
+        return (first, second)
+
+    return t3
+
+
+def make_t4(order1: EncapsulatedObject, order2: EncapsulatedObject) -> TransactionProgram:
+    """T4: check the payment of two orders — bypassing the items."""
+
+    async def t4(tx: TransactionContext) -> tuple[bool, bool]:
+        first = await tx.call(order1, "TestStatus", PAID)
+        second = await tx.call(order2, "TestStatus", PAID)
+        return (first, second)
+
+    return t4
+
+
+def make_t5(item: EncapsulatedObject) -> TransactionProgram:
+    """T5: compute the total payment for an item."""
+
+    async def t5(tx: TransactionContext) -> Any:
+        return await tx.call(item, "TotalPayment")
+
+    return t5
+
+
+def make_new_order_txn(
+    item: EncapsulatedObject, customer_no: int, quantity: int
+) -> TransactionProgram:
+    """Order entry: create one new order for an item."""
+
+    async def new_order(tx: TransactionContext) -> Any:
+        return await tx.call(item, "NewOrder", customer_no, quantity)
+
+    return new_order

@@ -1,0 +1,131 @@
+"""Random order-entry workloads for the performance study.
+
+Generates mixes of the paper's transaction types T1–T5 (plus optional
+order-entry transactions) over a configurable database, with a seeded
+RNG so every run is reproducible.  The *bypass fraction* controls how
+status checks are issued: via direct ``TestStatus`` on Order objects
+(T3/T4 — bypassing the Item encapsulation) versus via the Item-level
+``TotalPayment``; this is the knob of the P3 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.core.kernel import TransactionProgram
+from repro.orderentry.schema import OrderEntryDatabase, build_order_entry_database
+from repro.orderentry.transactions import (
+    make_new_order_txn,
+    make_t1,
+    make_t2,
+    make_t3,
+    make_t4,
+    make_t5,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of the order-entry workload.
+
+    Attributes:
+        n_items: Number of items — the data-contention knob (fewer items
+            means more transactions collide on the same objects).
+        orders_per_item: Pre-populated orders per item.
+        mix: Relative weights of the transaction types T1..T5 (and "T0"
+            for order entry, weight 0 by default).
+        seed: RNG seed; the workload is a pure function of its config.
+    """
+
+    n_items: int = 4
+    orders_per_item: int = 4
+    mix: dict[str, float] = field(
+        default_factory=lambda: {"T1": 1.0, "T2": 1.0, "T3": 1.0, "T4": 1.0, "T5": 1.0}
+    )
+    seed: int = 0
+    price: int = 10
+    quantity_on_hand: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1 or self.orders_per_item < 1:
+            raise WorkloadError("need at least one item and one order per item")
+        if not self.mix or all(w <= 0 for w in self.mix.values()):
+            raise WorkloadError("the transaction mix must have a positive weight")
+        unknown = set(self.mix) - {"T0", "T1", "T2", "T3", "T4", "T5"}
+        if unknown:
+            raise WorkloadError(f"unknown transaction types in mix: {sorted(unknown)}")
+
+
+class OrderEntryWorkload:
+    """A reproducible stream of transaction programs over one database."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config if config is not None else WorkloadConfig()
+        self.built: OrderEntryDatabase = build_order_entry_database(
+            n_items=self.config.n_items,
+            orders_per_item=self.config.orders_per_item,
+            price=self.config.price,
+            quantity_on_hand=self.config.quantity_on_hand,
+        )
+        self._rng = random.Random(self.config.seed)
+        self._types = sorted(t for t, w in self.config.mix.items() if w > 0)
+        self._weights = [self.config.mix[t] for t in self._types]
+        self._counter = 0
+        self._next_customer = 1000
+
+    @property
+    def db(self):
+        return self.built.db
+
+    def _two_distinct_items(self) -> tuple[int, int]:
+        if self.config.n_items == 1:
+            return 0, 0  # degenerate but allowed: maximum contention
+        first, second = self._rng.sample(range(self.config.n_items), 2)
+        return first, second
+
+    def next_transaction(self) -> tuple[str, TransactionProgram]:
+        """Generate the next (name, program) pair of the stream."""
+        kind = self._rng.choices(self._types, weights=self._weights)[0]
+        self._counter += 1
+        name = f"{kind}-{self._counter}"
+        rng = self._rng
+        built = self.built
+
+        if kind == "T0":
+            item_index = rng.randrange(self.config.n_items)
+            self._next_customer += 1
+            program = make_new_order_txn(
+                built.item(item_index), self._next_customer, rng.randint(1, 5)
+            )
+        elif kind in ("T1", "T2"):
+            i1, i2 = self._two_distinct_items()
+            o1 = rng.randrange(self.config.orders_per_item)
+            o2 = rng.randrange(self.config.orders_per_item)
+            factory = make_t1 if kind == "T1" else make_t2
+            program = factory(
+                built.item(i1),
+                built.order_no(i1, o1),
+                built.item(i2),
+                built.order_no(i2, o2),
+            )
+        elif kind in ("T3", "T4"):
+            i1, i2 = self._two_distinct_items()
+            o1 = rng.randrange(self.config.orders_per_item)
+            o2 = rng.randrange(self.config.orders_per_item)
+            factory = make_t3 if kind == "T3" else make_t4
+            program = factory(built.order(i1, o1), built.order(i2, o2))
+        else:  # T5
+            item_index = rng.randrange(self.config.n_items)
+            program = make_t5(built.item(item_index))
+        return name, program
+
+    def take(self, count: int) -> list[tuple[str, TransactionProgram]]:
+        """The next *count* transactions of the stream."""
+        return [self.next_transaction() for __ in range(count)]
+
+    def __iter__(self) -> Iterator[tuple[str, TransactionProgram]]:
+        while True:
+            yield self.next_transaction()

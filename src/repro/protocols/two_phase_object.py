@@ -1,0 +1,40 @@
+"""Object-granularity strict two-phase locking with read/write modes.
+
+The "record-oriented" conventional protocol, lifted to logical objects:
+every action — method invocation or generic operation — locks its target
+object in R or W mode, and all locks are held until top-level commit.
+Method semantics are ignored: a ``ChangeStatus`` is just a W lock, so
+two commuting updates of the same order conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.objects.oid import Oid
+from repro.protocols.base import CCProtocol, LockSpec, rw_compatible, rw_mode_for
+from repro.semantics.invocation import Invocation
+from repro.txn.transaction import TransactionNode
+
+
+class ObjectRW2PLProtocol(CCProtocol):
+    """Strict 2PL, one R/W lock per object touched."""
+
+    name = "object-rw-2pl"
+
+    def lock_specs(self, node: TransactionNode) -> list[LockSpec]:
+        return [LockSpec(node.target, rw_mode_for(node))]
+
+    def test_conflict(
+        self,
+        holder: TransactionNode,
+        holder_invocation: Invocation,
+        requester: TransactionNode,
+        requester_invocation: Invocation,
+        target: Oid,
+    ) -> Optional[TransactionNode]:
+        if rw_compatible(holder_invocation, requester_invocation):
+            return None
+        if holder.same_top_level(requester):
+            return None
+        return holder.root()

@@ -1,0 +1,36 @@
+"""A second application domain: cooperative document publishing.
+
+The paper's introduction motivates OODBSs with CAD, *computer-aided
+publishing*, and office automation (its authors' institute is GMD's
+Integrated Publication and Information Systems Institute, and the
+open-nested transaction model they build on was designed for "an open
+publication environment" [MRKN92]).  This package exercises the library
+on that domain:
+
+* ``Document`` — encapsulated type with sections, methods
+  ``AddSection`` / ``EditSection`` / ``Annotate`` / ``WordCount`` /
+  ``Publish`` and a commutativity matrix where annotations commute with
+  each other and with publishing, while edits conflict per-section;
+* ``Section`` — the nested ADT documents are built from;
+* a workload of authors, annotators, reviewers, and a publisher.
+
+Everything here uses only the public library API — it is the
+"second adopter" proof that nothing in the kernel is order-entry
+specific.
+"""
+
+from repro.publishing.schema import (
+    DOCUMENT_TYPE,
+    SECTION_TYPE,
+    PublishingDatabase,
+    build_publishing_database,
+)
+from repro.publishing.workload import PublishingWorkload
+
+__all__ = [
+    "DOCUMENT_TYPE",
+    "SECTION_TYPE",
+    "PublishingDatabase",
+    "build_publishing_database",
+    "PublishingWorkload",
+]

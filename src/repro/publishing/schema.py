@@ -1,0 +1,335 @@
+"""Document / Section types for the publishing application.
+
+Object structure::
+
+    DB
+    +- Shelf : Set of Document
+         +- Document (encapsulated)
+              +- impl : Tuple
+                   +- Title, Published, NextSectionNo : Atom
+                   +- Sections : Set of Section
+                        +- Section (encapsulated)
+                             +- impl : Tuple
+                                  +- Heading, Body : Atom
+                                  +- Notes : Set of Atom (annotations)
+
+Commutativity design (each cell justified in ``_build_*_matrix``):
+
+* annotations are insertions into a notes set — they commute with each
+  other, with annotations of other sections, with publishing, and with
+  word counting (notes are not body text);
+* section edits conflict per-section ("taking into account the actual
+  input parameters"), and with word counting and publishing;
+* ``WordCount`` deliberately *bypasses* the Section encapsulation and
+  reads body atoms directly — the same footnote-4 pattern as the
+  order-entry ``TotalPayment``, so retained locks and ancestor relief
+  get exercised in this domain too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objects.atoms import AtomicObject
+from repro.objects.database import Database
+from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
+from repro.objects.sets import SetObject
+
+NOT_FOUND = "no-such-section"
+
+# ---------------------------------------------------------------------------
+# Section type
+# ---------------------------------------------------------------------------
+SECTION_TYPE = TypeSpec("Section")
+
+
+@SECTION_TYPE.method(inverse=lambda result, args: ("EditBody", (result,)))
+async def EditBody(ctx, section, text):
+    """Replace the body text; returns the previous text (its own undo)."""
+    body = section.impl_component("Body")
+    previous = await ctx.get(body)
+    await ctx.put(body, text)
+    return previous
+
+
+@SECTION_TYPE.method(inverse=lambda result, args: ("RemoveNote", (args[0],)))
+async def AddNote(ctx, section, note_id, text):
+    """Attach an annotation; notes are an insert-only set."""
+    notes = section.impl_component("Notes")
+    note = ctx.create_atom(f"note-{note_id}", text)
+    await ctx.insert(notes, note_id, note)
+    return note_id
+
+
+@SECTION_TYPE.method(internal=True)
+async def RemoveNote(ctx, section, note_id):
+    """Compensation of :func:`AddNote`."""
+    notes = section.impl_component("Notes")
+    await ctx.remove(notes, note_id)
+    return None
+
+
+@SECTION_TYPE.method(readonly=True)
+async def ReadBody(ctx, section):
+    return await ctx.get(section.impl_component("Body"))
+
+
+def _build_section_matrix() -> None:
+    m = SECTION_TYPE.matrix
+    # Edits overwrite: order matters even for the same text (return
+    # values differ), so EditBody conflicts with itself and with reads.
+    m.conflict("EditBody", "EditBody")
+    m.conflict("EditBody", "ReadBody")
+    # Annotations: keyed inserts with system-assigned ids — they commute
+    # with each other and do not touch the body.
+    m.allow_if_distinct_arg("AddNote", "AddNote")
+    m.allow("AddNote", "EditBody")
+    m.allow("AddNote", "ReadBody")
+    m.allow("ReadBody", "ReadBody")
+    # Compensation cells (conservative where in doubt).
+    m.allow_if_distinct_arg("RemoveNote", "AddNote")
+    m.allow("RemoveNote", "EditBody")
+    m.allow("RemoveNote", "ReadBody")
+    m.allow_if_distinct_arg("RemoveNote", "RemoveNote")
+
+
+_build_section_matrix()
+SECTION_TYPE.validate()
+
+# ---------------------------------------------------------------------------
+# Document type
+# ---------------------------------------------------------------------------
+DOCUMENT_TYPE = TypeSpec("Document")
+
+
+@DOCUMENT_TYPE.method(inverse=lambda result, args: ("RemoveSection", (result,)))
+async def AddSection(ctx, document, heading, body):
+    """Append a section; returns its system-assigned section number."""
+    counter = document.impl_component("NextSectionNo")
+    section_no = await ctx.get(counter) + 1
+    await ctx.put(counter, section_no)
+
+    section = ctx.create_encapsulated(SECTION_TYPE, f"s{section_no}")
+    impl = ctx.create_tuple(f"section-tuple-{section_no}")
+    impl.add_component("Heading", ctx.create_atom("Heading", heading))
+    impl.add_component("Body", ctx.create_atom("Body", body))
+    impl.add_component("Notes", ctx.create_set("Notes"))
+    section.set_implementation(impl)
+
+    sections = document.impl_component("Sections")
+    await ctx.insert(sections, section_no, section)
+    return section_no
+
+
+@DOCUMENT_TYPE.method(internal=True)
+async def RemoveSection(ctx, document, section_no):
+    """Compensation of :func:`AddSection`."""
+    sections = document.impl_component("Sections")
+    await ctx.remove(sections, section_no)
+    return None
+
+
+@DOCUMENT_TYPE.method(inverse=lambda result, args: None if result == NOT_FOUND else ("EditSection", (args[0], result)))
+async def EditSection(ctx, document, section_no, text):
+    """Rewrite one section's body; returns the previous text."""
+    sections = document.impl_component("Sections")
+    section = await ctx.select(sections, section_no)
+    if section is None:
+        return NOT_FOUND
+    return await ctx.call(section, "EditBody", text)
+
+
+@DOCUMENT_TYPE.method(inverse=lambda result, args: None if result == NOT_FOUND else ("RemoveAnnotation", (args[0], args[1])))
+async def Annotate(ctx, document, section_no, note_id, text):
+    """Attach a reviewer note to a section (commutes broadly)."""
+    sections = document.impl_component("Sections")
+    section = await ctx.select(sections, section_no)
+    if section is None:
+        return NOT_FOUND
+    await ctx.call(section, "AddNote", note_id, text)
+    return note_id
+
+
+@DOCUMENT_TYPE.method(internal=True)
+async def RemoveAnnotation(ctx, document, section_no, note_id):
+    sections = document.impl_component("Sections")
+    section = await ctx.select(sections, section_no)
+    if section is None:
+        return NOT_FOUND
+    await ctx.call(section, "RemoveNote", note_id)
+    return None
+
+
+@DOCUMENT_TYPE.method(readonly=True)
+async def WordCount(ctx, document):
+    """Total words across section bodies.
+
+    Bypasses the Section encapsulation (reads body atoms directly) —
+    the publishing twin of the order-entry ``TotalPayment``.
+    """
+    sections = document.impl_component("Sections")
+    total = 0
+    for __, section in await ctx.scan(sections):
+        body = await ctx.get(section.impl_component("Body"))  # bypass
+        total += len(str(body).split())
+    return total
+
+
+@DOCUMENT_TYPE.method(inverse=lambda result, args: ("Unpublish", ()))
+async def Publish(ctx, document):
+    """Mark the document published (idempotent flag set)."""
+    flag = document.impl_component("Published")
+    await ctx.put(flag, True)
+    return "published"
+
+
+@DOCUMENT_TYPE.method(internal=True)
+async def Unpublish(ctx, document):
+    flag = document.impl_component("Published")
+    await ctx.put(flag, False)
+    return None
+
+
+@DOCUMENT_TYPE.method(readonly=True)
+async def IsPublished(ctx, document):
+    return await ctx.get(document.impl_component("Published"))
+
+
+def _build_document_matrix() -> None:
+    m = DOCUMENT_TYPE.matrix
+
+    def distinct_section(a, b):
+        return a.arg(0) != b.arg(0)
+
+    # AddSection: system-assigned numbers (Enqueue argument).
+    m.allow("AddSection", "AddSection")
+    m.conflict("AddSection", "EditSection")   # editing the new section?
+    m.conflict("AddSection", "Annotate")
+    m.conflict("AddSection", "WordCount")     # changes the count
+    m.allow("AddSection", "Publish")
+    m.allow("AddSection", "IsPublished")
+
+    # Edits: parameter-dependent per section.
+    m.allow_if("EditSection", "EditSection", distinct_section, "ok iff sections differ")
+    m.allow("EditSection", "Annotate")        # notes are not body text
+    m.conflict("EditSection", "WordCount")
+    m.conflict("EditSection", "Publish")      # published text must be final
+    m.allow("EditSection", "IsPublished")
+
+    # Annotations commute with nearly everything.
+    m.allow("Annotate", "Annotate")           # distinct system note ids
+    m.allow("Annotate", "WordCount")          # notes not counted
+    m.allow("Annotate", "Publish")
+    m.allow("Annotate", "IsPublished")
+
+    m.allow("WordCount", "WordCount")
+    m.allow("WordCount", "Publish")           # publishing doesn't edit text
+    m.allow("WordCount", "IsPublished")
+
+    m.conflict("Publish", "Publish")          # double publish: order observable
+    m.conflict("Publish", "IsPublished")
+    m.allow("IsPublished", "IsPublished")
+
+    # Compensations (conservative).
+    m.allow("RemoveSection", "AddSection")
+    m.allow_if("RemoveSection", "EditSection", distinct_section, "ok iff sections differ")
+    m.allow_if("RemoveSection", "Annotate", distinct_section, "ok iff sections differ")
+    m.conflict("RemoveSection", "WordCount")
+    m.allow("RemoveSection", "Publish")
+    m.allow("RemoveSection", "IsPublished")
+    m.allow_if_distinct_arg("RemoveSection", "RemoveSection")
+
+    m.conflict("RemoveAnnotation", "AddSection")
+    m.allow("RemoveAnnotation", "EditSection")
+    m.allow_if(
+        "RemoveAnnotation",
+        "Annotate",
+        lambda a, b: (a.arg(0), a.arg(1)) != (b.arg(0), b.arg(1)),
+        "ok iff different note",
+    )
+    m.allow("RemoveAnnotation", "WordCount")
+    m.allow("RemoveAnnotation", "Publish")
+    m.allow("RemoveAnnotation", "IsPublished")
+    m.allow_if_distinct_arg("RemoveAnnotation", "RemoveSection")
+    m.allow_if(
+        "RemoveAnnotation",
+        "RemoveAnnotation",
+        lambda a, b: (a.arg(0), a.arg(1)) != (b.arg(0), b.arg(1)),
+        "ok iff different note",
+    )
+
+    # Unpublish (compensation of Publish): touches only the flag.
+    m.allow("Unpublish", "AddSection")
+    m.allow("Unpublish", "RemoveSection")
+    m.allow("Unpublish", "EditSection")
+    m.allow("Unpublish", "Annotate")
+    m.allow("Unpublish", "RemoveAnnotation")
+    m.allow("Unpublish", "WordCount")
+    m.conflict("Unpublish", "Publish")
+    m.conflict("Unpublish", "IsPublished")
+    m.allow("Unpublish", "Unpublish")  # idempotent flag clear
+
+
+_build_document_matrix()
+DOCUMENT_TYPE.validate()
+
+
+# ---------------------------------------------------------------------------
+# Database construction
+# ---------------------------------------------------------------------------
+@dataclass
+class PublishingDatabase:
+    """A constructed publishing database plus handles for tests."""
+
+    db: Database
+    shelf: SetObject
+    documents: list[EncapsulatedObject] = field(default_factory=list)
+    sections: list[list[EncapsulatedObject]] = field(default_factory=list)
+
+    def document(self, index: int) -> EncapsulatedObject:
+        return self.documents[index]
+
+    def section(self, doc_index: int, section_index: int) -> EncapsulatedObject:
+        return self.sections[doc_index][section_index]
+
+    def body_atom(self, doc_index: int, section_index: int) -> AtomicObject:
+        atom = self.section(doc_index, section_index).impl_component("Body")
+        assert isinstance(atom, AtomicObject)
+        return atom
+
+
+def build_publishing_database(
+    n_documents: int = 2,
+    sections_per_document: int = 3,
+    body: str = "lorem ipsum dolor",
+) -> PublishingDatabase:
+    """Construct the shelf, pre-populated with documents and sections."""
+    db = Database("DB")
+    shelf = db.new_set("Shelf")
+    db.attach_child(shelf)
+    built = PublishingDatabase(db=db, shelf=shelf)
+
+    for d in range(1, n_documents + 1):
+        document = db.new_encapsulated(DOCUMENT_TYPE, f"doc{d}")
+        impl = db.new_tuple(f"doc-tuple-{d}")
+        impl.add_component("Title", db.new_atom("Title", f"Document {d}"))
+        impl.add_component("Published", db.new_atom("Published", False))
+        impl.add_component("NextSectionNo", db.new_atom("NextSectionNo", sections_per_document))
+        sections_set = db.new_set("Sections")
+        impl.add_component("Sections", sections_set)
+        document.set_implementation(impl)
+        shelf.raw_insert(d, document)
+
+        doc_sections: list[EncapsulatedObject] = []
+        for s in range(1, sections_per_document + 1):
+            section = db.new_encapsulated(SECTION_TYPE, f"s{d}.{s}")
+            section_impl = db.new_tuple(f"section-tuple-{d}.{s}")
+            section_impl.add_component("Heading", db.new_atom("Heading", f"Section {s}"))
+            section_impl.add_component("Body", db.new_atom("Body", body))
+            section_impl.add_component("Notes", db.new_set("Notes"))
+            section.set_implementation(section_impl)
+            sections_set.raw_insert(s, section)
+            doc_sections.append(section)
+        built.documents.append(document)
+        built.sections.append(doc_sections)
+    return built

@@ -1,0 +1,119 @@
+"""Random publishing workloads: authors, annotators, reviewers, publisher.
+
+Transaction types:
+
+* ``AUTHOR`` — edit one section of one document;
+* ``REVIEW`` — annotate two sections (possibly of different documents);
+* ``COUNT`` — word-count one document (the bypassing reader);
+* ``DRAFT`` — add a new section to a document;
+* ``PUBLISH`` — publish one document.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.kernel import TransactionProgram
+from repro.errors import WorkloadError
+from repro.publishing.schema import PublishingDatabase, build_publishing_database
+
+
+@dataclass
+class PublishingConfig:
+    """Knobs of the publishing workload."""
+
+    n_documents: int = 2
+    sections_per_document: int = 3
+    mix: dict[str, float] = field(
+        default_factory=lambda: {
+            "AUTHOR": 1.0,
+            "REVIEW": 1.0,
+            "COUNT": 0.5,
+            "DRAFT": 0.5,
+            "PUBLISH": 0.2,
+        }
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_documents < 1 or self.sections_per_document < 1:
+            raise WorkloadError("need at least one document and one section")
+        unknown = set(self.mix) - {"AUTHOR", "REVIEW", "COUNT", "DRAFT", "PUBLISH"}
+        if unknown:
+            raise WorkloadError(f"unknown transaction types in mix: {sorted(unknown)}")
+        if not self.mix or all(w <= 0 for w in self.mix.values()):
+            raise WorkloadError("the transaction mix must have a positive weight")
+
+
+class PublishingWorkload:
+    """A reproducible stream of publishing transactions."""
+
+    def __init__(self, config: Optional[PublishingConfig] = None) -> None:
+        self.config = config if config is not None else PublishingConfig()
+        self.built: PublishingDatabase = build_publishing_database(
+            n_documents=self.config.n_documents,
+            sections_per_document=self.config.sections_per_document,
+        )
+        self._rng = random.Random(self.config.seed)
+        self._types = sorted(t for t, w in self.config.mix.items() if w > 0)
+        self._weights = [self.config.mix[t] for t in self._types]
+        self._counter = 0
+        self._next_note = 0
+
+    @property
+    def db(self):
+        return self.built.db
+
+    def next_transaction(self) -> tuple[str, TransactionProgram]:
+        kind = self._rng.choices(self._types, weights=self._weights)[0]
+        self._counter += 1
+        name = f"{kind}-{self._counter}"
+        rng = self._rng
+        built = self.built
+        doc_index = rng.randrange(self.config.n_documents)
+        document = built.document(doc_index)
+        section_no = rng.randrange(1, self.config.sections_per_document + 1)
+
+        if kind == "AUTHOR":
+            text = f"revision {self._counter} text " * rng.randint(1, 3)
+
+            async def program(tx):
+                return await tx.call(document, "EditSection", section_no, text.strip())
+
+        elif kind == "REVIEW":
+            self._next_note += 2
+            first_note, second_note = self._next_note - 1, self._next_note
+            other_doc = built.document(rng.randrange(self.config.n_documents))
+            other_section = rng.randrange(1, self.config.sections_per_document + 1)
+
+            async def program(tx):
+                await tx.call(document, "Annotate", section_no, first_note, "check this")
+                await tx.call(other_doc, "Annotate", other_section, second_note, "and this")
+                return (first_note, second_note)
+
+        elif kind == "COUNT":
+
+            async def program(tx):
+                return await tx.call(document, "WordCount")
+
+        elif kind == "DRAFT":
+            heading = f"Draft {self._counter}"
+
+            async def program(tx):
+                return await tx.call(document, "AddSection", heading, "draft body text")
+
+        else:  # PUBLISH
+
+            async def program(tx):
+                return await tx.call(document, "Publish")
+
+        return name, program
+
+    def take(self, count: int) -> list[tuple[str, TransactionProgram]]:
+        return [self.next_transaction() for __ in range(count)]
+
+    def __iter__(self) -> Iterator[tuple[str, TransactionProgram]]:
+        while True:
+            yield self.next_transaction()

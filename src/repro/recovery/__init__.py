@@ -1,0 +1,48 @@
+"""Multi-level crash recovery (the paper's deferred future work).
+
+The paper: *"So far, we have not considered recovery for OODBS
+transactions.  Our approach will be to extend the recovery methods for
+multi-level transactions [WHBM90, HW91] towards OODBS transactions."*
+This package implements exactly that extension for the in-memory
+database:
+
+* a :class:`~repro.recovery.wal.WriteAheadLog` records every physical
+  state change (value updates, set insertions/removals with member
+  snapshots) tagged with its action-node path, every non-read-only
+  subtransaction commit together with its registered *inverse*
+  invocation, and transaction begin/commit/abort;
+* :func:`~repro.recovery.manager.recover` rebuilds the database after a
+  crash in the multi-level ARIES style: **redo by repeating history**
+  (replay all physical records onto a restored initial state), then
+  **undo losers** — committed subtransactions of unfinished transactions
+  are compensated *logically* by executing their inverse methods under
+  a fresh kernel (so commuting effects of committed winners survive),
+  while uncommitted leaf updates are rolled back physically.
+
+Objects are addressed *logically* (component labels, set keys) rather
+than by OID, so recovery is independent of OID assignment order.
+"""
+
+from repro.recovery.addresses import address_of, rebuild_snapshot, resolve_address, snapshot
+from repro.recovery.wal import (
+    LogRecord,
+    SubtxnCommitRecord,
+    TxnStatusRecord,
+    UpdateRecord,
+    WriteAheadLog,
+)
+from repro.recovery.manager import RecoveryReport, recover
+
+__all__ = [
+    "address_of",
+    "resolve_address",
+    "snapshot",
+    "rebuild_snapshot",
+    "WriteAheadLog",
+    "LogRecord",
+    "UpdateRecord",
+    "SubtxnCommitRecord",
+    "TxnStatusRecord",
+    "recover",
+    "RecoveryReport",
+]

@@ -1,0 +1,138 @@
+"""The write-ahead log.
+
+Record kinds:
+
+* :class:`UpdateRecord` — one physical state change: a ``Put`` (before
+  and after values), ``Insert`` (key + member snapshot) or ``Remove``
+  (key + member snapshot, for undo) on a logically addressed object,
+  tagged with the acting transaction and the full node-id path of the
+  action (root → leaf) so the undo pass can tell which changes a
+  logically-compensated subtransaction covers;
+* :class:`SubtxnCommitRecord` — a committed non-read-only method
+  subtransaction: target address, invocation, its registered inverse
+  invocation (None for structural-undo-only methods), the node ids of
+  its whole subtree, and — for compensations — the node id of the
+  action it compensates;
+* :class:`TxnStatusRecord` — transaction begin / commit / abort.
+
+The log is in-memory (this is a simulation of durable storage); it can
+be pickled to a file to simulate surviving the crash, and its list of
+records is treated as the durable truth during recovery.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
+
+from repro.recovery.addresses import Address
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """A physical change to the database state."""
+
+    lsn: int
+    txn: str
+    node_path: tuple[str, ...]  # node ids from transaction root to the leaf
+    operation: str  # "Put" | "Insert" | "Remove"
+    target: Address
+    # Put:
+    before: Any = None
+    after: Any = None
+    # Insert / Remove:
+    key: Any = None
+    member_snapshot: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class SubtxnCommitRecord:
+    """A committed method subtransaction (non-read-only)."""
+
+    lsn: int
+    txn: str
+    node_id: str
+    subtree_ids: tuple[str, ...]
+    target: Address
+    operation: str
+    args: tuple[Any, ...]
+    inverse_operation: Optional[str] = None
+    inverse_args: tuple[Any, ...] = ()
+    compensates: Optional[str] = None  # node id this compensation undoes
+
+
+@dataclass(frozen=True)
+class TxnStatusRecord:
+    """Transaction lifecycle: begin / commit / abort."""
+
+    lsn: int
+    txn: str
+    status: str  # "begin" | "commit" | "abort"
+
+
+LogRecord = Union[UpdateRecord, SubtxnCommitRecord, TxnStatusRecord]
+
+
+@dataclass
+class WriteAheadLog:
+    """Append-only record list with monotone LSNs."""
+
+    records: list[LogRecord] = field(default_factory=list)
+    _next_lsn: int = 0
+
+    def next_lsn(self) -> int:
+        self._next_lsn += 1
+        return self._next_lsn
+
+    def append(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def prefix(self, length: int) -> "WriteAheadLog":
+        """The log as it would look after a crash at record *length*.
+
+        Used by the crash-point sweep tests: every prefix of the log is
+        a legal crash state.
+        """
+        clone = WriteAheadLog(records=list(self.records[:length]))
+        clone._next_lsn = self._next_lsn
+        return clone
+
+    def status_of(self, txn: str) -> str:
+        """The transaction's durable outcome: committed/aborted/in-flight."""
+        outcome = "unknown"
+        for record in self.records:
+            if isinstance(record, TxnStatusRecord) and record.txn == txn:
+                if record.status == "begin" and outcome == "unknown":
+                    outcome = "in-flight"
+                elif record.status in ("commit", "abort"):
+                    outcome = record.status
+        return outcome
+
+    def transactions(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if isinstance(record, TxnStatusRecord) and record.txn not in seen:
+                seen.append(record.txn)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Durable-media simulation
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            pickle.dump(self.records, fh)
+
+    @classmethod
+    def load(cls, path: str) -> "WriteAheadLog":
+        with open(path, "rb") as fh:
+            records = pickle.load(fh)
+        log = cls(records=records)
+        log._next_lsn = max((r.lsn for r in records), default=0)
+        return log

@@ -1,0 +1,12 @@
+"""Execution runtimes.
+
+:mod:`repro.runtime.scheduler` provides the deterministic cooperative
+scheduler (with an optional virtual clock for discrete-event simulation)
+on which all kernel executions run; :mod:`repro.runtime.threads` runs
+the same coroutines under real OS threads.
+"""
+
+from repro.runtime.scheduler import Pause, Scheduler, Signal, Task
+from repro.runtime.threads import ThreadedRuntime
+
+__all__ = ["Pause", "Scheduler", "Signal", "Task", "ThreadedRuntime"]

@@ -1,0 +1,322 @@
+"""Deterministic cooperative scheduler with a virtual clock.
+
+Transactions and method bodies are plain ``async`` coroutines whose only
+suspension points are the awaitables defined here:
+
+* :class:`Signal` — a one-shot event (lock grant, subtransaction
+  completion).  Awaiting an unfired signal blocks the task; firing it
+  readies all waiters.
+* :class:`Pause` — a scheduling point with an optional virtual-time
+  cost.  Cost zero is a pure interleaving opportunity; nonzero costs
+  drive the discrete-event performance simulation.
+
+The scheduler advances one task at a time, so every interleaving is a
+deterministic function of (task set, policy, seed).  Policies:
+
+* ``"fifo"`` — round-robin in ready order (default);
+* ``"random"`` — seeded uniform choice among ready tasks, used by the
+  property tests to sweep interleavings;
+* ``"scripted"`` — an explicit task-name sequence, used to reproduce the
+  paper's figures step by step.
+
+When every runnable task is blocked the scheduler calls its ``on_stall``
+hook (the kernel resolves deadlocks there) and fails loudly if the hook
+cannot make progress.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Any, Callable, Coroutine, Iterable, Optional
+
+from repro.errors import RuntimeEngineError
+
+
+class Signal:
+    """A one-shot awaitable event."""
+
+    __slots__ = ("name", "done", "value", "_waiters", "_scheduler")
+
+    def __init__(self, scheduler: "Scheduler", name: str = "") -> None:
+        self._scheduler = scheduler
+        self.name = name
+        self.done = False
+        self.value: Any = None
+        self._waiters: list[Task] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Mark the signal done and ready every waiting task."""
+        if self.done:
+            return
+        self.done = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self._scheduler._ready_task(task, resume_value=value)
+
+    def add_waiter(self, task: "Task") -> None:
+        self._waiters.append(task)
+
+    def remove_waiter(self, task: "Task") -> None:
+        if task in self._waiters:
+            self._waiters.remove(task)
+
+    def __await__(self):
+        if not self.done:
+            yield self
+        return self.value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"waiting({len(self._waiters)})"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Pause:
+    """A scheduling point, optionally consuming virtual time."""
+
+    __slots__ = ("cost",)
+
+    def __init__(self, cost: float = 0.0) -> None:
+        self.cost = cost
+
+    def __await__(self):
+        yield self
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Pause cost={self.cost}>"
+
+
+class Task:
+    """A spawned coroutine with its scheduling state."""
+
+    PENDING = "pending"
+    READY = "ready"
+    BLOCKED = "blocked"
+    TIMED = "timed"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, name: str, coro: Coroutine[Any, Any, Any]) -> None:
+        self.name = name
+        self.coro = coro
+        self.state = Task.PENDING
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.resume_value: Any = None
+        self.pending_exception: Optional[BaseException] = None
+        self.blocked_on: Optional[Signal] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (Task.DONE, Task.FAILED)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} {self.state}>"
+
+
+class Scheduler:
+    """Drives tasks deterministically; see module docstring."""
+
+    def __init__(
+        self,
+        policy: str = "fifo",
+        seed: Optional[int] = None,
+        script: Optional[Iterable[str]] = None,
+    ) -> None:
+        if policy not in ("fifo", "random", "scripted"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        if policy == "scripted" and script is None:
+            raise ValueError("scripted policy requires a script")
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._script: deque[str] = deque(script or ())
+        self.tasks: dict[str, Task] = {}
+        self._ready: deque[Task] = deque()
+        self._timed: list[tuple[float, int, Task]] = []
+        self._timed_seq = 0
+        self.clock: float = 0.0
+        self.steps = 0
+        # Hook: called when all tasks are blocked.  Must return True if it
+        # unblocked something (e.g. resolved a deadlock), False otherwise.
+        self.on_stall: Optional[Callable[[list[Task]], bool]] = None
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, coro: Coroutine[Any, Any, Any]) -> Task:
+        """Register a coroutine as a runnable task."""
+        if name in self.tasks:
+            raise RuntimeEngineError(f"task name {name!r} already in use")
+        task = Task(name, coro)
+        self.tasks[name] = task
+        self._ready_task(task)
+        return task
+
+    def create_signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    def _ready_task(self, task: Task, resume_value: Any = None) -> None:
+        if task.finished:
+            return
+        task.resume_value = resume_value
+        task.state = Task.READY
+        task.blocked_on = None
+        self._ready.append(task)
+
+    def interrupt(self, task: Task, exc: BaseException) -> None:
+        """Inject an exception into a (possibly blocked) task.
+
+        The task resumes by raising *exc* at its current await point —
+        this is how a blocked deadlock victim learns it was aborted.
+        """
+        if task.finished:
+            return
+        if task.blocked_on is not None:
+            task.blocked_on.remove_waiter(task)
+            task.blocked_on = None
+        task.pending_exception = exc
+        if task.state != Task.READY:
+            task.state = Task.READY
+            self._ready.append(task)
+        else:
+            # Already queued; the pending exception will be thrown when
+            # the task is next stepped.
+            pass
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def _pick_ready(self) -> Task:
+        if self.policy == "fifo":
+            return self._ready.popleft()
+        if self.policy == "random":
+            index = self._rng.randrange(len(self._ready))
+            self._ready.rotate(-index)
+            task = self._ready.popleft()
+            self._ready.rotate(index)
+            return task
+        # scripted: follow the script while it names ready tasks, then fifo
+        while self._script:
+            wanted = self._script[0]
+            candidate = next((t for t in self._ready if t.name == wanted), None)
+            if candidate is None:
+                # The scripted task is not ready (blocked or finished):
+                # fall through to FIFO without consuming the entry if the
+                # task exists and may become ready; drop unknown names.
+                if wanted not in self.tasks or self.tasks[wanted].finished:
+                    self._script.popleft()
+                    continue
+                break
+            self._script.popleft()
+            self._ready.remove(candidate)
+            return candidate
+        return self._ready.popleft()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps: Optional[int] = None) -> bool:
+        """Run until every task finished (or raise on unresolvable stall).
+
+        *max_steps* bounds the number of coroutine steps executed by
+        this call — the crash-simulation hook: stopping mid-run leaves
+        tasks suspended exactly as a process crash would.  Returns True
+        if everything finished, False if the step budget ran out.
+        """
+        executed = 0
+        while True:
+            if max_steps is not None and executed >= max_steps:
+                return False
+            if not self._ready and self._timed:
+                time, __, task = heapq.heappop(self._timed)
+                if task.state != Task.TIMED:
+                    continue  # was interrupted while sleeping
+                self.clock = max(self.clock, time)
+                task.state = Task.READY
+                self._ready.append(task)
+            if not self._ready:
+                blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
+                if not blocked:
+                    break  # all done
+                if self.on_stall is not None and self.on_stall(blocked):
+                    continue
+                names = ", ".join(t.name for t in blocked)
+                raise RuntimeEngineError(
+                    f"all tasks blocked and stall hook made no progress: {names}"
+                )
+            task = self._pick_ready()
+            if task.state != Task.READY:
+                continue  # stale queue entry (task finished or re-blocked)
+            self._step(task)
+            executed += 1
+        return True
+
+    def _step(self, task: Task) -> None:
+        self.steps += 1
+        task.state = Task.READY  # running; reset below on suspension
+        exc = task.pending_exception
+        value = task.resume_value
+        task.pending_exception = None
+        task.resume_value = None
+        try:
+            if exc is not None:
+                yielded = task.coro.throw(exc)
+            else:
+                yielded = task.coro.send(value)
+        except StopIteration as stop:
+            task.state = Task.DONE
+            task.result = stop.value
+            return
+        except BaseException as error:
+            task.state = Task.FAILED
+            task.exception = error
+            raise
+        self._dispatch(task, yielded)
+
+    def _dispatch(self, task: Task, yielded: Any) -> None:
+        if isinstance(yielded, Signal):
+            if yielded.done:
+                self._ready_task(task, resume_value=yielded.value)
+            else:
+                task.state = Task.BLOCKED
+                task.blocked_on = yielded
+                yielded.add_waiter(task)
+            return
+        if isinstance(yielded, Pause):
+            if yielded.cost > 0:
+                self._timed_seq += 1
+                task.state = Task.TIMED
+                heapq.heappush(
+                    self._timed, (self.clock + yielded.cost, self._timed_seq, task)
+                )
+            else:
+                self._ready_task(task)
+            return
+        raise RuntimeEngineError(
+            f"task {task.name!r} awaited an unsupported object: {yielded!r}"
+        )
+
+    def shutdown(self) -> None:
+        """Close every unfinished coroutine (simulated process death).
+
+        After a bounded ``run(max_steps=...)`` "crash", abandoned
+        coroutines would otherwise warn at garbage collection time.
+        """
+        for task in self.tasks.values():
+            if not task.finished:
+                task.coro.close()
+                task.state = Task.FAILED
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def blocked_tasks(self) -> list[Task]:
+        return [t for t in self.tasks.values() if t.state == Task.BLOCKED]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.tasks.values())

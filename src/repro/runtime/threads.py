@@ -1,0 +1,178 @@
+"""Threaded runtime: the kernel's coroutines under real OS threads.
+
+The deterministic scheduler is the primary runtime (tests and benches
+need reproducible interleavings), but the protocol itself is runtime
+agnostic.  This module demonstrates that by driving each transaction's
+coroutine on its own ``threading.Thread``:
+
+* a single *kernel mutex* guards all kernel data structures — a
+  coroutine step (the synchronous code between two awaits) runs under
+  the mutex, so kernel state transitions stay atomic exactly as they
+  are under the cooperative scheduler;
+* awaiting a :class:`~repro.runtime.scheduler.Signal` blocks the thread
+  on a condition variable until the signal fires;
+* awaiting a :class:`~repro.runtime.scheduler.Pause` releases the mutex
+  and yields the GIL (optionally sleeping for the pause's cost scaled
+  by ``time_scale``), giving real interleaving.
+
+Determinism is *not* provided here — that is the point: the protocol's
+correctness guarantees must not depend on scheduling.  The threaded
+tests assert outcome invariants (serializability, final state), not
+specific interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.scheduler import Pause, Scheduler, Signal, Task
+
+
+class ThreadedRuntime:
+    """Drives kernel coroutines on real threads.
+
+    Usage mirrors the cooperative scheduler::
+
+        runtime = ThreadedRuntime()
+        kernel = TransactionManager(db, scheduler=runtime.scheduler)
+        kernel.spawn("T1", program1)   # registered, not yet started
+        runtime.run()                  # threads start, join, done
+
+    Implementation note: the kernel talks to a regular
+    :class:`Scheduler` instance for signal creation; this runtime hooks
+    its ``spawn`` so tasks become threads instead of scheduler entries.
+    """
+
+    def __init__(self, time_scale: float = 0.0, stall_timeout: float = 10.0) -> None:
+        self.time_scale = time_scale
+        self.stall_timeout = stall_timeout
+        self.scheduler = Scheduler()
+        self._mutex = threading.RLock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._threads: list[threading.Thread] = []
+        self._errors: list[BaseException] = []
+        self._blocked_count = 0
+        self._active_count = 0
+        # Replace the scheduler's spawn with thread creation; Signal.fire
+        # goes through _ready_task, which must wake threads instead; and
+        # interrupt (deadlock victims) must notify the blocked thread.
+        self.scheduler.spawn = self._spawn  # type: ignore[method-assign]
+        self.scheduler._ready_task = self._notify_task  # type: ignore[method-assign]
+        self.scheduler.interrupt = self._interrupt  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Scheduler facade
+    # ------------------------------------------------------------------
+    def _spawn(self, name: str, coro) -> Task:
+        task = Task(name, coro)
+        thread = threading.Thread(
+            target=self._drive, args=(task,), name=f"txn-{name}", daemon=True
+        )
+        task.thread = thread  # type: ignore[attr-defined]
+        self._threads.append(thread)
+        return task
+
+    def _notify_task(self, task: Task, resume_value: Any = None) -> None:
+        """Called (under the mutex) when a signal fires for a waiter."""
+        task.resume_value = resume_value
+        task.blocked_on = None
+        task.state = Task.READY
+        self._wakeup.notify_all()
+
+    def _interrupt(self, task: Task, exc: BaseException) -> None:
+        """Deliver an exception to a (possibly blocked) threaded task."""
+        if task.finished:
+            return
+        if task.blocked_on is not None:
+            task.blocked_on.remove_waiter(task)
+            task.blocked_on = None
+        task.pending_exception = exc
+        task.state = Task.READY
+        self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # Thread driver
+    # ------------------------------------------------------------------
+    def _drive(self, task: Task) -> None:
+        """Run one coroutine to completion, blocking at awaits."""
+        value: Any = None
+        exc: Optional[BaseException] = None
+        with self._mutex:
+            self._active_count += 1
+        try:
+            while True:
+                with self._mutex:
+                    try:
+                        if exc is not None:
+                            yielded = task.coro.throw(exc)
+                            exc = None
+                        else:
+                            yielded = task.coro.send(value)
+                    except StopIteration as stop:
+                        task.state = Task.DONE
+                        task.result = stop.value
+                        return
+                    if isinstance(yielded, Signal):
+                        if yielded.done:
+                            value = yielded.value
+                            continue
+                        task.state = Task.BLOCKED
+                        task.blocked_on = yielded
+                        yielded.add_waiter(task)
+                        self._blocked_count += 1
+                        deadline = time.monotonic() + self.stall_timeout
+                        while task.state == Task.BLOCKED:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0 or not self._wakeup.wait(remaining):
+                                if task.state == Task.BLOCKED:
+                                    self._blocked_count -= 1
+                                    raise RuntimeEngineError(
+                                        f"thread {task.name} stalled waiting for "
+                                        f"{yielded.name or 'a signal'}"
+                                    )
+                        self._blocked_count -= 1
+                        if task.pending_exception is not None:
+                            exc = task.pending_exception
+                            task.pending_exception = None
+                            value = None
+                        else:
+                            value = task.resume_value
+                        continue
+                    if isinstance(yielded, Pause):
+                        pass  # handled outside the mutex below
+                    else:
+                        raise RuntimeEngineError(
+                            f"thread {task.name} awaited unsupported {yielded!r}"
+                        )
+                # Pause: outside the mutex so other threads interleave.
+                if self.time_scale > 0 and yielded.cost > 0:
+                    time.sleep(yielded.cost * self.time_scale)
+                else:
+                    time.sleep(0)  # yield the GIL
+                value = None
+        except BaseException as error:  # noqa: BLE001 - surfaced in run()
+            task.state = Task.FAILED
+            task.exception = error
+            with self._mutex:
+                self._errors.append(error)
+        finally:
+            with self._mutex:
+                self._active_count -= 1
+                self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Start every registered thread and join them all."""
+        for thread in self._threads:
+            thread.start()
+        for thread in self._threads:
+            thread.join(timeout=self.stall_timeout * 4)
+            if thread.is_alive():
+                raise RuntimeEngineError(f"thread {thread.name} did not finish")
+        if self._errors:
+            raise self._errors[0]

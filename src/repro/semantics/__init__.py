@@ -1,0 +1,30 @@
+"""Commutativity semantics.
+
+Defines operation invocations, parameter-aware compatibility matrices
+(Figs. 2 and 3 of the paper), the generic-type matrices for atoms and
+sets, and a model-checking deriver that re-derives a declared matrix
+from a behavioural state model.
+"""
+
+from repro.semantics.invocation import Invocation
+from repro.semantics.compatibility import CompatibilityMatrix, MatrixEntry
+from repro.semantics.generic import (
+    ATOM_MATRIX,
+    SET_MATRIX,
+    DATABASE_MATRIX,
+    generic_matrix_for,
+)
+from repro.semantics.derive import StateModel, derive_matrix, matrices_agree
+
+__all__ = [
+    "Invocation",
+    "CompatibilityMatrix",
+    "MatrixEntry",
+    "ATOM_MATRIX",
+    "SET_MATRIX",
+    "DATABASE_MATRIX",
+    "generic_matrix_for",
+    "StateModel",
+    "derive_matrix",
+    "matrices_agree",
+]

@@ -1,0 +1,217 @@
+"""Deriving compatibility matrices by behavioural model checking.
+
+The paper defines commutativity behaviourally: *two method invocations f
+and g on the same object commute iff the two sequential executions fg and
+gf are indistinguishable for both f and g and for all possible sequences
+of methods that may be invoked subsequently* (Section 2.2).  The
+implementation states may differ; only observable behaviour counts.
+
+This module checks that definition mechanically against a small
+:class:`StateModel` of the object type: for sampled states and sampled
+invocations it executes ``fg`` and ``gf`` and compares (a) the return
+values of ``f`` and ``g`` in both orders and (b) the return values of a
+set of observer invocations run afterwards.  The result classifies each
+operation pair as always commuting, never commuting, or
+parameter-dependent — and :func:`matrices_agree` cross-checks a declared
+matrix (our Fig. 2 / Fig. 3 reconstructions) against the derivation:
+
+* a declared ``ok`` where the model finds a non-commuting pair is
+  *unsound* (would let the protocol admit non-serializable executions);
+* a declared ``conflict`` where the model always commutes is merely
+  *conservative* (correct, just less concurrent).
+
+Checking observer sequences of length one is sufficient for models whose
+observers jointly determine the abstract state (true for all models in
+this repository); deeper sequences can be enabled via ``depth``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Iterable
+
+from repro.semantics.compatibility import CompatibilityMatrix
+from repro.semantics.invocation import Invocation
+
+
+class StateModel(ABC):
+    """Abstract behavioural model of an object type.
+
+    States must be immutable values; :meth:`apply` is a pure function
+    returning the successor state and the operation's return value.
+    Failed operations return a distinguishable error value rather than
+    raising — "fails" is observable behaviour too.
+    """
+
+    type_name: str = "Model"
+
+    @abstractmethod
+    def operations(self) -> list[str]:
+        """The operation names the model understands."""
+
+    @abstractmethod
+    def sample_states(self) -> list[Any]:
+        """Representative states to check commutativity over."""
+
+    @abstractmethod
+    def sample_invocations(self, operation: str) -> list[Invocation]:
+        """Representative invocations (parameter choices) of *operation*."""
+
+    @abstractmethod
+    def apply(self, state: Any, invocation: Invocation) -> tuple[Any, Any]:
+        """Execute *invocation* on *state*; return (new state, result)."""
+
+    def observers(self) -> list[Invocation]:
+        """Invocations used to probe states for distinguishability.
+
+        By default every sample invocation of every operation is used;
+        models may narrow this to their read-only operations.
+        """
+        probes: list[Invocation] = []
+        for op in self.operations():
+            probes.extend(self.sample_invocations(op))
+        return probes
+
+
+def invocations_commute(
+    model: StateModel,
+    state: Any,
+    f: Invocation,
+    g: Invocation,
+    depth: int = 1,
+) -> bool:
+    """Check behavioural commutativity of *f* and *g* from *state*.
+
+    Executes ``fg`` and ``gf`` and compares the return values of *f*, of
+    *g*, and of every observer sequence up to *depth* afterwards.
+    """
+    state_fg, result_f_first = model.apply(state, f)
+    state_fg, result_g_second = model.apply(state_fg, g)
+    state_gf, result_g_first = model.apply(state, g)
+    state_gf, result_f_second = model.apply(state_gf, f)
+
+    if result_f_first != result_f_second:
+        return False
+    if result_g_first != result_g_second:
+        return False
+    return _observably_equal(model, state_fg, state_gf, depth)
+
+
+def _observably_equal(model: StateModel, state_a: Any, state_b: Any, depth: int) -> bool:
+    """True if no observer sequence of length <= depth distinguishes."""
+    if depth <= 0:
+        return True
+    for probe in model.observers():
+        next_a, result_a = model.apply(state_a, probe)
+        next_b, result_b = model.apply(state_b, probe)
+        if result_a != result_b:
+            return False
+        if depth > 1 and not _observably_equal(model, next_a, next_b, depth - 1):
+            return False
+    return True
+
+
+@dataclass
+class DerivedCell:
+    """Derivation outcome for one ordered operation pair."""
+
+    held_op: str
+    requested_op: str
+    commuting_pairs: list[tuple[Invocation, Invocation]] = field(default_factory=list)
+    conflicting_pairs: list[tuple[Invocation, Invocation]] = field(default_factory=list)
+
+    @property
+    def classification(self) -> str:
+        if not self.conflicting_pairs:
+            return "ok"
+        if not self.commuting_pairs:
+            return "conflict"
+        return "param"
+
+
+@dataclass
+class DerivedMatrix:
+    """All derivation outcomes for a model, indexed by operation pair."""
+
+    type_name: str
+    cells: dict[tuple[str, str], DerivedCell] = field(default_factory=dict)
+
+    def cell(self, held_op: str, requested_op: str) -> DerivedCell:
+        return self.cells[(held_op, requested_op)]
+
+    def format_table(self) -> str:
+        ops = sorted({a for a, __ in self.cells})
+        widths = [max(len(op) for op in ops + [self.type_name])]
+        header = [self.type_name] + ops
+        rows = [header]
+        for held in ops:
+            rows.append([held] + [self.cells[(held, req)].classification for req in ops])
+        col_widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        return "\n".join(
+            "  ".join(cell.ljust(col_widths[i]) for i, cell in enumerate(row)) for row in rows
+        )
+
+
+def derive_matrix(model: StateModel, depth: int = 1) -> DerivedMatrix:
+    """Model-check commutativity for every operation/invocation pair."""
+    derived = DerivedMatrix(model.type_name)
+    states = model.sample_states()
+    for held_op, requested_op in product(model.operations(), repeat=2):
+        cell = DerivedCell(held_op, requested_op)
+        for f in model.sample_invocations(held_op):
+            for g in model.sample_invocations(requested_op):
+                commutes = all(
+                    invocations_commute(model, state, f, g, depth) for state in states
+                )
+                if commutes:
+                    cell.commuting_pairs.append((f, g))
+                else:
+                    cell.conflicting_pairs.append((f, g))
+        derived.cells[(held_op, requested_op)] = cell
+    return derived
+
+
+@dataclass
+class MatrixComparison:
+    """Result of checking a declared matrix against a derivation."""
+
+    unsound: list[tuple[Invocation, Invocation]]
+    conservative: list[tuple[Invocation, Invocation]]
+
+    @property
+    def is_sound(self) -> bool:
+        """True if the declared matrix never claims false commutativity."""
+        return not self.unsound
+
+
+def matrices_agree(
+    declared: CompatibilityMatrix,
+    model: StateModel,
+    depth: int = 1,
+    operations: Iterable[str] | None = None,
+) -> MatrixComparison:
+    """Cross-check *declared* against the behavioural model.
+
+    For every sampled invocation pair, a declared-compatible pair that
+    the model finds non-commuting is recorded as *unsound*; a declared
+    conflict that always commutes in the model is recorded as
+    *conservative* (harmless).
+    """
+    unsound: list[tuple[Invocation, Invocation]] = []
+    conservative: list[tuple[Invocation, Invocation]] = []
+    states = model.sample_states()
+    ops = list(operations) if operations is not None else model.operations()
+    for held_op, requested_op in product(ops, repeat=2):
+        for f in model.sample_invocations(held_op):
+            for g in model.sample_invocations(requested_op):
+                model_commutes = all(
+                    invocations_commute(model, state, f, g, depth) for state in states
+                )
+                declared_ok = declared.compatible(f, g)
+                if declared_ok and not model_commutes:
+                    unsound.append((f, g))
+                elif model_commutes and not declared_ok:
+                    conservative.append((f, g))
+    return MatrixComparison(unsound=unsound, conservative=conservative)

@@ -1,0 +1,99 @@
+"""Compatibility matrices of the generic types.
+
+The paper provides generic operations for the type constructors *set* and
+*tuple* and for atomic types (Section 2.2):
+
+* atoms: ``Get`` / ``Put`` — classical read/write compatibility;
+* sets: ``Insert`` / ``Remove`` / ``Select`` / ``Scan`` / ``Size`` with
+  key-parameter-dependent commutativity (two inserts of different keys
+  commute; a scan conflicts with any membership update);
+* tuples: component navigation is static structure lookup and needs no
+  synchronized operations;
+* the database root: top-level transactions are viewed as actions on the
+  object "Database" (footnote 2).  Transactions carry no exploitable
+  semantics of their own, so two ``Transaction`` actions are mutually
+  compatible — all their conflicts are discovered below, on the objects
+  they actually touch.
+"""
+
+from __future__ import annotations
+
+from repro.objects.atoms import ATOM_TYPE_NAME
+from repro.semantics.compatibility import CompatibilityMatrix
+from repro.semantics.invocation import Invocation
+
+SET_TYPE_NAME = "Set"
+DATABASE_TYPE_NAME = "Database"
+
+GET = "Get"
+PUT = "Put"
+INSERT = "Insert"
+REMOVE = "Remove"
+SELECT = "Select"
+SCAN = "Scan"
+SIZE = "Size"
+TRANSACTION = "Transaction"
+
+READONLY_GENERIC_OPS = frozenset({GET, SELECT, SCAN, SIZE})
+
+
+def _build_atom_matrix() -> CompatibilityMatrix:
+    matrix = CompatibilityMatrix(ATOM_TYPE_NAME, [GET, PUT])
+    matrix.allow(GET, GET)
+    matrix.conflict(GET, PUT)
+    matrix.conflict(PUT, PUT)
+    return matrix
+
+
+def _build_set_matrix() -> CompatibilityMatrix:
+    matrix = CompatibilityMatrix(SET_TYPE_NAME, [INSERT, REMOVE, SELECT, SCAN, SIZE])
+
+    # Membership updates commute iff they address different keys.  Two
+    # inserts of the same key do not commute: whichever runs second fails.
+    matrix.allow_if_distinct_arg(INSERT, INSERT)
+    matrix.allow_if_distinct_arg(INSERT, REMOVE)
+    matrix.allow_if_distinct_arg(REMOVE, REMOVE)
+
+    # A keyed lookup observes exactly one key's membership.
+    matrix.allow_if_distinct_arg(INSERT, SELECT)
+    matrix.allow_if_distinct_arg(REMOVE, SELECT)
+    matrix.allow(SELECT, SELECT)
+
+    # A scan observes the whole membership; size observes its cardinality.
+    matrix.conflict(INSERT, SCAN)
+    matrix.conflict(REMOVE, SCAN)
+    matrix.allow(SELECT, SCAN)
+    matrix.allow(SCAN, SCAN)
+    matrix.conflict(INSERT, SIZE)
+    matrix.conflict(REMOVE, SIZE)
+    matrix.allow(SELECT, SIZE)
+    matrix.allow(SCAN, SIZE)
+    matrix.allow(SIZE, SIZE)
+    return matrix
+
+
+def _build_database_matrix() -> CompatibilityMatrix:
+    matrix = CompatibilityMatrix(DATABASE_TYPE_NAME, [TRANSACTION])
+    matrix.allow(TRANSACTION, TRANSACTION)
+    return matrix
+
+
+ATOM_MATRIX = _build_atom_matrix()
+SET_MATRIX = _build_set_matrix()
+DATABASE_MATRIX = _build_database_matrix()
+
+_GENERIC_MATRICES = {
+    ATOM_TYPE_NAME: ATOM_MATRIX,
+    SET_TYPE_NAME: SET_MATRIX,
+    DATABASE_TYPE_NAME: DATABASE_MATRIX,
+}
+
+
+def generic_matrix_for(type_name: str) -> CompatibilityMatrix | None:
+    """The built-in matrix for a generic type name, or None."""
+    return _GENERIC_MATRICES.get(type_name)
+
+
+def is_readonly_invocation(invocation: Invocation) -> bool:
+    """True for generic operations that do not modify state."""
+    return invocation.operation in READONLY_GENERIC_OPS

@@ -1,0 +1,16 @@
+"""Storage substrate: records (storage atoms) and pages.
+
+Conventional OODBS implementations map the components of complex objects
+onto flat records which in turn live on pages, and run concurrency
+control at page or record granularity (Section 1.1 of the paper).  This
+package provides that mapping so the page-granularity baseline protocol
+has something real to lock, and so the semantic protocol demonstrably
+"preserves conventional page- or record-oriented locking protocols as
+special cases".
+"""
+
+from repro.storage.record import RecordId
+from repro.storage.page import Page
+from repro.storage.manager import StorageManager
+
+__all__ = ["RecordId", "Page", "StorageManager"]

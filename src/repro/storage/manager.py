@@ -1,0 +1,98 @@
+"""The storage manager: OID → record → page mapping.
+
+Every atomic object and every set object (its membership directory) is
+backed by one record.  Records are allocated sequentially onto pages of
+configurable capacity, so objects created together cluster on the same
+page — the realistic situation in which page-granularity locking causes
+false conflicts between logically independent objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownObjectError
+from repro.objects.oid import Oid
+from repro.storage.page import Page
+from repro.storage.record import RecordId
+
+PAGE_TYPE_NAME = "Page"
+
+
+class StorageManager:
+    """Allocates records for logical objects and answers page queries."""
+
+    def __init__(self, records_per_page: int = 8) -> None:
+        if records_per_page < 1:
+            raise ValueError("records_per_page must be >= 1")
+        self.records_per_page = records_per_page
+        self._pages: list[Page] = []
+        self._record_of: dict[Oid, RecordId] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, owner: Oid) -> RecordId:
+        """Back *owner* with a new record; returns its RID."""
+        if owner in self._record_of:
+            raise UnknownObjectError(f"{owner} already has a record")
+        page = self._find_page_with_space()
+        slot = page.allocate(owner)
+        rid = RecordId(page.number, slot)
+        self._record_of[owner] = rid
+        return rid
+
+    def release(self, owner: Oid) -> None:
+        """Free the record backing *owner* (object deletion)."""
+        rid = self._record_of.pop(owner, None)
+        if rid is None:
+            raise UnknownObjectError(f"{owner} has no record")
+        self._pages[rid.page_no].release(rid.slot)
+
+    def _find_page_with_space(self) -> Page:
+        # Fill the most recent page first; older pages with holes are
+        # reused before growing the file.
+        if self._pages and self._pages[-1].free_slots:
+            return self._pages[-1]
+        for page in self._pages:
+            if page.free_slots:
+                return page
+        page = Page(len(self._pages), self.records_per_page)
+        self._pages.append(page)
+        return page
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record_of(self, owner: Oid) -> RecordId:
+        try:
+            return self._record_of[owner]
+        except KeyError:
+            raise UnknownObjectError(f"{owner} has no record") from None
+
+    def has_record(self, owner: Oid) -> bool:
+        return owner in self._record_of
+
+    def page_of(self, owner: Oid) -> int:
+        """The page number backing *owner*."""
+        return self.record_of(owner).page_no
+
+    def page_oid(self, owner: Oid) -> Oid:
+        """An :class:`Oid` naming the page backing *owner*.
+
+        Page OIDs are what the page-granularity baseline protocol locks.
+        """
+        return Oid(PAGE_TYPE_NAME, self.page_of(owner))
+
+    def co_located(self, a: Oid, b: Oid) -> bool:
+        """True if both objects' records live on the same page."""
+        return self.page_of(a) == self.page_of(b)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._record_of)
+
+    def page(self, number: int) -> Page:
+        return self._pages[number]

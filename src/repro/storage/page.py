@@ -1,0 +1,55 @@
+"""Fixed-capacity pages of records."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.objects.oid import Oid
+
+
+class Page:
+    """A page holding up to *capacity* record slots.
+
+    Each occupied slot remembers the OID of the logical object whose
+    state the record backs; this is what page-granularity locking
+    aggregates over.
+    """
+
+    def __init__(self, number: int, capacity: int) -> None:
+        self.number = number
+        self.capacity = capacity
+        self._slots: list[Optional[Oid]] = [None] * capacity
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    @property
+    def occupied(self) -> int:
+        return self.capacity - len(self._free)
+
+    def allocate(self, owner: Oid) -> int:
+        """Occupy a free slot for *owner* and return its index."""
+        if not self._free:
+            raise IndexError(f"page {self.number} is full")
+        slot = self._free.pop()
+        self._slots[slot] = owner
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Free the given slot."""
+        if self._slots[slot] is None:
+            raise IndexError(f"page {self.number} slot {slot} is already free")
+        self._slots[slot] = None
+        self._free.append(slot)
+
+    def owner_of(self, slot: int) -> Optional[Oid]:
+        return self._slots[slot]
+
+    def owners(self) -> list[Oid]:
+        """OIDs of all objects with records on this page."""
+        return [oid for oid in self._slots if oid is not None]
+
+    def __repr__(self) -> str:
+        return f"<Page {self.number} {self.occupied}/{self.capacity}>"

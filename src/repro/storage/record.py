@@ -1,0 +1,20 @@
+"""Record identifiers.
+
+A record (storage atom) is addressed by page number and slot within the
+page, the classical RID scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RecordId:
+    """Physical address of a record: (page number, slot index)."""
+
+    page_no: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"R({self.page_no},{self.slot})"

@@ -1,0 +1,303 @@
+"""Lock control blocks and per-object lock queues.
+
+A lock is associated with a method name, the object id the method
+operates on, the actual parameters, and the subtransaction that holds it
+— exactly the "conceptual data structures" of Section 4.2.  The lock
+table keeps, per object, the granted locks plus a FCFS queue of pending
+requests; a requester is conflict-tested against *both* (footnote 5: "we
+require that requested locks are granted in FCFS order"), so a request
+cannot overtake an earlier conflicting one.
+
+The conflict test itself is protocol-specific and injected as a callable
+(:data:`ConflictTester`): the semantic protocol supplies Fig. 9, the
+baselines supply read/write-mode tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ProtocolViolation
+from repro.objects.oid import Oid
+from repro.semantics.invocation import Invocation
+from repro.txn.transaction import TransactionNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.scheduler import Signal
+
+# (holder node, holder invocation, requester node, requested invocation,
+#  lock target) -> None if no conflict, else the node whose completion must
+#  be awaited before the request can be granted
+ConflictTester = Callable[
+    [TransactionNode, Invocation, TransactionNode, Invocation, Oid],
+    Optional[TransactionNode],
+]
+
+
+class Lock:
+    """A granted lock: an invocation by a node on a target object."""
+
+    __slots__ = ("lock_id", "node", "target", "invocation")
+
+    def __init__(self, lock_id: int, node: TransactionNode, target: Oid, invocation: Invocation) -> None:
+        self.lock_id = lock_id
+        self.node = node
+        self.target = target
+        self.invocation = invocation
+
+    @property
+    def retained(self) -> bool:
+        """True once the lock has been converted into a retained lock.
+
+        Per Fig. 8, the locks acquired for the children of *t* are
+        converted into retained locks when *t* completes — i.e. a node's
+        lock is retained exactly when its parent subtransaction has
+        committed.  (A top-level transaction's own lock is never
+        retained; it is released at commit.)
+        """
+        return self.node.parent is not None and self.node.parent.completed
+
+    def __repr__(self) -> str:
+        kind = "retained" if self.retained else "held"
+        return f"<Lock#{self.lock_id} {self.invocation} on {self.target} by {self.node.node_id} ({kind})>"
+
+
+class PendingRequest:
+    """A queued lock request awaiting its blockers' completion."""
+
+    __slots__ = ("node", "target", "invocation", "signal", "blockers", "enqueue_seq")
+
+    def __init__(
+        self,
+        node: TransactionNode,
+        target: Oid,
+        invocation: Invocation,
+        signal: "Signal",
+        enqueue_seq: int,
+    ) -> None:
+        self.node = node
+        self.target = target
+        self.invocation = invocation
+        self.signal = signal
+        self.blockers: set[TransactionNode] = set()
+        self.enqueue_seq = enqueue_seq
+
+    def __repr__(self) -> str:
+        return f"<Pending {self.invocation} on {self.target} by {self.node.node_id}>"
+
+
+class LockTable:
+    """Granted locks and FCFS request queues, per object."""
+
+    def __init__(self) -> None:
+        self._granted: defaultdict[Oid, list[Lock]] = defaultdict(list)
+        self._queues: defaultdict[Oid, list[PendingRequest]] = defaultdict(list)
+        self._next_lock_id = 0
+        self._next_enqueue_seq = 0
+        self.max_locks_held = 0  # high-water mark, a bench metric
+        self.total_grants = 0
+        self.total_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def locks_on(self, target: Oid) -> tuple[Lock, ...]:
+        return tuple(self._granted.get(target, ()))
+
+    def queue_on(self, target: Oid) -> tuple[PendingRequest, ...]:
+        return tuple(self._queues.get(target, ()))
+
+    def iter_pending(self) -> list[PendingRequest]:
+        """All queued requests across every object, in enqueue order."""
+        pending = [p for queue in self._queues.values() for p in queue]
+        return sorted(pending, key=lambda p: p.enqueue_seq)
+
+    def locks_held_by_tree(self, root: TransactionNode) -> list[Lock]:
+        """All granted locks belonging to the given top-level transaction."""
+        return [
+            lock
+            for locks in self._granted.values()
+            for lock in locks
+            if lock.node.root() is root
+        ]
+
+    @property
+    def lock_count(self) -> int:
+        return sum(len(locks) for locks in self._granted.values())
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def compute_blockers(
+        self,
+        node: TransactionNode,
+        target: Oid,
+        invocation: Invocation,
+        tester: ConflictTester,
+        before_seq: Optional[int] = None,
+    ) -> set[TransactionNode]:
+        """Conflict-test a request against held locks and earlier queue entries.
+
+        *before_seq* limits the queue check to requests enqueued earlier
+        than the given sequence number (used when re-testing an already
+        queued request).
+        """
+        blockers: set[TransactionNode] = set()
+        for lock in self._granted.get(target, ()):
+            blocker = tester(lock.node, lock.invocation, node, invocation, target)
+            if blocker is not None:
+                blockers.add(blocker)
+        for pending in self._queues.get(target, ()):
+            if pending.node is node:
+                continue
+            if before_seq is not None and pending.enqueue_seq >= before_seq:
+                continue
+            blocker = tester(pending.node, pending.invocation, node, invocation, target)
+            if blocker is not None:
+                blockers.add(blocker)
+        return blockers
+
+    def grant(self, node: TransactionNode, target: Oid, invocation: Invocation) -> Lock:
+        """Unconditionally add a granted lock (caller performed the test)."""
+        self._next_lock_id += 1
+        lock = Lock(self._next_lock_id, node, target, invocation)
+        self._granted[target].append(lock)
+        self.total_grants += 1
+        self.max_locks_held = max(self.max_locks_held, self.lock_count)
+        return lock
+
+    def enqueue(
+        self,
+        node: TransactionNode,
+        target: Oid,
+        invocation: Invocation,
+        signal: "Signal",
+    ) -> PendingRequest:
+        """Queue a blocked request (FCFS position = enqueue order)."""
+        self._next_enqueue_seq += 1
+        pending = PendingRequest(node, target, invocation, signal, self._next_enqueue_seq)
+        self._queues[target].append(pending)
+        self.total_blocks += 1
+        return pending
+
+    def cancel(self, pending: PendingRequest) -> None:
+        """Drop a queued request (the requester aborted)."""
+        queue = self._queues.get(pending.target)
+        if queue and pending in queue:
+            queue.remove(pending)
+
+    def reevaluate(self, tester: ConflictTester) -> list[PendingRequest]:
+        """Grant every queued request whose blockers are gone.
+
+        Walks each object's queue in FCFS order; a request is granted
+        only if it conflicts neither with granted locks nor with requests
+        still queued ahead of it.  Returns the requests granted in this
+        pass; their signals are fired so the blocked coroutines resume.
+        """
+        granted_now: list[PendingRequest] = []
+        for target, queue in self._queues.items():
+            still_waiting: list[PendingRequest] = []
+            for pending in queue:
+                blockers = self.compute_blockers(
+                    pending.node,
+                    target,
+                    pending.invocation,
+                    tester,
+                    before_seq=pending.enqueue_seq,
+                )
+                # Requests that were granted earlier in this pass are
+                # already in the granted list and tested above.
+                blockers -= {pending.node}
+                if blockers:
+                    pending.blockers = blockers
+                    still_waiting.append(pending)
+                else:
+                    self.grant(pending.node, target, pending.invocation)
+                    pending.blockers = set()
+                    granted_now.append(pending)
+            if still_waiting:
+                self._queues[target][:] = still_waiting
+            else:
+                self._queues[target].clear()
+        for pending in granted_now:
+            pending.signal.fire(pending)
+        return granted_now
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release_lock(self, lock: Lock) -> None:
+        locks = self._granted.get(lock.target)
+        if not locks or lock not in locks:
+            raise ProtocolViolation(f"releasing unknown lock {lock!r}")
+        locks.remove(lock)
+
+    def release_tree(self, root: TransactionNode) -> list[Lock]:
+        """Release every lock of the given top-level transaction.
+
+        This is Fig. 8's "if t.parent = nil then release all locks".
+        Returns the released locks (for tracing).
+        """
+        released: list[Lock] = []
+        for target, locks in self._granted.items():
+            keep = [lock for lock in locks if lock.node.root() is not root]
+            if len(keep) != len(locks):
+                released.extend(lock for lock in locks if lock.node.root() is root)
+                self._granted[target][:] = keep
+        return released
+
+    def release_descendant_locks(self, node: TransactionNode) -> list[Lock]:
+        """Release locks of *node*'s strict descendants.
+
+        Used by the naive Section-3 open nested protocol, which releases
+        a subtransaction's locks when it completes (keeping only the
+        subtransaction's own semantic lock, held further by its parent).
+        """
+        released: list[Lock] = []
+        for target, locks in self._granted.items():
+            keep: list[Lock] = []
+            for lock in locks:
+                if lock.node is not node and node.is_ancestor_of(lock.node):
+                    released.append(lock)
+                else:
+                    keep.append(lock)
+            self._granted[target][:] = keep
+        return released
+
+    def release_subtree(self, node: TransactionNode) -> list[Lock]:
+        """Release the locks of *node* and all its descendants.
+
+        Used by subtransaction restart: the rolled-back subtree gives up
+        everything it acquired and will re-acquire on retry.
+        """
+        released: list[Lock] = []
+        for target, locks in self._granted.items():
+            keep: list[Lock] = []
+            for lock in locks:
+                if lock.node is node or node.is_ancestor_of(lock.node):
+                    released.append(lock)
+                else:
+                    keep.append(lock)
+            self._granted[target][:] = keep
+        return released
+
+    def reassign_locks_to_parent(self, node: TransactionNode) -> list[Lock]:
+        """Pass *node*'s locks (and its subtree's) up to its parent.
+
+        This is Moss-style *closed* nested locking: on subtransaction
+        commit the parent inherits the child's locks.
+        """
+        if node.parent is None:
+            raise ProtocolViolation("cannot reassign locks of a top-level transaction")
+        moved: list[Lock] = []
+        for locks in self._granted.values():
+            for lock in locks:
+                if lock.node is node or node.is_ancestor_of(lock.node):
+                    lock.node = node.parent
+                    moved.append(lock)
+        return moved

@@ -1,0 +1,97 @@
+"""Timeline rendering of histories — Fig. 4 in ASCII.
+
+The paper draws concurrent executions with time flowing along one axis
+and one lane per transaction.  :func:`render_timeline` reproduces that
+view from a recorded :class:`~repro.txn.history.History`: one column
+per top-level transaction, one row per event (action begin/end for
+inner nodes, a single row for leaves), ordered by logical sequence
+number, with indentation showing invocation depth.
+
+Used by the examples and the F4 bench to print executions the way the
+paper draws them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.txn.history import ActionRecord, History
+
+
+@dataclass(frozen=True)
+class _Event:
+    seq: int
+    txn: str
+    text: str
+
+
+def _label(record: ActionRecord) -> str:
+    rendered = ", ".join(repr(a) for a in record.args)
+    return f"{record.operation}({rendered}) {record.target}"
+
+
+def _events_for(history: History) -> list[_Event]:
+    events: list[_Event] = []
+    for record in history.records:
+        indent = "  " * max(record.depth - 1, 0)
+        has_children = bool(history.children_of(record.node_id))
+        if record.parent_id is None:
+            events.append(_Event(record.begin_seq, record.txn, "BEGIN"))
+            verb = "COMMIT" if record.status == "committed" else "ABORT"
+            events.append(_Event(record.end_seq, record.txn, verb))
+        elif has_children:
+            events.append(_Event(record.begin_seq, record.txn, f"{indent}{_label(record)} {{"))
+            events.append(_Event(record.end_seq, record.txn, f"{indent}}} {record.operation}"))
+        else:
+            events.append(_Event(record.begin_seq, record.txn, f"{indent}{_label(record)}"))
+    events.sort(key=lambda e: e.seq)
+    return events
+
+
+def render_timeline(history: History, lane_width: int = 36) -> str:
+    """Render the history as per-transaction lanes over logical time.
+
+    Args:
+        history: A recorded execution.
+        lane_width: Column width per transaction lane; longer labels are
+            truncated with an ellipsis.
+
+    Returns:
+        A fixed-width multi-line string: header row of transaction
+        names, then one row per event with its sequence number.
+    """
+    transactions = history.transactions()
+    if not transactions:
+        return "(empty history)"
+    events = _events_for(history)
+
+    def clip(text: str) -> str:
+        if len(text) <= lane_width:
+            return text.ljust(lane_width)
+        return text[: lane_width - 1] + "…"
+
+    header = " seq  " + "  ".join(name.center(lane_width) for name in transactions)
+    ruler = "-" * len(header)
+    lines = [header, ruler]
+    for event in events:
+        cells = [
+            clip(event.text) if event.txn == name else " " * lane_width
+            for name in transactions
+        ]
+        lines.append(f"{event.seq:>4}  " + "  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_lock_waits(history: History, trace) -> str:
+    """One line per lock wait: who blocked on whom, and when.
+
+    *trace* is the kernel's :class:`~repro.util.tracelog.TraceLog`.
+    """
+    lines = []
+    for event in trace.of_kind("block"):
+        waits = ", ".join(event.detail.get("waits_for", []))
+        lines.append(
+            f"[{event.seq:>4}] {event.txn} blocked on {event.detail.get('target')} "
+            f"({event.detail.get('mode')}) waiting for: {waits}"
+        )
+    return "\n".join(lines) if lines else "(no lock waits)"

@@ -1,0 +1,77 @@
+"""Waits-for graph and deadlock detection.
+
+Blocked lock requests induce wait edges between *top-level* transactions
+(a blocked subtransaction blocks its whole transaction, since execution
+within a transaction is sequential).  The kernel updates this graph on
+every block / wake and asks for a cycle through the transaction that just
+blocked; a cycle is a deadlock and one member is aborted (compensated).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+
+class WaitsForGraph:
+    """Directed graph: waiter transaction name -> holder transaction names."""
+
+    def __init__(self) -> None:
+        self._edges: defaultdict[str, set[str]] = defaultdict(set)
+
+    def set_waits(self, waiter: str, holders: set[str]) -> None:
+        """Replace *waiter*'s outgoing edges (self-edges are dropped)."""
+        self._edges[waiter] = {h for h in holders if h != waiter}
+
+    def clear_waits(self, waiter: str) -> None:
+        self._edges.pop(waiter, None)
+
+    def remove_transaction(self, name: str) -> None:
+        """Drop the transaction entirely (it committed or aborted)."""
+        self._edges.pop(name, None)
+        for holders in self._edges.values():
+            holders.discard(name)
+
+    def waits_of(self, waiter: str) -> frozenset[str]:
+        return frozenset(self._edges.get(waiter, ()))
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(holders) for holders in self._edges.values())
+
+    def find_cycle_through(self, start: str) -> Optional[list[str]]:
+        """A cycle containing *start*, as a list of names, or None.
+
+        Depth-first search from *start* following wait edges; the first
+        path returning to *start* is reported (deterministically, since
+        neighbours are visited in sorted order).
+        """
+        path: list[str] = [start]
+        on_path = {start}
+        visited: set[str] = set()
+
+        def dfs(node: str) -> Optional[list[str]]:
+            for neighbour in sorted(self._edges.get(node, ())):
+                if neighbour == start:
+                    return list(path)
+                if neighbour in on_path or neighbour in visited:
+                    continue
+                path.append(neighbour)
+                on_path.add(neighbour)
+                found = dfs(neighbour)
+                if found is not None:
+                    return found
+                on_path.discard(neighbour)
+                path.pop()
+            visited.add(node)
+            return None
+
+        return dfs(start)
+
+    def find_any_cycle(self) -> Optional[list[str]]:
+        """Any cycle in the graph (used as a quiescence backstop)."""
+        for start in sorted(self._edges):
+            cycle = self.find_cycle_through(start)
+            if cycle is not None:
+                return cycle
+        return None

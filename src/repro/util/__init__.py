@@ -1,0 +1,7 @@
+"""Small shared utilities: id generation, sequence counters, event logs."""
+
+from repro.util.ids import IdGenerator
+from repro.util.seq import SequenceCounter
+from repro.util.tracelog import TraceEvent, TraceLog
+
+__all__ = ["IdGenerator", "SequenceCounter", "TraceEvent", "TraceLog"]

@@ -1,0 +1,35 @@
+"""Deterministic identifier generation.
+
+All identifiers in the library (OIDs, transaction-node ids, lock ids) are
+drawn from per-prefix monotone counters so that a run is reproducible from
+its inputs alone: no wall-clock time, no process-global randomness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Hands out dense, per-prefix sequential integers.
+
+    One generator instance is owned by each :class:`~repro.objects.database.
+    Database` and each kernel, so two independent databases produce
+    identical id streams for identical construction sequences.
+    """
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def next_number(self, prefix: str) -> int:
+        """Return the next integer for *prefix*, starting at 1."""
+        self._counters[prefix] += 1
+        return self._counters[prefix]
+
+    def next_id(self, prefix: str) -> str:
+        """Return a human-readable id such as ``"txn-3"``."""
+        return f"{prefix}-{self.next_number(prefix)}"
+
+    def peek(self, prefix: str) -> int:
+        """Return the last number handed out for *prefix* (0 if none)."""
+        return self._counters[prefix]

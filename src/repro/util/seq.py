@@ -1,0 +1,24 @@
+"""A global logical sequence counter.
+
+Histories order actions by logical sequence numbers rather than wall-clock
+timestamps; one :class:`SequenceCounter` per kernel provides them.
+"""
+
+from __future__ import annotations
+
+
+class SequenceCounter:
+    """Monotonically increasing logical clock."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+
+    def tick(self) -> int:
+        """Advance the clock and return the new value."""
+        self._value += 1
+        return self._value
+
+    @property
+    def value(self) -> int:
+        """Current clock value (the last value returned by :meth:`tick`)."""
+        return self._value

@@ -1,0 +1,65 @@
+"""Structured trace log of kernel events.
+
+The kernel emits a :class:`TraceEvent` for every interesting protocol step
+(lock request, grant, block, retained-lock conversion, release, commit,
+abort).  Tests and the Fig. 8 conformance benchmark assert over this log;
+examples pretty-print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel event.
+
+    Attributes:
+        seq: Logical sequence number at which the event happened.
+        kind: Event kind, e.g. ``"lock-request"``, ``"lock-grant"``,
+            ``"block"``, ``"wake"``, ``"retain"``, ``"release"``,
+            ``"commit"``, ``"abort"``, ``"compensate"``.
+        node: Id of the transaction-tree node the event belongs to.
+        txn: Name of the node's top-level transaction.
+        detail: Kind-specific payload (target oid, operation, blockers...).
+    """
+
+    seq: int
+    kind: str
+    node: str
+    txn: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.seq:>4}] {self.kind:<12} {self.txn}/{self.node} {parts}"
+
+
+class TraceLog:
+    """Append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """All events whose kind is one of *kinds*, in order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_txn(self, txn: str) -> list[TraceEvent]:
+        """All events belonging to top-level transaction *txn*."""
+        return [e for e in self._events if e.txn == txn]
+
+    def clear(self) -> None:
+        self._events.clear()

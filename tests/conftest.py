@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.database import Database
+from repro.orderentry.schema import OrderEntryDatabase, build_order_entry_database
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def order_entry() -> OrderEntryDatabase:
+    """A small order-entry database: 2 items x 2 orders, status 'new'."""
+    return build_order_entry_database(n_items=2, orders_per_item=2)

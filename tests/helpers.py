@@ -1,0 +1,39 @@
+"""Helper functions shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.kernel import TransactionManager, TransactionProgram
+from repro.objects.database import Database
+from repro.orderentry.schema import OrderEntryDatabase
+from repro.protocols.base import CCProtocol
+from repro.runtime.scheduler import Scheduler
+
+
+def run_programs(
+    database: Database,
+    programs: dict[str, TransactionProgram],
+    protocol: Optional[CCProtocol] = None,
+    policy: str = "fifo",
+    seed: Optional[int] = None,
+    script: Optional[list[str]] = None,
+    probe: Any = None,
+) -> TransactionManager:
+    """Spawn and run programs on a fresh kernel; return the kernel."""
+    scheduler = Scheduler(policy=policy, seed=seed, script=script)
+    kernel = TransactionManager(database, protocol=protocol, scheduler=scheduler)
+    if probe is not None:
+        kernel.probe = probe
+    for name, program in programs.items():
+        kernel.spawn(name, program)
+    kernel.run()
+    return kernel
+
+
+def status_atom_oid(built: OrderEntryDatabase, item_index: int, order_index: int):
+    return built.status_atom(item_index, order_index).oid
+
+
+def blocks_of(kernel: TransactionManager, txn: str) -> list:
+    return [e for e in kernel.trace.of_kind("block") if e.txn == txn]

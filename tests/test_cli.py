@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "T2" in out
+        assert "semantically serializable: True" in out
+        assert "lock waits: 0" in out
+
+    def test_matrices(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "Item" in out and "Order" in out
+        assert "ShipOrder" in out
+        assert "lock modes of Order" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--transactions", "8", "--mpl", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "semantic" in out and "page-2pl" in out
+        assert "throughput" in out
+
+    def test_check_semantic_ok(self, capsys):
+        assert main(["check", "--transactions", "5", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serializable: True" in out
+
+    def test_check_detects_naive_violation(self, capsys):
+        """Some seed exposes the naive protocol on a bypass-heavy mix."""
+        failures = 0
+        for seed in range(25):
+            code = main(
+                [
+                    "check",
+                    "--protocol",
+                    "open-nested-naive",
+                    "--transactions",
+                    "6",
+                    "--seed",
+                    str(seed),
+                ]
+            )
+            if code == 1:
+                failures += 1
+                break
+        capsys.readouterr()
+        assert failures >= 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "matrices"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "Item" in result.stdout

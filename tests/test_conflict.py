@@ -1,0 +1,153 @@
+"""Unit tests for the Fig. 9 conflict test on hand-built transaction trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflict import actions_commute
+from repro.core.conflict import test_conflict as fig9_conflict
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.semantics.invocation import Invocation
+from repro.txn.transaction import NodeStatus, TransactionNode
+
+
+@pytest.fixture
+def world():
+    """A database with one encapsulated 'Box' owning an atom."""
+    spec = TypeSpec("Box")
+
+    @spec.method
+    async def Add(ctx, obj, key):
+        return None
+
+    @spec.method(readonly=True)
+    async def Read(ctx, obj, key):
+        return None
+
+    m = spec.matrix
+    m.allow("Add", "Add")
+    m.allow_if_distinct_arg("Add", "Read")
+    m.allow("Read", "Read")
+    spec.validate()
+
+    db = Database()
+    box = db.new_encapsulated(spec, "box")
+    db.attach_child(box)
+    impl = db.new_tuple("box-impl")
+    box.set_implementation(impl)
+    atom = db.new_atom("state")
+    impl.add_component("state", atom)
+    return db, box, atom
+
+
+def txn_root(db: Database, name: str) -> TransactionNode:
+    return TransactionNode(name, None, db.oid, Invocation("Transaction", (name,)))
+
+
+def child(parent: TransactionNode, target, op: str, *args) -> TransactionNode:
+    return TransactionNode(
+        f"{parent.node_id}/{op}", parent, target.oid, Invocation(op, args)
+    )
+
+
+class TestActionsCommute:
+    def test_same_object_uses_matrix(self, world):
+        db, box, __ = world
+        assert actions_commute(db, box.oid, Invocation("Add", (1,)), box.oid, Invocation("Add", (2,)))
+        assert not actions_commute(db, box.oid, Invocation("Add", (1,)), box.oid, Invocation("Read", (1,)))
+
+    def test_different_objects_never_commute_here(self, world):
+        db, box, atom = world
+        assert not actions_commute(
+            db, box.oid, Invocation("Add", (1,)), atom.oid, Invocation("Get", ())
+        )
+
+    def test_parameter_dependence(self, world):
+        db, box, __ = world
+        assert actions_commute(db, box.oid, Invocation("Add", (1,)), box.oid, Invocation("Read", (2,)))
+
+
+class TestFig9:
+    def test_direct_commute_returns_none(self, world):
+        db, box, __ = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        h = child(t1, box, "Add", 1)
+        r = child(t2, box, "Add", 2)
+        assert fig9_conflict(db, h, h.invocation, h.target, r, r.invocation, r.target) is None
+
+    def test_same_top_level_returns_none(self, world):
+        db, box, atom = world
+        t1 = txn_root(db, "T1")
+        h = child(t1, atom, "Put", 1)
+        r = child(t1, atom, "Get")
+        assert fig9_conflict(db, h, h.invocation, h.target, r, r.invocation, r.target) is None
+
+    def test_case1_committed_commutative_ancestor(self, world):
+        """Fig. 6: leaf conflict relieved by a committed commuting ancestor."""
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 2)  # commutes with Add(1)
+        get = child(read, atom, "Get")
+        add.status = NodeStatus.COMMITTED
+        result = fig9_conflict(db, put, put.invocation, put.target, get, get.invocation, get.target)
+        assert result is None
+
+    def test_case2_active_commutative_ancestor(self, world):
+        """Fig. 7: wait for the commuting ancestor's subtransaction commit."""
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 2)
+        get = child(read, atom, "Get")
+        # add still ACTIVE
+        result = fig9_conflict(db, put, put.invocation, put.target, get, get.invocation, get.target)
+        assert result is add
+
+    def test_worst_case_waits_for_holder_root(self, world):
+        """No commuting pair below the roots: wait for top-level commit."""
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 1)  # Read(1) conflicts with Add(1)
+        get = child(read, atom, "Get")
+        add.status = NodeStatus.COMMITTED
+        result = fig9_conflict(db, put, put.invocation, put.target, get, get.invocation, get.target)
+        # the commuting pair is the two roots (Transaction/Transaction on
+        # the database object); t1 is active, so it is the blocker
+        assert result is t1
+
+    def test_relief_disabled_always_waits_for_root(self, world):
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 2)
+        get = child(read, atom, "Get")
+        add.status = NodeStatus.COMMITTED
+        result = fig9_conflict(
+            db, put, put.invocation, put.target,
+            get, get.invocation, get.target,
+            ancestor_relief=False,
+        )
+        assert result is t1
+
+    def test_bottom_up_order_prefers_deepest_ancestor(self, world):
+        """The first commuting pair found bottom-up is the wait target."""
+        db, box, atom = world
+        # nested boxes: outer Add -> inner Add -> Put
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        outer_h = child(t1, box, "Add", 1)
+        inner_h = child(outer_h, box, "Add", 10)
+        put = child(inner_h, atom, "Put", "v")
+        outer_r = child(t2, box, "Add", 2)
+        inner_r = child(outer_r, box, "Add", 20)
+        get = child(inner_r, atom, "Get")
+        result = fig9_conflict(db, put, put.invocation, put.target, get, get.invocation, get.target)
+        # inner_h (Add(10)) commutes with inner_r (Add(20)) and is the
+        # deepest holder ancestor — it is returned, not outer_h.
+        assert result is inner_h

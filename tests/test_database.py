@@ -1,0 +1,96 @@
+"""Unit tests for the Database root: factories, registry, matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.semantics.generic import ATOM_MATRIX, DATABASE_MATRIX, SET_MATRIX
+
+
+@pytest.fixture
+def spec() -> TypeSpec:
+    spec = TypeSpec("Thing")
+
+    @spec.method
+    async def Poke(ctx, obj):
+        return None
+
+    spec.matrix.conflict("Poke", "Poke")
+    return spec
+
+
+class TestFactories:
+    def test_atom_gets_storage_record(self, db: Database):
+        atom = db.new_atom("x", 5)
+        assert db.storage.has_record(atom.oid)
+        assert db.resolve(atom.oid) is atom
+        assert atom.raw_get() == 5
+
+    def test_set_gets_directory_record(self, db: Database):
+        s = db.new_set("s")
+        assert db.storage.has_record(s.oid)
+
+    def test_tuple_and_encapsulated_registered(self, db: Database, spec: TypeSpec):
+        t = db.new_tuple("t")
+        e = db.new_encapsulated(spec, "e")
+        assert db.resolve(t.oid) is t
+        assert db.resolve(e.oid) is e
+        assert e.oid.type_name == "Thing"
+
+    def test_oids_unique_across_types(self, db: Database):
+        objects = [db.new_atom("a"), db.new_set("s"), db.new_tuple("t")]
+        numbers = [o.oid.number for o in objects]
+        assert len(set(numbers)) == 3
+
+    def test_deterministic_construction(self, spec: TypeSpec):
+        def build():
+            d = Database()
+            return [d.new_atom("a").oid, d.new_set("s").oid, d.new_encapsulated(spec, "e").oid]
+
+        assert build() == build()
+
+
+class TestDestroy:
+    def test_destroy_releases_records_and_registry(self, db: Database):
+        atom = db.new_atom("x", 1)
+        oid = atom.oid
+        db.destroy(atom)
+        assert not db.storage.has_record(oid)
+        with pytest.raises(UnknownObjectError):
+            db.resolve(oid)
+
+    def test_destroy_subtree(self, db: Database):
+        t = db.new_tuple("t")
+        a = db.new_atom("a", 1)
+        t.add_component("a", a)
+        db.destroy(t)
+        assert not db.is_live(a.oid)
+        assert not db.is_live(t.oid)
+
+
+class TestMatrixLookup:
+    def test_generic_matrices(self, db: Database):
+        assert db.matrix_for(db.new_atom("a")) is ATOM_MATRIX
+        assert db.matrix_for(db.new_set("s")) is SET_MATRIX
+        assert db.matrix_for(db) is DATABASE_MATRIX
+        assert db.matrix_for(db.new_tuple("t")) is None
+
+    def test_encapsulated_matrix(self, db: Database, spec: TypeSpec):
+        obj = db.new_encapsulated(spec, "e")
+        assert db.matrix_for(obj) is spec.matrix
+        assert db.matrix_for_oid(obj.oid) is spec.matrix
+
+
+class TestCompositionParentMap:
+    def test_parent_map(self, db: Database):
+        t = db.new_tuple("t")
+        db.attach_child(t)
+        a = db.new_atom("a")
+        t.add_component("a", a)
+        parents = db.composition_parent_map()
+        assert parents[a.oid] == t.oid
+        assert parents[t.oid] == db.oid
+        assert parents[db.oid] is None

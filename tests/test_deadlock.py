@@ -1,0 +1,122 @@
+"""Integration tests: deadlock detection, victim choice, resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.objects.database import Database
+
+from tests.helpers import run_programs
+
+
+@pytest.fixture
+def two_atoms(db: Database):
+    x = db.new_atom("x", 0)
+    y = db.new_atom("y", 0)
+    db.attach_child(x)
+    db.attach_child(y)
+    return db, x, y
+
+
+def opposing_programs(x, y):
+    async def ab(tx):
+        await tx.put(x, "A")
+        await tx.pause()
+        await tx.put(y, "A")
+        return "A-done"
+
+    async def ba(tx):
+        await tx.put(y, "B")
+        await tx.pause()
+        await tx.put(x, "B")
+        return "B-done"
+
+    return ab, ba
+
+
+class TestDeadlockResolution:
+    def test_opposing_lock_order_deadlocks_and_resolves(self, two_atoms):
+        db, x, y = two_atoms
+        ab, ba = opposing_programs(x, y)
+        kernel = run_programs(db, {"A": ab, "B": ba})
+        assert kernel.metrics.deadlocks == 1
+        outcomes = {n: h.committed for n, h in kernel.handles.items()}
+        assert sum(outcomes.values()) == 1  # exactly one survivor
+
+    def test_victim_is_youngest(self, two_atoms):
+        db, x, y = two_atoms
+        ab, ba = opposing_programs(x, y)
+        kernel = run_programs(db, {"A": ab, "B": ba})
+        # B began after A, so B (the youngest) is the victim.
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].aborted
+        assert isinstance(kernel.handles["B"].error, DeadlockError)
+
+    def test_victim_effects_undone(self, two_atoms):
+        db, x, y = two_atoms
+        ab, ba = opposing_programs(x, y)
+        run_programs(db, {"A": ab, "B": ba})
+        # survivor A wrote both atoms; B's write to y was rolled back
+        # before A's write was applied, so both atoms read "A"
+        assert x.raw_get() == "A"
+        assert y.raw_get() == "A"
+
+    def test_deadlock_error_names_cycle(self, two_atoms):
+        db, x, y = two_atoms
+        ab, ba = opposing_programs(x, y)
+        kernel = run_programs(db, {"A": ab, "B": ba})
+        error = kernel.handles["B"].error
+        assert isinstance(error, DeadlockError)
+        assert set(error.cycle) == {"A", "B"}
+
+    def test_three_way_deadlock(self, db):
+        atoms = []
+        for name in ("x", "y", "z"):
+            atom = db.new_atom(name, 0)
+            db.attach_child(atom)
+            atoms.append(atom)
+        x, y, z = atoms
+
+        def chain(first, second, tag):
+            async def program(tx):
+                await tx.put(first, tag)
+                for __ in range(2):
+                    await tx.pause()
+                await tx.put(second, tag)
+            return program
+
+        kernel = run_programs(
+            db, {"A": chain(x, y, "A"), "B": chain(y, z, "B"), "C": chain(z, x, "C")}
+        )
+        committed = [n for n, h in kernel.handles.items() if h.committed]
+        aborted = [n for n, h in kernel.handles.items() if h.aborted]
+        assert len(committed) + len(aborted) == 3
+        assert kernel.metrics.deadlocks >= 1
+        assert len(committed) >= 1  # someone always survives
+
+    def test_no_false_deadlocks_on_plain_contention(self, db):
+        atom = db.new_atom("x", 0)
+        db.attach_child(atom)
+
+        def writer(tag):
+            async def program(tx):
+                value = await tx.get(atom)
+                await tx.put(atom, value + 1)
+            return program
+
+        kernel = run_programs(db, {f"T{i}": writer(i) for i in range(4)})
+        # Direct leaf accesses under the root have no restartable
+        # subtransaction scope, so any Get/Get->Put/Put upgrade cycle
+        # must be resolved by full aborts — but simple FIFO waiting
+        # (e.g. each waiting for the previous commit) must not abort.
+        assert kernel.metrics.commits + kernel.metrics.aborts == 4
+        assert kernel.metrics.commits >= 1
+
+    def test_all_locks_clean_after_resolution(self, two_atoms):
+        db, x, y = two_atoms
+        ab, ba = opposing_programs(x, y)
+        kernel = run_programs(db, {"A": ab, "B": ba})
+        assert kernel.locks.lock_count == 0
+        assert kernel.locks.pending_count == 0
+        assert kernel.waits.edge_count == 0

@@ -1,0 +1,164 @@
+"""Tests for the wait-die and wound-wait deadlock prevention policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import run_transactions
+from repro.core.serializability import is_semantically_serializable
+from repro.errors import DeadlockError
+from repro.objects.database import Database
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+
+@pytest.fixture
+def two_atoms():
+    db = Database()
+    x = db.new_atom("x", 0)
+    y = db.new_atom("y", 0)
+    db.attach_child(x)
+    db.attach_child(y)
+    return db, x, y
+
+
+def opposing(x, y):
+    async def ab(tx):
+        await tx.put(x, "A")
+        await tx.pause()
+        await tx.put(y, "A")
+        return "A"
+
+    async def ba(tx):
+        await tx.put(y, "B")
+        await tx.pause()
+        await tx.put(x, "B")
+        return "B"
+
+    return {"A": ab, "B": ba}
+
+
+class TestWaitDie:
+    def test_younger_requester_dies(self, two_atoms):
+        db, x, y = two_atoms
+        kernel = run_transactions(db, opposing(x, y), deadlock_policy="wait-die")
+        # B (younger) requests x held by A (older) -> B dies.
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].aborted
+        assert isinstance(kernel.handles["B"].error, DeadlockError)
+        assert x.raw_get() == "A" and y.raw_get() == "A"
+
+    def test_older_requester_waits(self, two_atoms):
+        """A single conflict where the OLDER transaction requests: it
+        waits (no death) and both commit."""
+        db, x, __ = two_atoms
+
+        async def young_then_release(tx):
+            await tx.put(x, "B")
+            return "B"
+
+        async def old_waits(tx):
+            for __ in range(4):
+                await tx.pause()  # let the younger one grab x first
+            await tx.put(x, "A")
+            return "A"
+
+        kernel = run_transactions(
+            db, {"A": old_waits, "B": young_then_release}, deadlock_policy="wait-die"
+        )
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].committed
+        assert x.raw_get() == "A"  # A waited for B's commit
+
+    def test_no_stalls_on_contended_workload(self):
+        workload = OrderEntryWorkload(WorkloadConfig(n_items=2, orders_per_item=2, seed=3))
+        programs = dict(workload.take(8))
+        kernel = run_transactions(
+            workload.db, programs, deadlock_policy="wait-die", policy="random", seed=3
+        )
+        assert all(h.committed or h.aborted for h in kernel.handles.values())
+        assert is_semantically_serializable(kernel.history(), db=workload.db)
+
+
+class TestWoundWait:
+    def test_older_requester_wounds_younger_holder(self, two_atoms):
+        db, x, __ = two_atoms
+
+        async def young_holder(tx):
+            await tx.put(x, "B")
+            for __ in range(6):
+                await tx.pause()
+            return "B"
+
+        async def old_requester(tx):
+            await tx.pause()  # let B acquire first
+            await tx.put(x, "A")
+            return "A"
+
+        kernel = run_transactions(
+            db, {"A": old_requester, "B": young_holder}, deadlock_policy="wound-wait"
+        )
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].aborted  # wounded
+        assert x.raw_get() == "A"
+
+    def test_younger_requester_waits(self, two_atoms):
+        db, x, __ = two_atoms
+
+        async def old_holder(tx):
+            await tx.put(x, "A")
+            for __ in range(4):
+                await tx.pause()
+            return "A"
+
+        async def young_requester(tx):
+            await tx.put(x, "B")
+            return "B"
+
+        kernel = run_transactions(
+            db, {"A": old_holder, "B": young_requester}, deadlock_policy="wound-wait"
+        )
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].committed
+        assert x.raw_get() == "B"  # B waited, then wrote after A
+
+    def test_opposing_order_resolves(self, two_atoms):
+        db, x, y = two_atoms
+        kernel = run_transactions(db, opposing(x, y), deadlock_policy="wound-wait")
+        outcomes = {n: h.committed for n, h in kernel.handles.items()}
+        assert outcomes["A"]  # the elder always survives wound-wait
+        assert kernel.handles["B"].aborted
+        assert x.raw_get() == "A" and y.raw_get() == "A"
+
+    def test_no_stalls_on_contended_workload(self):
+        workload = OrderEntryWorkload(WorkloadConfig(n_items=2, orders_per_item=2, seed=4))
+        programs = dict(workload.take(8))
+        kernel = run_transactions(
+            workload.db, programs, deadlock_policy="wound-wait", policy="random", seed=4
+        )
+        assert all(h.committed or h.aborted for h in kernel.handles.values())
+        assert is_semantically_serializable(kernel.history(), db=workload.db)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        from repro.core.kernel import TransactionManager
+
+        with pytest.raises(ValueError, match="unknown deadlock policy"):
+            TransactionManager(Database(), deadlock_policy="optimistic")
+
+    def test_policies_preserve_serializability_across_seeds(self):
+        for policy in ("wait-die", "wound-wait"):
+            for seed in range(4):
+                workload = OrderEntryWorkload(
+                    WorkloadConfig(n_items=2, orders_per_item=2, seed=seed)
+                )
+                programs = dict(workload.take(5))
+                kernel = run_transactions(
+                    workload.db,
+                    programs,
+                    deadlock_policy=policy,
+                    policy="random",
+                    seed=seed,
+                )
+                result = is_semantically_serializable(kernel.history(), db=workload.db)
+                assert result.serializable, (policy, seed)

@@ -1,0 +1,231 @@
+"""Three-level ADT nesting: ADTs implemented in terms of other ADTs.
+
+The paper's differentiator over earlier ADT concurrency control is that
+"ADTs can be implemented in terms of other ADTs" at arbitrary depth.
+This module builds a three-level stack —
+
+    Ledger  (PostTransfer / NetTotal)
+      +-- two Account ADTs (Credit / Debit / Balance)
+            +-- Counter ADT (Add / Value)
+                  +-- atom
+
+— and checks the protocol through the resulting four-deep invocation
+trees: commuting top-level methods interleave, conflicts are relieved
+through the *deepest* applicable ancestor pair, and compensation
+cascades through the levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serializability import is_semantically_serializable
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+
+from tests.helpers import run_programs
+
+# ---------------------------------------------------------------------------
+# Level 1: Counter on an atom
+# ---------------------------------------------------------------------------
+COUNTER = TypeSpec("NCounter")
+
+
+@COUNTER.method(inverse=lambda result, args: ("Add", (-args[0],)))
+async def Add(ctx, counter, amount):
+    atom = counter.impl_component("value")
+    await ctx.put(atom, await ctx.get(atom) + amount)
+    return None
+
+
+@COUNTER.method(readonly=True)
+async def Value(ctx, counter):
+    return await ctx.get(counter.impl_component("value"))
+
+
+COUNTER.matrix.allow("Add", "Add")
+COUNTER.matrix.conflict("Add", "Value")
+COUNTER.matrix.allow("Value", "Value")
+COUNTER.validate()
+
+# ---------------------------------------------------------------------------
+# Level 2: Account built on a Counter
+# ---------------------------------------------------------------------------
+ACCOUNT = TypeSpec("NAccount")
+
+
+@ACCOUNT.method(inverse=lambda result, args: ("Debit", (args[0],)))
+async def Credit(ctx, account, amount):
+    await ctx.call(account.impl_component("counter"), "Add", amount)
+    return None
+
+
+@ACCOUNT.method(inverse=lambda result, args: ("Credit", (args[0],)))
+async def Debit(ctx, account, amount):
+    await ctx.call(account.impl_component("counter"), "Add", -amount)
+    return None
+
+
+@ACCOUNT.method(readonly=True)
+async def Balance(ctx, account):
+    return await ctx.call(account.impl_component("counter"), "Value")
+
+
+ACCOUNT.matrix.allow("Credit", "Credit")
+ACCOUNT.matrix.allow("Credit", "Debit")
+ACCOUNT.matrix.allow("Debit", "Debit")
+ACCOUNT.matrix.conflict("Credit", "Balance")
+ACCOUNT.matrix.conflict("Debit", "Balance")
+ACCOUNT.matrix.allow("Balance", "Balance")
+ACCOUNT.validate()
+
+# ---------------------------------------------------------------------------
+# Level 3: Ledger built on two Accounts
+# ---------------------------------------------------------------------------
+LEDGER = TypeSpec("NLedger")
+
+
+@LEDGER.method(inverse=lambda result, args: ("PostTransfer", (args[1], args[0], args[2])))
+async def PostTransfer(ctx, ledger, source, destination, amount):
+    accounts = {"a": ledger.impl_component("a"), "b": ledger.impl_component("b")}
+    await ctx.call(accounts[source], "Debit", amount)
+    await ctx.call(accounts[destination], "Credit", amount)
+    return None
+
+
+@LEDGER.method(readonly=True)
+async def NetTotal(ctx, ledger):
+    total_a = await ctx.call(ledger.impl_component("a"), "Balance")
+    total_b = await ctx.call(ledger.impl_component("b"), "Balance")
+    return total_a + total_b
+
+
+LEDGER.matrix.allow("PostTransfer", "PostTransfer")  # transfers commute
+LEDGER.matrix.conflict("PostTransfer", "NetTotal")
+LEDGER.matrix.allow("NetTotal", "NetTotal")
+LEDGER.validate()
+
+
+@pytest.fixture
+def ledger_world():
+    db = Database()
+    ledger = db.new_encapsulated(LEDGER, "ledger")
+    db.attach_child(ledger)
+    impl = db.new_tuple("ledger-impl")
+    for label in ("a", "b"):
+        account = db.new_encapsulated(ACCOUNT, f"acct-{label}")
+        account_impl = db.new_tuple(f"acct-{label}-impl")
+        counter = db.new_encapsulated(COUNTER, f"counter-{label}")
+        counter_impl = db.new_tuple(f"counter-{label}-impl")
+        counter_impl.add_component("value", db.new_atom("value", 100))
+        counter.set_implementation(counter_impl)
+        account_impl.add_component("counter", counter)
+        account.set_implementation(account_impl)
+        impl.add_component(label, account)
+    ledger.set_implementation(impl)
+    return db, ledger
+
+
+def transfer(ledger, source, destination, amount):
+    async def program(tx):
+        await tx.call(ledger, "PostTransfer", source, destination, amount)
+
+    return program
+
+
+def balances(db, ledger):
+    def value(label):
+        account = ledger.impl_component(label)
+        counter = account.impl_component("counter")
+        return counter.impl_component("value").raw_get()
+
+    return value("a"), value("b")
+
+
+class TestDeepTrees:
+    def test_invocation_tree_is_four_deep(self, ledger_world):
+        db, ledger = ledger_world
+        kernel = run_programs(db, {"T": transfer(ledger, "a", "b", 10)})
+        history = kernel.history()
+        assert max(r.depth for r in history.records) == 4  # txn->ledger->acct->counter->leaf
+        ops = {r.operation for r in history.records}
+        assert {"PostTransfer", "Debit", "Credit", "Add", "Get", "Put"} <= ops
+
+    def test_commuting_transfers_interleave_and_balance(self, ledger_world):
+        db, ledger = ledger_world
+        programs = {
+            "T1": transfer(ledger, "a", "b", 10),
+            "T2": transfer(ledger, "b", "a", 25),
+            "T3": transfer(ledger, "a", "b", 5),
+        }
+        kernel = run_programs(db, programs, policy="random", seed=3)
+        assert kernel.metrics.commits == 3
+        a, b = balances(db, ledger)
+        assert a + b == 200
+        assert (a, b) == (100 - 10 + 25 - 5, 100 + 10 - 25 + 5)
+        assert is_semantically_serializable(kernel.history(), db=db)
+
+    def test_relief_at_the_deepest_level(self, ledger_world):
+        """Two transfers touching the same account conflict only at the
+        leaf read-modify-write; the blocker must be a Counter-level Add
+        (or deeper), never a top-level transaction."""
+        db, ledger = ledger_world
+        programs = {
+            "T1": transfer(ledger, "a", "b", 10),
+            "T2": transfer(ledger, "a", "b", 20),
+        }
+        kernel = run_programs(db, programs)
+        for event in kernel.trace.of_kind("block"):
+            assert all(w not in ("T1", "T2") for w in event.detail["waits_for"]), event
+
+    def test_reader_waits_for_writer_commit(self, ledger_world):
+        db, ledger = ledger_world
+        order: list[str] = []
+
+        async def writer(tx):
+            await tx.call(ledger, "PostTransfer", "a", "b", 10)
+            for __ in range(4):
+                await tx.pause()
+            order.append("writer-done")
+
+        async def reader(tx):
+            total = await tx.call(ledger, "NetTotal")
+            order.append(f"read:{total}")
+            return total
+
+        kernel = run_programs(db, {"W": writer, "R": reader})
+        assert kernel.handles["R"].result == 200
+        assert order == ["writer-done", "read:200"]
+
+    def test_abort_cascades_logical_compensation(self, ledger_world):
+        db, ledger = ledger_world
+
+        async def doomed(tx):
+            await tx.call(ledger, "PostTransfer", "a", "b", 40)
+            tx.abort("nope")
+
+        kernel = run_programs(db, {"D": doomed})
+        assert kernel.handles["D"].aborted
+        assert balances(db, ledger) == (100, 100)
+        # compensated at the highest level: one inverse PostTransfer
+        comp = kernel.trace.of_kind("compensate")
+        assert len(comp) == 1
+        assert "PostTransfer" in comp[0].detail["with_"]
+
+    def test_concurrent_aborts_and_commits_net_correctly(self, ledger_world):
+        db, ledger = ledger_world
+
+        async def doomed(tx):
+            await tx.call(ledger, "PostTransfer", "a", "b", 40)
+            for __ in range(10):
+                await tx.pause()
+            tx.abort("nope")
+
+        programs = {
+            "GOOD": transfer(ledger, "a", "b", 7),
+            "BAD": doomed,
+        }
+        kernel = run_programs(db, programs, policy="random", seed=5)
+        assert kernel.handles["GOOD"].committed
+        assert kernel.handles["BAD"].aborted
+        assert balances(db, ledger) == (93, 107)

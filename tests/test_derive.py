@@ -1,0 +1,113 @@
+"""Unit tests for the commutativity deriver (behavioural model checking)."""
+
+from __future__ import annotations
+
+from repro.orderentry.models import ItemModel, OrderModel
+from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE
+from repro.semantics.derive import (
+    StateModel,
+    derive_matrix,
+    invocations_commute,
+    matrices_agree,
+)
+from repro.semantics.invocation import Invocation
+
+
+class CounterModel(StateModel):
+    """Toy model: an escrow-style counter with Incr / Decr / Value."""
+
+    type_name = "Counter"
+
+    def operations(self):
+        return ["Incr", "Value"]
+
+    def sample_states(self):
+        return [0, 5]
+
+    def sample_invocations(self, operation):
+        if operation == "Incr":
+            return [Invocation("Incr", (1,)), Invocation("Incr", (2,))]
+        return [Invocation("Value", ())]
+
+    def apply(self, state, invocation):
+        if invocation.operation == "Incr":
+            return state + invocation.arg(0), None
+        return state, state
+
+    def observers(self):
+        return [Invocation("Value", ())]
+
+
+class TestInvocationsCommute:
+    def test_increments_commute(self):
+        model = CounterModel()
+        assert invocations_commute(model, 0, Invocation("Incr", (1,)), Invocation("Incr", (2,)))
+
+    def test_increment_vs_read_conflicts(self):
+        model = CounterModel()
+        assert not invocations_commute(model, 0, Invocation("Incr", (1,)), Invocation("Value", ()))
+
+    def test_reads_commute(self):
+        model = CounterModel()
+        assert invocations_commute(model, 5, Invocation("Value", ()), Invocation("Value", ()))
+
+
+class TestDeriveMatrix:
+    def test_counter_classification(self):
+        derived = derive_matrix(CounterModel())
+        assert derived.cell("Incr", "Incr").classification == "ok"
+        assert derived.cell("Incr", "Value").classification == "conflict"
+        assert derived.cell("Value", "Value").classification == "ok"
+        assert "Incr" in derived.format_table()
+
+    def test_order_model_matches_fig3(self):
+        """The declared Fig. 3 matrix agrees exactly with the model."""
+        derived = derive_matrix(OrderModel())
+        assert derived.cell("ChangeStatus", "ChangeStatus").classification == "ok"
+        assert derived.cell("TestStatus", "TestStatus").classification == "ok"
+        # parameter-dependent: same event conflicts, different commutes
+        assert derived.cell("ChangeStatus", "TestStatus").classification == "param"
+        assert derived.cell("RemoveStatus", "ChangeStatus").classification == "param"
+
+    def test_item_model_headline_cells(self):
+        derived = derive_matrix(ItemModel())
+        assert derived.cell("NewOrder", "NewOrder").classification == "ok"
+        assert derived.cell("ShipOrder", "PayOrder").classification == "ok"
+        assert derived.cell("TotalPayment", "TotalPayment").classification == "ok"
+        assert derived.cell("PayOrder", "TotalPayment").classification == "param"
+        # shipping never changes paid totals
+        assert derived.cell("ShipOrder", "TotalPayment").classification == "ok"
+
+
+class TestMatricesAgree:
+    def test_fig3_declared_matrix_is_sound_and_tight(self):
+        comparison = matrices_agree(ORDER_TYPE.matrix, OrderModel())
+        assert comparison.is_sound, comparison.unsound
+        # the Fig. 3 matrix is exact for ChangeStatus/TestStatus — no
+        # conservative slack on the public operations
+        public = [
+            (f, g)
+            for f, g in comparison.conservative
+            if f.operation != "RemoveStatus" and g.operation != "RemoveStatus"
+        ]
+        assert public == []
+
+    def test_fig2_declared_matrix_is_sound(self):
+        comparison = matrices_agree(
+            ITEM_TYPE.matrix,
+            ItemModel(),
+            operations=["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"],
+        )
+        assert comparison.is_sound, comparison.unsound
+
+    def test_unsound_matrix_detected(self):
+        """A matrix claiming Incr/Value compatible must be flagged."""
+        from repro.semantics.compatibility import CompatibilityMatrix
+
+        bad = CompatibilityMatrix("Counter", ["Incr", "Value"])
+        bad.allow("Incr", "Incr")
+        bad.allow("Incr", "Value")  # wrong!
+        bad.allow("Value", "Value")
+        comparison = matrices_agree(bad, CounterModel())
+        assert not comparison.is_sound
+        assert any(f.operation == "Incr" for f, __ in comparison.unsound)

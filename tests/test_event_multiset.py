@@ -1,0 +1,132 @@
+"""Tests for EventMultiset and exact ChangeStatus compensation."""
+
+from __future__ import annotations
+
+from repro.core.kernel import run_transactions
+from repro.core.serializability import is_semantically_serializable
+from repro.orderentry.schema import (
+    PAID,
+    SHIPPED,
+    EventMultiset,
+    build_order_entry_database,
+    render_status,
+)
+
+from tests.helpers import run_programs
+
+
+class TestEventMultiset:
+    def test_empty(self):
+        status = EventMultiset()
+        assert PAID not in status
+        assert status.events == frozenset()
+        assert list(status) == []
+        assert repr(status) == "status<new>"
+
+    def test_add_and_contains(self):
+        status = EventMultiset().add(PAID)
+        assert PAID in status
+        assert SHIPPED not in status
+        assert status.count(PAID) == 1
+
+    def test_counts_accumulate(self):
+        status = EventMultiset().add(PAID).add(PAID)
+        assert status.count(PAID) == 2
+        assert status.events == frozenset({PAID})  # observably just "paid"
+
+    def test_remove_decrements_not_erases(self):
+        status = EventMultiset().add(PAID).add(PAID).remove(PAID)
+        assert PAID in status  # one occurrence survives
+        assert status.count(PAID) == 1
+
+    def test_remove_to_zero(self):
+        status = EventMultiset().add(PAID).remove(PAID)
+        assert PAID not in status
+        assert status == EventMultiset()
+
+    def test_remove_at_zero_is_noop(self):
+        assert EventMultiset().remove(PAID) == EventMultiset()
+
+    def test_of_constructor(self):
+        status = EventMultiset.of(PAID, SHIPPED, PAID)
+        assert status.count(PAID) == 2
+        assert status.count(SHIPPED) == 1
+
+    def test_hashable_and_order_insensitive(self):
+        a = EventMultiset.of(PAID, SHIPPED)
+        b = EventMultiset.of(SHIPPED, PAID)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_sorted_events(self):
+        assert list(EventMultiset.of(SHIPPED, PAID, PAID)) == [PAID, SHIPPED]
+
+    def test_repr_with_counts(self):
+        assert repr(EventMultiset.of(PAID, PAID)) == "status<paidx2>"
+
+    def test_render_status(self):
+        assert render_status(EventMultiset()) == "new"
+        assert render_status(EventMultiset.of(SHIPPED)) == "shipped"
+        assert render_status(EventMultiset.of(SHIPPED, PAID)) == "paid&shipped"
+        assert render_status(frozenset({PAID})) == "paid"  # legacy sets too
+
+
+class TestExactCompensation:
+    def test_duplicate_pay_compensation_preserves_survivor(self):
+        """The scenario that motivates multiplicities: two transactions
+        pay the *same* order; one aborts.  Its compensation must not
+        erase the survivor's 'paid' event."""
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+
+        async def pay_and_commit(tx):
+            return await tx.call(item, "PayOrder", 1)
+
+        async def pay_and_abort(tx):
+            await tx.call(item, "PayOrder", 1)
+            for __ in range(12):
+                await tx.pause()
+            tx.abort("changed my mind")
+
+        kernel = run_programs(
+            built.db, {"KEEP": pay_and_commit, "DROP": pay_and_abort}
+        )
+        assert kernel.handles["KEEP"].committed
+        assert kernel.handles["DROP"].aborted
+        status = built.status_atom(0, 0).raw_get()
+        assert PAID in status, "the committed payment must survive"
+        assert status.count(PAID) == 1
+
+    def test_both_abort_leaves_unpaid(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+
+        def payer(pauses):
+            async def program(tx):
+                await tx.call(item, "PayOrder", 1)
+                for __ in range(pauses):
+                    await tx.pause()
+                tx.abort("nope")
+            return program
+
+        kernel = run_programs(built.db, {"A": payer(6), "B": payer(10)})
+        assert kernel.metrics.aborts == 2
+        assert PAID not in built.status_atom(0, 0).raw_get()
+
+    def test_duplicate_pay_histories_serializable(self):
+        for seed in range(6):
+            built = build_order_entry_database(n_items=1, orders_per_item=1)
+            item = built.item(0)
+
+            def payer():
+                async def program(tx):
+                    return await tx.call(item, "PayOrder", 1)
+                return program
+
+            kernel = run_programs(
+                built.db, {"P1": payer(), "P2": payer()}, policy="random", seed=seed
+            )
+            result = is_semantically_serializable(kernel.history(), db=built.db)
+            assert result.serializable, seed
+            committed = sum(1 for h in kernel.handles.values() if h.committed)
+            assert built.status_atom(0, 0).raw_get().count(PAID) == committed

@@ -1,0 +1,84 @@
+"""Unit tests for history recording and its structural queries."""
+
+from __future__ import annotations
+
+from repro.objects.oid import Oid
+from repro.txn.history import ActionRecord, History
+
+DB = Oid("Database", 1)
+ITEM = Oid("Item", 2)
+ATOM = Oid("Atom", 3)
+OTHER = Oid("Atom", 4)
+
+
+def rec(node_id, parent_id, txn, target, op, begin, end, status="committed", args=()):
+    return ActionRecord(
+        node_id=node_id,
+        parent_id=parent_id,
+        txn=txn,
+        target=target,
+        operation=op,
+        args=tuple(args),
+        begin_seq=begin,
+        end_seq=end,
+        status=status,
+        depth=0 if parent_id is None else 1,
+    )
+
+
+def sample_history() -> History:
+    records = [
+        rec("t1", None, "T1", DB, "Transaction", 1, 10),
+        rec("a", "t1", "T1", ITEM, "Ship", 2, 9),
+        rec("a1", "a", "T1", ATOM, "Put", 3, 4, args=(5,)),
+        rec("t2", None, "T2", DB, "Transaction", 5, 12, status="aborted"),
+        rec("b", "t2", "T2", ITEM, "Pay", 6, 8),
+    ]
+    composition = {ATOM: ITEM, OTHER: DB, ITEM: DB, DB: None}
+    return History(records=records, composition_parent=composition)
+
+
+class TestStructure:
+    def test_top_level_and_children(self):
+        h = sample_history()
+        assert [r.node_id for r in h.top_level()] == ["t1", "t2"]
+        assert [r.node_id for r in h.children_of("t1")] == ["a"]
+        assert [r.node_id for r in h.children_of("a")] == ["a1"]
+
+    def test_leaves_in_begin_order(self):
+        h = sample_history()
+        assert [r.node_id for r in h.leaves()] == ["a1", "b"]
+
+    def test_transactions(self):
+        assert sample_history().transactions() == ["T1", "T2"]
+
+    def test_committed_only_filters_aborted(self):
+        h = sample_history().committed_only()
+        assert h.transactions() == ["T1"]
+        assert all(r.txn == "T1" for r in h.records)
+
+    def test_record_lookup_and_label(self):
+        h = sample_history()
+        r = h.record("a1")
+        assert r.operation == "Put"
+        assert "Put(5)" in r.label
+
+
+class TestComposition:
+    def test_chain(self):
+        h = sample_history()
+        assert h.composition_chain(ATOM) == [ATOM, ITEM, DB]
+
+    def test_related_ancestor(self):
+        h = sample_history()
+        assert h.composition_related(ATOM, ITEM)
+        assert h.composition_related(ITEM, ATOM)
+        assert h.composition_related(ATOM, ATOM)
+
+    def test_unrelated_siblings(self):
+        h = sample_history()
+        assert not h.composition_related(ATOM, OTHER)
+
+    def test_format_runs(self):
+        text = sample_history().format()
+        assert "T1" in text and "Put" in text

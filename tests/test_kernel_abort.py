@@ -1,0 +1,269 @@
+"""Integration tests: aborts, compensation, physical undo, restarts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompensationError, TransactionAborted
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.orderentry.schema import PAID, SHIPPED, build_order_entry_database
+
+from tests.helpers import run_programs
+
+
+class TestPhysicalUndo:
+    def test_put_undone(self, db):
+        atom = db.new_atom("x", 1)
+        db.attach_child(atom)
+
+        async def program(tx):
+            await tx.put(atom, 99)
+            tx.abort("nope")
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.handles["T"].aborted
+        assert atom.raw_get() == 1
+
+    def test_insert_undone(self, db):
+        s = db.new_set("s")
+        db.attach_child(s)
+        member = db.new_atom("m", 1)
+
+        async def program(tx):
+            await tx.insert(s, 1, member)
+            tx.abort("nope")
+
+        run_programs(db, {"T": program})
+        assert s.raw_size() == 0
+
+    def test_remove_undone(self, db):
+        s = db.new_set("s")
+        db.attach_child(s)
+        member = db.new_atom("m", 1)
+        s.raw_insert(1, member)
+
+        async def program(tx):
+            await tx.remove(s, 1)
+            tx.abort("nope")
+
+        run_programs(db, {"T": program})
+        assert s.raw_select(1) is member
+
+    def test_multiple_puts_undone_in_reverse(self, db):
+        a = db.new_atom("a", "a0")
+        b = db.new_atom("b", "b0")
+        db.attach_child(a)
+        db.attach_child(b)
+
+        async def program(tx):
+            await tx.put(a, "a1")
+            await tx.put(b, "b1")
+            await tx.put(a, "a2")
+            tx.abort("nope")
+
+        run_programs(db, {"T": program})
+        assert a.raw_get() == "a0"
+        assert b.raw_get() == "b0"
+
+    def test_created_objects_destroyed(self, db):
+        created_oids = []
+
+        async def program(tx):
+            atom = tx.create_atom("tmp", 7)
+            created_oids.append(atom.oid)
+            tx.abort("nope")
+
+        run_programs(db, {"T": program})
+        assert not db.is_live(created_oids[0])
+
+    def test_locks_released_after_abort(self, db):
+        atom = db.new_atom("x", 1)
+        db.attach_child(atom)
+
+        async def program(tx):
+            await tx.put(atom, 2)
+            tx.abort("nope")
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.locks.lock_count == 0
+
+
+class TestLogicalCompensation:
+    def test_new_order_compensated_by_cancel(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+
+        async def program(tx):
+            await tx.call(item, "NewOrder", 42, 5)
+            tx.abort("nope")
+
+        kernel = run_programs(built.db, {"T": program})
+        orders = item.impl_component("Orders")
+        assert orders.raw_size() == 1  # only the pre-existing order
+        assert kernel.metrics.compensations == 1
+
+    def test_ship_order_compensated_by_unship(self):
+        built = build_order_entry_database(
+            n_items=1, orders_per_item=1, quantity_on_hand=100, order_quantity=4
+        )
+        item = built.item(0)
+
+        async def program(tx):
+            await tx.call(item, "ShipOrder", 1)
+            tx.abort("nope")
+
+        run_programs(built.db, {"T": program})
+        assert item.impl_component("QOH").raw_get() == 100  # restored
+        assert SHIPPED not in built.status_atom(0, 0).raw_get()
+
+    def test_pay_order_compensated_by_unpay(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+
+        async def program(tx):
+            await tx.call(item, "PayOrder", 1)
+            tx.abort("nope")
+
+        run_programs(built.db, {"T": program})
+        assert PAID not in built.status_atom(0, 0).raw_get()
+
+    def test_compensations_run_in_reverse_order(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1, quantity_on_hand=10)
+        item = built.item(0)
+
+        async def program(tx):
+            await tx.call(item, "ShipOrder", 1)
+            await tx.call(item, "PayOrder", 1)
+            tx.abort("nope")
+
+        kernel = run_programs(built.db, {"T": program})
+        comp_events = kernel.trace.of_kind("compensate")
+        assert len(comp_events) == 2
+        assert "UnpayOrder" in comp_events[0].detail["with_"]
+        assert "UnshipOrder" in comp_events[1].detail["with_"]
+
+    def test_readonly_methods_need_no_compensation(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+
+        async def program(tx):
+            await tx.call(item, "TotalPayment")
+            tx.abort("nope")
+
+        kernel = run_programs(built.db, {"T": program})
+        assert kernel.metrics.compensations == 0
+        assert kernel.handles["T"].aborted
+
+    def test_effects_of_other_transactions_survive_compensation(self):
+        """The point of logical compensation: a commuting update by a
+        concurrent committed transaction is preserved when the first
+        transaction rolls back (physical state restore would erase it)."""
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        item = built.item(0)
+        order = built.order(0, 0)
+
+        async def pay_then_abort(tx):
+            await tx.call(item, "PayOrder", 1)
+            # give the other transaction a chance to interleave
+            for __ in range(12):
+                await tx.pause()
+            tx.abort("nope")
+
+        async def ship(tx):
+            # ChangeStatus(shipped) commutes with ChangeStatus(paid)
+            await tx.call(order, "ChangeStatus", SHIPPED)
+
+        run_programs(built.db, {"P": pay_then_abort, "S": ship})
+        events = built.status_atom(0, 0).raw_get()
+        assert SHIPPED in events  # S's commuting update survived
+        assert PAID not in events  # P's update was compensated
+
+
+class TestApplicationErrors:
+    def test_application_exception_aborts_and_is_recorded(self, db):
+        atom = db.new_atom("x", 1)
+        db.attach_child(atom)
+
+        async def program(tx):
+            await tx.put(atom, 2)
+            raise ValueError("user bug")
+
+        kernel = run_programs(db, {"T": program})
+        handle = kernel.handles["T"]
+        assert handle.aborted
+        assert isinstance(handle.error, ValueError)
+        assert atom.raw_get() == 1
+
+    def test_abort_reason_preserved(self, db):
+        async def program(tx):
+            tx.abort("business rule 7")
+
+        kernel = run_programs(db, {"T": program})
+        error = kernel.handles["T"].error
+        assert isinstance(error, TransactionAborted)
+        assert "business rule 7" in str(error)
+
+
+class TestSubtransactionRestart:
+    @pytest.fixture
+    def counter(self):
+        spec = TypeSpec("RCounter")
+
+        @spec.method
+        async def Add(ctx, counter, amount):
+            atom = counter.impl_component("value")
+            await ctx.put(atom, await ctx.get(atom) + amount)
+            return None
+
+        spec.matrix.allow("Add", "Add")
+        db = Database()
+        obj = db.new_encapsulated(spec, "c")
+        db.attach_child(obj)
+        impl = db.new_tuple("impl")
+        impl.add_component("value", db.new_atom("value", 0))
+        obj.set_implementation(impl)
+        return db, obj
+
+    def test_rmw_deadlock_resolved_by_restart_not_abort(self, counter):
+        db, obj = counter
+
+        def adder(amount):
+            async def p(tx):
+                await tx.call(obj, "Add", amount)
+            return p
+
+        kernel = run_programs(db, {"A": adder(2), "B": adder(3)})
+        assert obj.impl_component("value").raw_get() == 5  # no lost update
+        assert kernel.handles["A"].committed and kernel.handles["B"].committed
+        assert kernel.metrics.subtxn_restarts >= 1
+        assert kernel.metrics.aborts == 0
+
+    def test_many_concurrent_adders_all_commit(self, counter):
+        db, obj = counter
+
+        def adder(amount):
+            async def p(tx):
+                await tx.call(obj, "Add", amount)
+            return p
+
+        programs = {f"T{i}": adder(i) for i in range(1, 6)}
+        kernel = run_programs(db, programs, policy="random", seed=11)
+        assert obj.impl_component("value").raw_get() == sum(range(1, 6))
+        assert kernel.metrics.commits == 5
+
+    def test_restarted_subtree_absent_from_history(self, counter):
+        db, obj = counter
+
+        def adder(amount):
+            async def p(tx):
+                await tx.call(obj, "Add", amount)
+            return p
+
+        kernel = run_programs(db, {"A": adder(2), "B": adder(3)})
+        history = kernel.history()
+        # every Add in the history has exactly one Get and one Put child
+        for record in history.records:
+            if record.operation == "Add":
+                children = history.children_of(record.node_id)
+                assert [c.operation for c in children] == ["Get", "Put"]

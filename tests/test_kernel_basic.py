@@ -1,0 +1,218 @@
+"""Integration tests: the kernel executing transactions end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import TransactionManager
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.runtime.scheduler import Scheduler
+
+from tests.helpers import run_programs
+
+
+@pytest.fixture
+def counter_world():
+    """A database with an encapsulated counter built on an atom."""
+    spec = TypeSpec("Counter")
+
+    @spec.method(inverse=lambda result, args: ("Add", (-args[0],)))
+    async def Add(ctx, counter, amount):
+        value_atom = counter.impl_component("value")
+        value = await ctx.get(value_atom)
+        await ctx.put(value_atom, value + amount)
+        return value + amount
+
+    @spec.method(readonly=True)
+    async def Value(ctx, counter):
+        return await ctx.get(counter.impl_component("value"))
+
+    m = spec.matrix
+    m.allow("Add", "Add")          # increments commute
+    m.conflict("Add", "Value")     # reading observes increments
+    m.allow("Value", "Value")
+    spec.validate()
+
+    db = Database()
+    counter = db.new_encapsulated(spec, "c")
+    db.attach_child(counter)
+    impl = db.new_tuple("c-impl")
+    impl.add_component("value", db.new_atom("value", 0))
+    counter.set_implementation(impl)
+    return db, counter
+
+
+class TestSingleTransaction:
+    def test_result_and_commit(self, counter_world):
+        db, counter = counter_world
+
+        async def program(tx):
+            return await tx.call(counter, "Add", 5)
+
+        kernel = run_programs(db, {"T": program})
+        handle = kernel.handles["T"]
+        assert handle.committed and not handle.aborted
+        assert handle.result == 5
+        assert counter.impl_component("value").raw_get() == 5
+
+    def test_nested_invocation_tree_in_history(self, counter_world):
+        db, counter = counter_world
+
+        async def program(tx):
+            await tx.call(counter, "Add", 1)
+
+        kernel = run_programs(db, {"T": program})
+        history = kernel.history()
+        root = history.top_level()[0]
+        add = history.children_of(root.node_id)[0]
+        leaves = history.children_of(add.node_id)
+        assert add.operation == "Add"
+        assert [leaf.operation for leaf in leaves] == ["Get", "Put"]
+        assert add.begin_seq < leaves[0].begin_seq
+        assert add.end_seq > leaves[-1].end_seq
+
+    def test_all_locks_released_after_commit(self, counter_world):
+        db, counter = counter_world
+
+        async def program(tx):
+            await tx.call(counter, "Add", 1)
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.locks.lock_count == 0
+        assert kernel.locks.pending_count == 0
+
+    def test_generic_ops_direct(self, db):
+        atom = db.new_atom("x", 10)
+        db.attach_child(atom)
+
+        async def program(tx):
+            value = await tx.get(atom)
+            await tx.put(atom, value * 2)
+            return await tx.get(atom)
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.handles["T"].result == 20
+
+    def test_set_ops_direct(self, db):
+        s = db.new_set("s")
+        db.attach_child(s)
+        member = db.new_atom("m", 1)
+
+        async def program(tx):
+            await tx.insert(s, 1, member)
+            selected = await tx.select(s, 1)
+            size = await tx.size(s)
+            scanned = await tx.scan(s)
+            removed = await tx.remove(s, 1)
+            return (selected is member, size, len(scanned), removed is member)
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.handles["T"].result == (True, 1, 1, True)
+
+    def test_metrics_count_actions_and_commits(self, counter_world):
+        db, counter = counter_world
+
+        async def program(tx):
+            await tx.call(counter, "Add", 1)
+
+        kernel = run_programs(db, {"T": program})
+        assert kernel.metrics.commits == 1
+        assert kernel.metrics.actions == 3  # Add + Get + Put
+
+
+class TestConcurrentTransactions:
+    def test_commuting_adds_do_not_block_at_method_level(self, counter_world):
+        """Two Add transactions: semantic locks compatible; the leaf
+        Put conflict is relieved through the commuting Add ancestors."""
+        db, counter = counter_world
+
+        def adder(amount):
+            async def program(tx):
+                return await tx.call(counter, "Add", amount)
+            return program
+
+        kernel = run_programs(db, {"A": adder(2), "B": adder(3)})
+        assert counter.impl_component("value").raw_get() == 5
+        assert kernel.handles["A"].committed and kernel.handles["B"].committed
+        # The only blocks permitted are leaf-level case-2 waits, which
+        # resolve at subtransaction commit, never top-level waits.
+        for event in kernel.trace.of_kind("block"):
+            assert event.detail["waits_for"] != [
+                "A"
+            ] and event.detail["waits_for"] != ["B"]
+
+    def test_reader_blocks_until_adder_commits(self, counter_world):
+        db, counter = counter_world
+        order: list[str] = []
+
+        async def adder(tx):
+            await tx.call(counter, "Add", 7)
+            await tx.pause()
+            await tx.pause()
+            order.append("adder-done")
+
+        async def reader(tx):
+            value = await tx.call(counter, "Value")
+            order.append(f"read:{value}")
+            return value
+
+        kernel = run_programs(db, {"A": adder, "R": reader})
+        assert kernel.handles["R"].result == 7
+        assert order == ["adder-done", "read:7"]  # reader waited for commit
+
+    def test_determinism_same_seed_same_history(self, counter_world):
+        db_template = counter_world  # only used for spec; rebuild per run
+
+        def run_once(seed):
+            spec_db, counter = _fresh_counter()
+            def adder(amount):
+                async def program(tx):
+                    return await tx.call(counter, "Add", amount)
+                return program
+            kernel = run_programs(
+                spec_db,
+                {"A": adder(1), "B": adder(2), "C": adder(3)},
+                policy="random",
+                seed=seed,
+            )
+            return [
+                (r.txn, r.operation, r.begin_seq) for r in kernel.history().records
+            ]
+
+        assert run_once(5) == run_once(5)
+
+    def test_handles_record_clock_span(self, counter_world):
+        db, counter = counter_world
+        from repro.core.kernel import CostModel
+
+        async def program(tx):
+            await tx.call(counter, "Add", 1)
+
+        scheduler = Scheduler()
+        kernel = TransactionManager(
+            db, scheduler=scheduler, cost_model=CostModel(generic_op=1.0, method_op=2.0)
+        )
+        kernel.spawn("T", program)
+        kernel.run()
+        handle = kernel.handles["T"]
+        assert handle.response_time == pytest.approx(4.0)  # 2 + 1 + 1
+
+
+def _fresh_counter():
+    spec = TypeSpec("Counter2")
+
+    @spec.method
+    async def Add(ctx, counter, amount):
+        atom = counter.impl_component("value")
+        await ctx.put(atom, await ctx.get(atom) + amount)
+        return None
+
+    spec.matrix.allow("Add", "Add")
+    db = Database()
+    counter = db.new_encapsulated(spec, "c")
+    db.attach_child(counter)
+    impl = db.new_tuple("impl")
+    impl.add_component("value", db.new_atom("value", 0))
+    counter.set_implementation(impl)
+    return db, counter

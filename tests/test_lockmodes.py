@@ -1,0 +1,108 @@
+"""Tests for semantic lock-mode derivation (Ko83/SS84 per Section 3)."""
+
+from __future__ import annotations
+
+from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE
+from repro.semantics.compatibility import CompatibilityMatrix
+from repro.semantics.generic import ATOM_MATRIX, SET_MATRIX
+from repro.semantics.invocation import Invocation
+from repro.semantics.lockmodes import LockMode, LockModeTable
+
+
+class TestBasics:
+    def test_one_mode_per_operation(self):
+        table = LockModeTable(ATOM_MATRIX)
+        assert set(table.modes) == {"Get", "Put"}
+        assert table.mode_for("Get").name == "Atom.Get"
+
+    def test_mode_compatibility_follows_matrix(self):
+        table = LockModeTable(ATOM_MATRIX)
+        get, put = table.mode_for("Get"), table.mode_for("Put")
+        g, p = Invocation("Get"), Invocation("Put", (1,))
+        assert table.compatible(get, g, get, g)
+        assert not table.compatible(get, g, put, p)
+        assert not table.compatible(put, p, put, p)
+
+    def test_parameter_dependence_passes_through(self):
+        table = LockModeTable(ORDER_TYPE.matrix)
+        cs = table.mode_for("ChangeStatus")
+        ts = table.mode_for("TestStatus")
+        assert table.compatible(
+            cs, Invocation("ChangeStatus", ("shipped",)),
+            ts, Invocation("TestStatus", ("paid",)),
+        )
+        assert not table.compatible(
+            cs, Invocation("ChangeStatus", ("paid",)),
+            ts, Invocation("TestStatus", ("paid",)),
+        )
+
+
+class TestMinimalModes:
+    def test_identical_rows_merge(self):
+        m = CompatibilityMatrix("T", ["A", "B", "C"])
+        # A and B have identical rows; C conflicts with everything
+        m.allow("A", "A")
+        m.allow("A", "B")
+        m.allow("B", "B")
+        m.conflict("A", "C")
+        m.conflict("B", "C")
+        m.conflict("C", "C")
+        assignment = LockModeTable(m).minimal_modes()
+        assert assignment["A"] == assignment["B"] == "T.A"
+        assert assignment["C"] == "T.C"
+
+    def test_param_rows_stay_individual(self):
+        assignment = LockModeTable(ORDER_TYPE.matrix).minimal_modes()
+        # every Order operation has parameter-dependent cells
+        assert len(set(assignment.values())) == 3
+
+    def test_atom_modes_distinct(self):
+        assignment = LockModeTable(ATOM_MATRIX).minimal_modes()
+        assert assignment["Get"] != assignment["Put"]
+
+
+class TestClassicRWView:
+    def test_atom_matrix_is_classical(self):
+        """The paper: conventional locking is a special case."""
+        view = LockModeTable(ATOM_MATRIX).classic_rw_view()
+        assert view == {"Get": "R", "Put": "W"}
+
+    def test_order_matrix_is_not_classical(self):
+        assert LockModeTable(ORDER_TYPE.matrix).classic_rw_view() is None
+
+    def test_item_matrix_is_not_classical(self):
+        assert LockModeTable(ITEM_TYPE.matrix).classic_rw_view() is None
+
+    def test_set_matrix_is_not_classical(self):
+        # keyed parameter dependence is beyond R/W
+        assert LockModeTable(SET_MATRIX).classic_rw_view() is None
+
+    def test_pure_reader_matrix(self):
+        m = CompatibilityMatrix("T", ["A", "B"])
+        m.allow("A", "A")
+        m.allow("A", "B")
+        m.allow("B", "B")
+        view = LockModeTable(m).classic_rw_view()
+        assert view == {"A": "R", "B": "R"}
+
+    def test_incoherent_matrix_rejected(self):
+        # A compatible with B but not with itself: not R/W shaped
+        m = CompatibilityMatrix("T", ["A", "B"])
+        m.conflict("A", "A")
+        m.allow("A", "B")
+        m.allow("B", "B")
+        assert LockModeTable(m).classic_rw_view() is None
+
+
+class TestRendering:
+    def test_format_table(self):
+        text = LockModeTable(ORDER_TYPE.matrix).format_table()
+        assert "lock modes of Order" in text
+        assert "ChangeStatus" in text
+        assert "TestStatus?" in text  # parameter-dependent marker
+
+    def test_lockmode_str(self):
+        mode = LockMode("Item", "ShipOrder")
+        assert str(mode) == "Item.ShipOrder"
+        shared = LockMode("Item", "ShipOrder", shared_as="Item.S")
+        assert shared.name == "Item.S"

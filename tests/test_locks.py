@@ -1,0 +1,208 @@
+"""Unit tests for the lock table: grants, FCFS queues, release modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.objects.oid import Oid
+from repro.runtime.scheduler import Scheduler
+from repro.semantics.invocation import Invocation
+from repro.txn.locks import LockTable
+from repro.txn.transaction import TransactionNode
+
+X = Oid("Atom", 1)
+Y = Oid("Atom", 2)
+
+
+def node(tree_id: str, parent: TransactionNode | None = None, op: str = "Op") -> TransactionNode:
+    target = X
+    return TransactionNode(tree_id, parent, target, Invocation(op, (tree_id,)))
+
+
+def root_and_child(name: str) -> tuple[TransactionNode, TransactionNode]:
+    root = TransactionNode(name, None, Oid("Database", 0), Invocation("Transaction", (name,)))
+    child = TransactionNode(f"{name}.1", root, X, Invocation("Op", (name,)))
+    return root, child
+
+
+def never_conflicts(holder, h_inv, requester, r_inv, target):
+    return None
+
+
+def always_conflicts(holder, h_inv, requester, r_inv, target):
+    return holder.root()
+
+
+def make_signal():
+    return Scheduler().create_signal()
+
+
+class TestGrantAndBlock:
+    def test_grant_and_inspect(self):
+        table = LockTable()
+        __, child = root_and_child("T1")
+        lock = table.grant(child, X, child.invocation)
+        assert table.locks_on(X) == (lock,)
+        assert table.lock_count == 1
+        assert table.total_grants == 1
+
+    def test_compute_blockers_against_held(self):
+        table = LockTable()
+        r1, c1 = root_and_child("T1")
+        __, c2 = root_and_child("T2")
+        table.grant(c1, X, c1.invocation)
+        blockers = table.compute_blockers(c2, X, c2.invocation, always_conflicts)
+        assert blockers == {r1}
+        assert not table.compute_blockers(c2, X, c2.invocation, never_conflicts)
+
+    def test_blockers_include_earlier_queued_requests(self):
+        """FCFS: a request conflicts with earlier queued requests too."""
+        table = LockTable()
+        r1, c1 = root_and_child("T1")
+        __, c2 = root_and_child("T2")
+        table.enqueue(c1, X, c1.invocation, make_signal())
+        blockers = table.compute_blockers(c2, X, c2.invocation, always_conflicts)
+        assert blockers == {r1}
+
+    def test_before_seq_limits_queue_check(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        __, c2 = root_and_child("T2")
+        p1 = table.enqueue(c1, X, c1.invocation, make_signal())
+        table.enqueue(c2, X, c2.invocation, make_signal())
+        # re-testing p1 must not see the later request
+        blockers = table.compute_blockers(
+            c1, X, c1.invocation, always_conflicts, before_seq=p1.enqueue_seq
+        )
+        assert blockers == set()
+
+
+class TestReevaluate:
+    def test_grant_in_fcfs_order(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        __, c2 = root_and_child("T2")
+
+        # conflict tester: everyone conflicts with everyone else
+        table.enqueue(c1, X, c1.invocation, make_signal())
+        table.enqueue(c2, X, c2.invocation, make_signal())
+
+        granted = table.reevaluate(never_conflicts)
+        # With no conflicts both are granted, in FCFS order.
+        assert [p.node for p in granted] == [c1, c2]
+        assert table.pending_count == 0
+        assert table.lock_count == 2
+
+    def test_no_overtaking_past_conflicting_earlier_request(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        __, c2 = root_and_child("T2")
+        __, blocker = root_and_child("T0")
+        table.grant(blocker, X, blocker.invocation)
+
+        def tester(holder, h_inv, requester, r_inv, target):
+            # T1 conflicts with the held lock; T2 conflicts with T1 only.
+            if requester is c1 and holder is blocker:
+                return holder.root()
+            if requester is c2 and holder is c1:
+                return holder.root()
+            return None
+
+        table.enqueue(c1, X, c1.invocation, make_signal())
+        table.enqueue(c2, X, c2.invocation, make_signal())
+        granted = table.reevaluate(tester)
+        # T1 still blocked by the held lock; T2 must not overtake T1.
+        assert granted == []
+        assert table.pending_count == 2
+
+    def test_granted_signal_fires(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        signal = make_signal()
+        table.enqueue(c1, X, c1.invocation, signal)
+        table.reevaluate(never_conflicts)
+        assert signal.done
+
+
+class TestRelease:
+    def test_release_tree(self):
+        table = LockTable()
+        r1, c1 = root_and_child("T1")
+        r2, c2 = root_and_child("T2")
+        table.grant(r1, Oid("Database", 0), r1.invocation)
+        table.grant(c1, X, c1.invocation)
+        table.grant(c2, X, c2.invocation)
+        released = table.release_tree(r1)
+        assert len(released) == 2
+        assert table.lock_count == 1
+        assert table.locks_on(X)[0].node is c2
+
+    def test_release_descendant_locks_keeps_own(self):
+        table = LockTable()
+        root, mid = root_and_child("T1")
+        leaf = TransactionNode("T1.1.1", mid, Y, Invocation("Get"))
+        table.grant(mid, X, mid.invocation)
+        table.grant(leaf, Y, leaf.invocation)
+        released = table.release_descendant_locks(mid)
+        assert [lk.node for lk in released] == [leaf]
+        assert table.locks_on(X)[0].node is mid  # own lock kept
+
+    def test_reassign_locks_to_parent(self):
+        table = LockTable()
+        root, mid = root_and_child("T1")
+        leaf = TransactionNode("T1.1.1", mid, Y, Invocation("Get"))
+        table.grant(leaf, Y, leaf.invocation)
+        moved = table.reassign_locks_to_parent(mid)
+        # the leaf's lock now belongs to mid's parent (the root)
+        assert table.locks_on(Y)[0].node is root
+        assert len(moved) == 1
+
+    def test_reassign_toplevel_rejected(self):
+        table = LockTable()
+        root, __ = root_and_child("T1")
+        with pytest.raises(ProtocolViolation):
+            table.reassign_locks_to_parent(root)
+
+    def test_release_unknown_lock_rejected(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        lock = table.grant(c1, X, c1.invocation)
+        table.release_lock(lock)
+        with pytest.raises(ProtocolViolation):
+            table.release_lock(lock)
+
+    def test_cancel_pending(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        pending = table.enqueue(c1, X, c1.invocation, make_signal())
+        table.cancel(pending)
+        assert table.pending_count == 0
+        table.cancel(pending)  # idempotent
+
+
+class TestRetainedProperty:
+    def test_lock_becomes_retained_when_parent_commits(self):
+        table = LockTable()
+        root, mid = root_and_child("T1")
+        leaf = TransactionNode("T1.1.1", mid, Y, Invocation("Get"))
+        lock = table.grant(leaf, Y, leaf.invocation)
+        assert not lock.retained  # mid still active
+        mid.status = mid.status.__class__.COMMITTED
+        assert lock.retained
+
+    def test_toplevel_own_lock_never_retained(self):
+        table = LockTable()
+        root, __ = root_and_child("T1")
+        lock = table.grant(root, Oid("Database", 0), root.invocation)
+        assert not lock.retained
+
+    def test_high_water_mark(self):
+        table = LockTable()
+        __, c1 = root_and_child("T1")
+        l1 = table.grant(c1, X, c1.invocation)
+        l2 = table.grant(c1, Y, Invocation("Get"))
+        table.release_lock(l1)
+        table.release_lock(l2)
+        assert table.max_locks_held == 2
+        assert table.lock_count == 0

@@ -1,0 +1,91 @@
+"""Direct tests of the behavioural state models (Item / Order)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orderentry.models import ItemModel, OrderModel
+from repro.orderentry.schema import PAID, SHIPPED
+from repro.semantics.invocation import Invocation
+
+
+def inv(op, *args):
+    return Invocation(op, args)
+
+
+class TestOrderModel:
+    model = OrderModel()
+
+    def test_change_adds_event(self):
+        state, result = self.model.apply(frozenset(), inv("ChangeStatus", SHIPPED))
+        assert state == frozenset({SHIPPED})
+        assert result is None
+
+    def test_change_idempotent(self):
+        state, __ = self.model.apply(frozenset({PAID}), inv("ChangeStatus", PAID))
+        assert state == frozenset({PAID})
+
+    def test_test_status(self):
+        __, result = self.model.apply(frozenset({PAID}), inv("TestStatus", PAID))
+        assert result is True
+        __, result = self.model.apply(frozenset({PAID}), inv("TestStatus", SHIPPED))
+        assert result is False
+
+    def test_remove_status(self):
+        state, __ = self.model.apply(frozenset({PAID, SHIPPED}), inv("RemoveStatus", PAID))
+        assert state == frozenset({SHIPPED})
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.apply(frozenset(), inv("Explode"))
+
+    def test_observers_are_readonly(self):
+        for probe in self.model.observers():
+            assert probe.operation == "TestStatus"
+
+
+class TestItemModel:
+    model = ItemModel()
+
+    def base_state(self):
+        return self.model.sample_states()[2]  # orders 1 (new) and 2 (paid)
+
+    def test_new_order_returns_opaque_ok(self):
+        state, result = self.model.apply(self.base_state(), inv("NewOrder", 7, 4, "a"))
+        assert result == "ok"
+        __, ___, orders = state
+        assert any(key == ("a", 0) for key, *__ in orders)
+
+    def test_two_new_orders_same_seed_get_distinct_keys(self):
+        state, __ = self.model.apply(self.base_state(), inv("NewOrder", 7, 4, "a"))
+        state, __ = self.model.apply(state, inv("NewOrder", 8, 2, "a"))
+        keys = {key for key, *__ in state[2]}
+        assert ("a", 0) in keys and ("a", 1) in keys
+
+    def test_ship_decrements_qoh(self):
+        state, result = self.model.apply(self.base_state(), inv("ShipOrder", 1))
+        assert result == "shipped"
+        assert state[1] == 50 - 3  # order 1 has quantity 3
+
+    def test_ship_missing_order(self):
+        state, result = self.model.apply(self.base_state(), inv("ShipOrder", 99))
+        assert result == "no-such-order"
+        assert state == self.base_state()
+
+    def test_pay_then_total(self):
+        state, __ = self.model.apply(self.base_state(), inv("PayOrder", 1))
+        __, total = self.model.apply(state, inv("TotalPayment"))
+        # order 1 (qty 3) newly paid + order 2 (qty 5) already paid
+        assert total == (3 + 5) * ItemModel.PRICE
+
+    def test_total_ignores_unpaid(self):
+        __, total = self.model.apply(self.model.sample_states()[1], inv("TotalPayment"))
+        assert total == 0
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.apply(self.base_state(), inv("Explode"))
+
+    def test_sample_invocations_cover_surrogates(self):
+        ships = self.model.sample_invocations("ShipOrder")
+        assert any(isinstance(s.arg(0), tuple) for s in ships)

@@ -1,0 +1,179 @@
+"""Unit tests for atoms, tuples, sets, and encapsulated objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownOperationError
+from repro.objects.atoms import AtomicObject
+from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
+from repro.objects.oid import Oid
+from repro.objects.sets import SetObject
+from repro.objects.tuples import TupleObject
+
+
+class TestAtomicObject:
+    def test_raw_get_put(self):
+        atom = AtomicObject(Oid("Atom", 1), "x", 41)
+        assert atom.raw_get() == 41
+        atom.raw_put(42)
+        assert atom.raw_get() == 42
+
+    def test_default_value_none(self):
+        assert AtomicObject(Oid("Atom", 1), "x").raw_get() is None
+
+
+class TestTupleObject:
+    def test_components(self):
+        t = TupleObject(Oid("Tuple", 1), "t")
+        a = AtomicObject(Oid("Atom", 2), "a", 1)
+        t.add_component("a", a)
+        assert t.component("a") is a
+        assert t.has_component("a")
+        assert not t.has_component("b")
+        assert t.component_labels == ("a",)
+        assert a.parent is t
+
+    def test_duplicate_component_rejected(self):
+        t = TupleObject(Oid("Tuple", 1), "t")
+        t.add_component("a", AtomicObject(Oid("Atom", 2), "a"))
+        with pytest.raises(SchemaError, match="already has a component"):
+            t.add_component("a", AtomicObject(Oid("Atom", 3), "a2"))
+
+    def test_unknown_component(self):
+        t = TupleObject(Oid("Tuple", 1), "t")
+        with pytest.raises(SchemaError, match="no component"):
+            t.component("missing")
+
+
+class TestSetObject:
+    def make_set(self) -> SetObject:
+        return SetObject(Oid("Set", 1), "s")
+
+    def member(self, n: int) -> AtomicObject:
+        return AtomicObject(Oid("Atom", 10 + n), f"m{n}", n)
+
+    def test_insert_select(self):
+        s = self.make_set()
+        m = self.member(1)
+        s.raw_insert(1, m)
+        assert s.raw_select(1) is m
+        assert s.raw_select(2) is None
+        assert s.raw_contains(1)
+        assert m.parent is s
+
+    def test_duplicate_key_rejected(self):
+        s = self.make_set()
+        s.raw_insert(1, self.member(1))
+        with pytest.raises(SchemaError, match="already contains"):
+            s.raw_insert(1, self.member(2))
+
+    def test_remove_returns_and_detaches(self):
+        s = self.make_set()
+        m = self.member(1)
+        s.raw_insert(1, m)
+        removed = s.raw_remove(1)
+        assert removed is m
+        assert m.parent is None
+        assert s.raw_size() == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(SchemaError, match="no member"):
+            self.make_set().raw_remove(9)
+
+    def test_scan_order_and_size(self):
+        s = self.make_set()
+        members = [self.member(i) for i in (3, 1, 2)]
+        for m in members:
+            s.raw_insert(m.raw_get(), m)
+        assert [k for k, __ in s.raw_scan()] == [3, 1, 2]  # insertion order
+        assert s.raw_size() == 3
+
+
+class TestTypeSpec:
+    def make_spec(self) -> TypeSpec:
+        spec = TypeSpec("Counter")
+
+        @spec.method(readonly=True)
+        async def Value(ctx, obj):
+            return 0
+
+        @spec.method(inverse=lambda result, args: ("Decr", args))
+        async def Incr(ctx, obj, amount):
+            return None
+
+        return spec
+
+    def test_registration(self):
+        spec = self.make_spec()
+        assert set(spec.methods) == {"Value", "Incr"}
+        assert spec.method_spec("Value").readonly
+        assert spec.method_spec("Incr").inverse is not None
+        assert spec.matrix.operations == ("Value", "Incr")
+
+    def test_duplicate_method_rejected(self):
+        spec = self.make_spec()
+        with pytest.raises(SchemaError, match="already defines"):
+            @spec.method(name="Incr")
+            async def Incr2(ctx, obj):
+                return None
+
+    def test_unknown_method(self):
+        with pytest.raises(UnknownOperationError):
+            self.make_spec().method_spec("Nope")
+
+    def test_validate_requires_complete_matrix(self):
+        spec = self.make_spec()
+        with pytest.raises(SchemaError, match="no compatibility entry"):
+            spec.validate()
+        m = spec.matrix
+        m.allow("Value", "Value")
+        m.conflict("Value", "Incr")
+        m.allow("Incr", "Incr")
+        spec.validate()  # now complete
+
+    def test_validate_rejects_readonly_with_inverse(self):
+        spec = TypeSpec("Bad")
+
+        @spec.method(readonly=True, inverse=lambda r, a: ("X", ()))
+        async def R(ctx, obj):
+            return None
+
+        spec.matrix.allow("R", "R")
+        with pytest.raises(SchemaError, match="readonly but has an inverse"):
+            spec.validate()
+
+    def test_public_methods_exclude_internal(self):
+        spec = TypeSpec("T")
+
+        @spec.method
+        async def Pub(ctx, obj):
+            return None
+
+        @spec.method(internal=True)
+        async def Comp(ctx, obj):
+            return None
+
+        assert spec.public_methods == ("Pub",)
+
+
+class TestEncapsulatedObject:
+    def test_implementation_lifecycle(self):
+        spec = TypeSpec("T")
+        obj = EncapsulatedObject(Oid("T", 1), "x", spec)
+        with pytest.raises(SchemaError, match="no implementation"):
+            __ = obj.impl
+        impl = TupleObject(Oid("Tuple", 2), "impl")
+        impl.add_component("a", AtomicObject(Oid("Atom", 3), "a", 7))
+        obj.set_implementation(impl)
+        assert obj.impl is impl
+        assert obj.impl_component("a").raw_get() == 7
+        with pytest.raises(SchemaError, match="already has an implementation"):
+            obj.set_implementation(TupleObject(Oid("Tuple", 4), "impl2"))
+
+    def test_impl_component_requires_tuple(self):
+        spec = TypeSpec("T")
+        obj = EncapsulatedObject(Oid("T", 1), "x", spec)
+        obj.set_implementation(AtomicObject(Oid("Atom", 2), "a"))
+        with pytest.raises(SchemaError, match="not a tuple"):
+            obj.impl_component("a")

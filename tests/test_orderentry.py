@@ -1,0 +1,207 @@
+"""Tests for the order-entry application: schema, methods, transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.schema import describe_database
+from repro.orderentry.schema import (
+    ITEM_TYPE,
+    NO_SUCH_ORDER,
+    ORDER_TYPE,
+    PAID,
+    SHIPPED,
+    build_order_entry_database,
+    render_status,
+    type_matrices,
+)
+from repro.orderentry.transactions import (
+    make_new_order_txn,
+    make_t1,
+    make_t2,
+    make_t3,
+    make_t4,
+    make_t5,
+)
+from repro.semantics.invocation import Invocation
+
+from tests.helpers import run_programs
+
+
+class TestTypeDefinitions:
+    def test_matrices_complete(self):
+        assert ITEM_TYPE.matrix.is_complete()
+        assert ORDER_TYPE.matrix.is_complete()
+
+    def test_public_methods(self):
+        assert set(ITEM_TYPE.public_methods) == {
+            "NewOrder",
+            "ShipOrder",
+            "PayOrder",
+            "TotalPayment",
+        }
+        assert set(ORDER_TYPE.public_methods) == {"ChangeStatus", "TestStatus"}
+
+    def test_fig2_headline_entries(self):
+        m = ITEM_TYPE.matrix
+        inv = Invocation
+        assert m.compatible(inv("ShipOrder", (1,)), inv("PayOrder", (1,)))
+        assert m.compatible(inv("NewOrder", (9, 1)), inv("NewOrder", (8, 2)))
+        assert not m.compatible(inv("NewOrder", (9, 1)), inv("ShipOrder", (1,)))
+        assert not m.compatible(inv("PayOrder", (1,)), inv("TotalPayment", ()))
+        assert m.compatible(inv("ShipOrder", (1,)), inv("TotalPayment", ()))
+        # parameter dependence
+        assert m.compatible(inv("ShipOrder", (1,)), inv("ShipOrder", (2,)))
+        assert not m.compatible(inv("ShipOrder", (1,)), inv("ShipOrder", (1,)))
+
+    def test_fig3_entries(self):
+        m = ORDER_TYPE.matrix
+        inv = Invocation
+        assert m.compatible(inv("ChangeStatus", (SHIPPED,)), inv("ChangeStatus", (SHIPPED,)))
+        assert m.compatible(inv("ChangeStatus", (SHIPPED,)), inv("TestStatus", (PAID,)))
+        assert not m.compatible(inv("ChangeStatus", (PAID,)), inv("TestStatus", (PAID,)))
+        assert m.compatible(inv("TestStatus", (SHIPPED,)), inv("TestStatus", (SHIPPED,)))
+
+    def test_render_status(self):
+        assert render_status(frozenset()) == "new"
+        assert render_status(frozenset({SHIPPED})) == "shipped"
+        assert render_status(frozenset({SHIPPED, PAID})) == "paid&shipped"
+
+    def test_type_matrices_export(self):
+        matrices = type_matrices()
+        assert matrices["Item"] is ITEM_TYPE.matrix
+        assert matrices["Order"] is ORDER_TYPE.matrix
+
+
+class TestDatabaseConstruction:
+    def test_structure(self, order_entry):
+        assert len(order_entry.items) == 2
+        item = order_entry.item(0)
+        assert item.spec is ITEM_TYPE
+        assert item.impl_component("QOH").raw_get() == 1000
+        orders = item.impl_component("Orders")
+        assert orders.raw_size() == 2
+
+    def test_next_order_counter_seeded(self, order_entry):
+        counter = order_entry.item(0).impl_component("NextOrderNo")
+        assert counter.raw_get() == 2  # two pre-populated orders
+
+    def test_schema_graph_matches_fig1(self, order_entry):
+        graph = describe_database(order_entry.db)
+        tree = graph.format_tree("DB")
+        assert "Items" in tree
+        assert "Item" in tree
+        assert "Orders" in tree
+        assert "Order" in tree
+        assert "Status" in tree
+
+    def test_initial_status(self):
+        built = build_order_entry_database(initial_events=frozenset({PAID}))
+        assert PAID in built.status_atom(0, 0).raw_get()
+
+
+class TestMethods:
+    def test_new_order_assigns_sequential_numbers(self, order_entry):
+        item = order_entry.item(0)
+
+        async def program(tx):
+            first = await tx.call(item, "NewOrder", 900, 1)
+            second = await tx.call(item, "NewOrder", 901, 2)
+            return (first, second)
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        assert kernel.handles["T"].result == (3, 4)
+        orders = item.impl_component("Orders")
+        assert orders.raw_size() == 4
+
+    def test_ship_order_updates_qoh_and_status(self, order_entry):
+        item = order_entry.item(0)
+
+        async def program(tx):
+            return await tx.call(item, "ShipOrder", 1)
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        assert kernel.handles["T"].result == "shipped"
+        assert item.impl_component("QOH").raw_get() == 999
+        assert SHIPPED in order_entry.status_atom(0, 0).raw_get()
+
+    def test_ship_missing_order(self, order_entry):
+        async def program(tx):
+            return await tx.call(order_entry.item(0), "ShipOrder", 77)
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        assert kernel.handles["T"].result == NO_SUCH_ORDER
+
+    def test_pay_then_total_payment(self, order_entry):
+        item = order_entry.item(0)
+
+        async def program(tx):
+            await tx.call(item, "PayOrder", 1)
+            await tx.call(item, "PayOrder", 2)
+            return await tx.call(item, "TotalPayment")
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        # two orders of quantity 1 at price 10
+        assert kernel.handles["T"].result == 20
+
+    def test_total_payment_ignores_unpaid(self, order_entry):
+        async def program(tx):
+            return await tx.call(order_entry.item(0), "TotalPayment")
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        assert kernel.handles["T"].result == 0
+
+    def test_change_and_test_status(self, order_entry):
+        order = order_entry.order(0, 0)
+
+        async def program(tx):
+            before = await tx.call(order, "TestStatus", SHIPPED)
+            await tx.call(order, "ChangeStatus", SHIPPED)
+            after = await tx.call(order, "TestStatus", SHIPPED)
+            return (before, after)
+
+        kernel = run_programs(order_entry.db, {"T": program})
+        assert kernel.handles["T"].result == (False, True)
+
+    def test_status_is_event_set_not_ordered(self, order_entry):
+        """ChangeStatus adds to a set; order of events is forgotten."""
+        order = order_entry.order(0, 0)
+
+        async def program(tx):
+            await tx.call(order, "ChangeStatus", PAID)
+            await tx.call(order, "ChangeStatus", SHIPPED)
+
+        run_programs(order_entry.db, {"T": program})
+        assert order_entry.status_atom(0, 0).raw_get().events == frozenset({PAID, SHIPPED})
+
+
+class TestTransactionTypes:
+    def test_t1_ships_two_items(self, order_entry):
+        program = make_t1(order_entry.item(0), 1, order_entry.item(1), 2)
+        kernel = run_programs(order_entry.db, {"T1": program})
+        assert kernel.handles["T1"].result == ("shipped", "shipped")
+
+    def test_t2_pays_two_items(self, order_entry):
+        program = make_t2(order_entry.item(0), 1, order_entry.item(1), 2)
+        kernel = run_programs(order_entry.db, {"T2": program})
+        assert kernel.handles["T2"].result == ("paid", "paid")
+        assert PAID in order_entry.status_atom(0, 0).raw_get()
+
+    def test_t3_t4_bypass_items(self, order_entry):
+        t3 = make_t3(order_entry.order(0, 0), order_entry.order(1, 0))
+        t4 = make_t4(order_entry.order(0, 1), order_entry.order(1, 1))
+        kernel = run_programs(order_entry.db, {"T3": t3, "T4": t4})
+        assert kernel.handles["T3"].result == (False, False)
+        assert kernel.handles["T4"].result == (False, False)
+
+    def test_t5_total(self, order_entry):
+        pay = make_t2(order_entry.item(0), 1, order_entry.item(0), 2)
+        kernel = run_programs(order_entry.db, {"P": pay})
+        t5 = make_t5(order_entry.item(0))
+        kernel = run_programs(order_entry.db, {"T5": t5})
+        assert kernel.handles["T5"].result == 20
+
+    def test_new_order_txn(self, order_entry):
+        program = make_new_order_txn(order_entry.item(1), 555, 9)
+        kernel = run_programs(order_entry.db, {"N": program})
+        assert kernel.handles["N"].result == 3

@@ -1,0 +1,215 @@
+"""Integration tests for the baseline protocols on the shared kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SemanticLockingProtocol
+from repro.objects.database import Database
+from repro.orderentry.schema import SHIPPED, build_order_entry_database
+from repro.orderentry.transactions import make_t1, make_t2
+from repro.protocols.closed_nested import ClosedNestedProtocol
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+from repro.protocols.two_phase_page import PageLockingProtocol
+
+from tests.helpers import run_programs
+
+
+def ship_and_pay_same_orders(protocol):
+    """T1 ships orders 1@i1, 2@i2 while T2 pays the same orders."""
+    built = build_order_entry_database(n_items=2, orders_per_item=2)
+    programs = {
+        "T1": make_t1(built.item(0), 1, built.item(1), 2),
+        "T2": make_t2(built.item(0), 1, built.item(1), 2),
+    }
+    kernel = run_programs(built.db, programs, protocol=protocol)
+    return built, kernel
+
+
+class TestSemanticVsBaselineConcurrency:
+    def test_semantic_runs_ship_and_pay_without_top_level_waits(self):
+        __, kernel = ship_and_pay_same_orders(SemanticLockingProtocol())
+        assert kernel.handles["T1"].committed and kernel.handles["T2"].committed
+        for event in kernel.trace.of_kind("block"):
+            # any block is a leaf-level case-1/2 wait, i.e. on a
+            # subtransaction node (node ids like "a-3"), never on a
+            # top-level transaction name
+            assert all(w not in ("T1", "T2") for w in event.detail["waits_for"])
+
+    @pytest.mark.parametrize(
+        "protocol_cls",
+        [ObjectRW2PLProtocol, PageLockingProtocol, ClosedNestedProtocol],
+    )
+    def test_baselines_serialize_ship_and_pay(self, protocol_cls):
+        """Conventional protocols block Ship vs Pay on the same order
+        (pure write-write conflict to them) until top-level commit."""
+        __, kernel = ship_and_pay_same_orders(protocol_cls())
+        assert kernel.handles["T1"].committed
+        assert kernel.handles["T2"].committed or kernel.handles["T2"].aborted
+        blocked_on_txn = [
+            e
+            for e in kernel.trace.of_kind("block")
+            if any(w in ("T1", "T2") for w in e.detail["waits_for"])
+        ]
+        assert blocked_on_txn, f"{protocol_cls.__name__} should have blocked"
+
+    def test_results_identical_across_protocols(self):
+        """All correct protocols produce the same final state here."""
+        states = {}
+        for protocol in (
+            SemanticLockingProtocol(),
+            ObjectRW2PLProtocol(),
+            PageLockingProtocol(),
+            ClosedNestedProtocol(),
+            OpenNestedNaiveProtocol(),
+        ):
+            built, kernel = ship_and_pay_same_orders(protocol)
+            if not (kernel.handles["T1"].committed and kernel.handles["T2"].committed):
+                continue  # an aborted run may legitimately differ
+            states[protocol.name] = (
+                built.item(0).impl_component("QOH").raw_get(),
+                built.status_atom(0, 0).raw_get(),
+                built.status_atom(1, 1).raw_get(),
+            )
+        assert len(set(states.values())) == 1, states
+
+
+class TestPageLocking:
+    def test_page_locks_only(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+
+        async def program(tx):
+            await tx.call(built.item(0), "ShipOrder", 1)
+
+        kernel = run_programs(built.db, {"T": program}, protocol=PageLockingProtocol())
+        targets = {e.detail["target"] for e in kernel.trace.of_kind("grant")}
+        assert targets, "no locks taken"
+        assert all(t.startswith("Page#") for t in targets), targets
+
+    def test_false_sharing_blocks_unrelated_objects(self):
+        """Two atoms on the same page conflict under page locking even
+        though they are logically unrelated."""
+        db = Database(records_per_page=8)
+        a = db.new_atom("a", 0)
+        b = db.new_atom("b", 0)
+        db.attach_child(a)
+        db.attach_child(b)
+        assert db.storage.co_located(a.oid, b.oid)
+
+        async def wa(tx):
+            await tx.put(a, 1)
+            await tx.pause()
+            await tx.pause()
+
+        async def wb(tx):
+            await tx.put(b, 1)
+
+        kernel = run_programs(db, {"A": wa, "B": wb}, protocol=PageLockingProtocol())
+        assert kernel.metrics.blocks >= 1  # false sharing
+
+        # the semantic protocol does not conflate them
+        db2 = Database(records_per_page=8)
+        a2, b2 = db2.new_atom("a", 0), db2.new_atom("b", 0)
+        db2.attach_child(a2)
+        db2.attach_child(b2)
+
+        async def wa2(tx):
+            await tx.put(a2, 1)
+            await tx.pause()
+            await tx.pause()
+
+        async def wb2(tx):
+            await tx.put(b2, 1)
+
+        kernel2 = run_programs(db2, {"A": wa2, "B": wb2}, protocol=SemanticLockingProtocol())
+        assert kernel2.metrics.blocks == 0
+
+
+class TestClosedNested:
+    @staticmethod
+    def _run_commuting_pair(protocol):
+        """Reader tests 'paid' and lingers; writer then marks 'shipped'.
+
+        ``ChangeStatus(shipped)`` commutes with ``TestStatus(paid)``
+        (Fig. 3), so the semantic protocol lets them overlap; closed
+        nested locking sees only the inherited R lock on the status atom
+        and blocks the writer's Put until the reader commits.
+        """
+        from repro.core.kernel import TransactionManager
+        from repro.runtime.scheduler import Scheduler
+
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+        order = built.order(0, 0)
+        scheduler = Scheduler()
+        kernel = TransactionManager(built.db, protocol=protocol, scheduler=scheduler)
+        gate = scheduler.create_signal("reader-done-reading")
+
+        async def reader(tx):
+            result = await tx.call(order, "TestStatus", "paid")
+            gate.fire()
+            for __ in range(10):
+                await tx.pause()  # hold the transaction open
+            return result
+
+        async def writer(tx):
+            await gate
+            await tx.call(order, "ChangeStatus", SHIPPED)
+
+        kernel.spawn("R", reader)
+        kernel.spawn("C", writer)
+        kernel.run()
+        return kernel
+
+    def test_leaf_locks_inherited_until_top_commit(self):
+        kernel = self._run_commuting_pair(ClosedNestedProtocol())
+        writer_blocks = [e for e in kernel.trace.of_kind("block") if e.txn == "C"]
+        assert writer_blocks, "closed nested locking should block the writer"
+        assert writer_blocks[0].detail["waits_for"] == ["R"]
+        assert kernel.handles["R"].result is False
+
+    def test_semantic_protocol_does_not_block_commuting_pair(self):
+        kernel = self._run_commuting_pair(SemanticLockingProtocol())
+        # case 1 relief: the writer's leaf Put conflicts with the
+        # reader's retained Get, but TestStatus(paid) is a committed
+        # commuting ancestor of the Get — no block.
+        writer_blocks = [e for e in kernel.trace.of_kind("block") if e.txn == "C"]
+        assert writer_blocks == []
+
+
+class TestNaiveOpenNested:
+    def test_same_depth_workload_is_serializable(self):
+        """Without bypassing, the Section-3 protocol is correct."""
+        from repro.core.serializability import is_semantically_serializable
+
+        for seed in range(5):
+            built, kernel = ship_and_pay_same_orders(OpenNestedNaiveProtocol())
+            result = is_semantically_serializable(kernel.history(), db=built.db)
+            assert result.serializable
+
+    def test_subtxn_completion_releases_descendant_locks(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+
+        async def program(tx):
+            await tx.call(built.item(0), "ShipOrder", 1)
+            # at this point ShipOrder completed: only its own semantic
+            # lock (plus the root's Transaction lock) should remain
+            return None
+
+        from repro.core.kernel import TransactionManager
+        from repro.runtime.scheduler import Scheduler
+
+        lock_counts = []
+        kernel = TransactionManager(
+            built.db, protocol=OpenNestedNaiveProtocol(), scheduler=Scheduler()
+        )
+
+        def probe(node, phase):
+            if phase == "post" and node.invocation.operation == "ShipOrder":
+                lock_counts.append(kernel.locks.lock_count)
+            return None
+
+        kernel.probe = probe
+        kernel.spawn("T", program)
+        kernel.run()
+        assert lock_counts == [2]  # ShipOrder's own + the Transaction lock

@@ -1,0 +1,226 @@
+"""Tests for the publishing application (the second adopter domain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serializability import is_semantically_serializable
+from repro.errors import WorkloadError
+from repro.publishing.schema import (
+    DOCUMENT_TYPE,
+    SECTION_TYPE,
+    build_publishing_database,
+)
+from repro.publishing.workload import PublishingConfig, PublishingWorkload
+from repro.semantics.invocation import Invocation
+
+from tests.helpers import run_programs
+
+
+@pytest.fixture
+def shelf():
+    return build_publishing_database(n_documents=2, sections_per_document=2)
+
+
+class TestTypeDefinitions:
+    def test_matrices_complete(self):
+        assert DOCUMENT_TYPE.matrix.is_complete()
+        assert SECTION_TYPE.matrix.is_complete()
+
+    def test_headline_cells(self):
+        m = DOCUMENT_TYPE.matrix
+        inv = Invocation
+        assert m.compatible(inv("Annotate", (1, 10, "x")), inv("Annotate", (1, 11, "y")))
+        assert m.compatible(inv("Annotate", (1, 10, "x")), inv("Publish", ()))
+        assert m.compatible(inv("Annotate", (1, 10, "x")), inv("WordCount", ()))
+        assert not m.compatible(inv("EditSection", (1, "t")), inv("WordCount", ()))
+        assert not m.compatible(inv("EditSection", (1, "t")), inv("Publish", ()))
+        # per-section parameter dependence
+        assert m.compatible(inv("EditSection", (1, "t")), inv("EditSection", (2, "u")))
+        assert not m.compatible(inv("EditSection", (1, "t")), inv("EditSection", (1, "u")))
+
+
+class TestMethods:
+    def test_edit_and_read(self, shelf):
+        doc = shelf.document(0)
+
+        async def program(tx):
+            previous = await tx.call(doc, "EditSection", 1, "brand new text")
+            return previous
+
+        kernel = run_programs(shelf.db, {"T": program})
+        assert kernel.handles["T"].result == "lorem ipsum dolor"
+        assert shelf.body_atom(0, 0).raw_get() == "brand new text"
+
+    def test_add_section_numbers(self, shelf):
+        doc = shelf.document(0)
+
+        async def program(tx):
+            first = await tx.call(doc, "AddSection", "H", "one two")
+            second = await tx.call(doc, "AddSection", "H2", "three")
+            return (first, second)
+
+        kernel = run_programs(shelf.db, {"T": program})
+        assert kernel.handles["T"].result == (3, 4)
+
+    def test_word_count_bypasses_sections(self, shelf):
+        doc = shelf.document(0)
+
+        async def program(tx):
+            return await tx.call(doc, "WordCount")
+
+        kernel = run_programs(shelf.db, {"T": program})
+        assert kernel.handles["T"].result == 6  # 2 sections x 3 words
+        history = kernel.history()
+        # the reads hit Body atoms directly, not Section methods
+        assert not any(r.operation == "ReadBody" for r in history.records)
+        assert any(r.operation == "Get" for r in history.records)
+
+    def test_publish_flag(self, shelf):
+        doc = shelf.document(0)
+
+        async def program(tx):
+            await tx.call(doc, "Publish")
+            return await tx.call(doc, "IsPublished")
+
+        kernel = run_programs(shelf.db, {"T": program})
+        assert kernel.handles["T"].result is True
+
+
+class TestConcurrency:
+    def test_annotators_do_not_block(self, shelf):
+        doc = shelf.document(0)
+
+        def annotator(note_id):
+            async def program(tx):
+                return await tx.call(doc, "Annotate", 1, note_id, f"note {note_id}")
+            return program
+
+        kernel = run_programs(
+            shelf.db, {f"R{i}": annotator(i) for i in range(1, 5)}
+        )
+        assert kernel.metrics.commits == 4
+        # only short leaf-level waits at worst — never on a top level
+        for event in kernel.trace.of_kind("block"):
+            assert all(not w.startswith("R") for w in event.detail["waits_for"]), event
+        notes = shelf.section(0, 0).impl_component("Notes")
+        assert notes.raw_size() == 4
+
+    def test_authors_on_distinct_sections_interleave(self, shelf):
+        doc = shelf.document(0)
+
+        def author(section_no, text):
+            async def program(tx):
+                return await tx.call(doc, "EditSection", section_no, text)
+            return program
+
+        kernel = run_programs(
+            shelf.db, {"A1": author(1, "alpha"), "A2": author(2, "beta")}
+        )
+        assert kernel.metrics.commits == 2
+        assert kernel.metrics.blocks == 0  # parameter-aware cell
+        assert shelf.body_atom(0, 0).raw_get() == "alpha"
+        assert shelf.body_atom(0, 1).raw_get() == "beta"
+
+    def test_authors_on_same_section_serialize(self, shelf):
+        doc = shelf.document(0)
+
+        def author(text, pauses):
+            async def program(tx):
+                result = await tx.call(doc, "EditSection", 1, text)
+                for __ in range(pauses):
+                    await tx.pause()
+                return result
+            return program
+
+        kernel = run_programs(
+            shelf.db, {"A1": author("alpha", 6), "A2": author("beta", 0)}
+        )
+        blocks = [e for e in kernel.trace.of_kind("block") if e.txn == "A2"]
+        assert blocks and blocks[0].detail["waits_for"] == ["A1"]
+        assert shelf.body_atom(0, 0).raw_get() == "beta"  # A2 after A1
+        assert kernel.handles["A2"].result == "alpha"  # read A1's text
+
+    def test_annotate_while_publishing(self, shelf):
+        doc = shelf.document(0)
+
+        async def publisher(tx):
+            await tx.call(doc, "Publish")
+            for __ in range(5):
+                await tx.pause()
+
+        async def annotator(tx):
+            return await tx.call(doc, "Annotate", 1, 99, "post-publication note")
+
+        kernel = run_programs(shelf.db, {"P": publisher, "R": annotator})
+        assert kernel.metrics.commits == 2
+        annotator_blocks = [e for e in kernel.trace.of_kind("block") if e.txn == "R"]
+        assert annotator_blocks == []  # Annotate/Publish commute
+
+
+class TestCompensation:
+    def test_aborted_edit_restores_previous_text(self, shelf):
+        doc = shelf.document(0)
+
+        async def doomed(tx):
+            await tx.call(doc, "EditSection", 1, "garbage")
+            tx.abort("editor changed their mind")
+
+        kernel = run_programs(shelf.db, {"D": doomed})
+        assert kernel.handles["D"].aborted
+        assert shelf.body_atom(0, 0).raw_get() == "lorem ipsum dolor"
+
+    def test_aborted_draft_removes_section(self, shelf):
+        doc = shelf.document(0)
+
+        async def doomed(tx):
+            await tx.call(doc, "AddSection", "H", "draft")
+            tx.abort("nope")
+
+        run_programs(shelf.db, {"D": doomed})
+        sections = doc.impl_component("Sections")
+        assert sections.raw_size() == 2
+
+    def test_aborted_annotation_survives_concurrent_note(self, shelf):
+        """Compensating one annotation must not disturb another's."""
+        doc = shelf.document(0)
+
+        async def doomed(tx):
+            await tx.call(doc, "Annotate", 1, 50, "to be withdrawn")
+            for __ in range(10):
+                await tx.pause()
+            tx.abort("withdrawn")
+
+        async def keeper(tx):
+            return await tx.call(doc, "Annotate", 1, 51, "stays")
+
+        kernel = run_programs(shelf.db, {"D": doomed, "K": keeper})
+        assert kernel.handles["K"].committed
+        notes = shelf.section(0, 0).impl_component("Notes")
+        assert notes.raw_contains(51)
+        assert not notes.raw_contains(50)
+
+
+class TestWorkload:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            PublishingConfig(n_documents=0)
+        with pytest.raises(WorkloadError):
+            PublishingConfig(mix={"SING": 1.0})
+
+    def test_deterministic(self):
+        def names(seed):
+            workload = PublishingWorkload(PublishingConfig(seed=seed))
+            return [name for name, __ in workload.take(15)]
+
+        assert names(4) == names(4)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_batches_serializable(self, seed):
+        workload = PublishingWorkload(PublishingConfig(seed=seed))
+        programs = dict(workload.take(6))
+        kernel = run_programs(workload.db, programs, policy="random", seed=seed)
+        terminal = sum(1 for h in kernel.handles.values() if h.committed or h.aborted)
+        assert terminal == 6
+        result = is_semantically_serializable(kernel.history(), db=workload.db)
+        assert result.serializable, seed

@@ -1,0 +1,265 @@
+"""Tests for multi-level crash recovery (WAL + redo + logical undo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import TransactionManager, run_transactions
+from repro.objects.atoms import AtomicObject
+from repro.objects.sets import SetObject
+from repro.orderentry.schema import (
+    ITEM_TYPE,
+    ORDER_TYPE,
+    build_order_entry_database,
+)
+from repro.orderentry.transactions import make_new_order_txn, make_t1, make_t2
+from repro.recovery import (
+    WriteAheadLog,
+    address_of,
+    rebuild_snapshot,
+    recover,
+    resolve_address,
+    snapshot,
+)
+from repro.recovery.wal import SubtxnCommitRecord, TxnStatusRecord, UpdateRecord
+from repro.runtime.scheduler import Scheduler
+
+TYPE_SPECS = {"Item": ITEM_TYPE, "Order": ORDER_TYPE}
+
+
+def snapshot_state(db, exclude=("NextOrderNo",)):
+    """Comparable state by logical path; order-number counters excluded
+    (compensation deliberately does not reuse order numbers)."""
+    state = {}
+    for obj in db.subtree():
+        if isinstance(obj, AtomicObject) and obj.name not in exclude:
+            state[obj.path] = obj.raw_get()
+        elif isinstance(obj, SetObject):
+            state[obj.path + "/keys"] = tuple(sorted(str(k) for k, __ in obj.raw_scan()))
+    return state
+
+
+class TestAddresses:
+    def test_roundtrip_all_objects(self, order_entry):
+        for obj in order_entry.db.subtree():
+            if obj is order_entry.db:
+                continue
+            address = address_of(obj)
+            assert resolve_address(order_entry.db, address) is obj
+
+    def test_snapshot_rebuild_order(self, order_entry):
+        order = order_entry.order(0, 0)
+        description = snapshot(order)
+        rebuilt = rebuild_snapshot(order_entry.db, description, TYPE_SPECS)
+        assert rebuilt.spec is ORDER_TYPE
+        assert rebuilt.impl_component("OrderNo").raw_get() == 1
+        assert rebuilt.impl_component("Status").raw_get().events == frozenset()
+
+    def test_rebuild_unknown_spec_rejected(self, order_entry):
+        from repro.errors import UnknownObjectError
+
+        description = snapshot(order_entry.order(0, 0))
+        with pytest.raises(UnknownObjectError):
+            rebuild_snapshot(order_entry.db, description, {})
+
+
+class TestWalContent:
+    def run_logged(self, programs, builder=None, max_steps=None):
+        built = (builder or (lambda: build_order_entry_database(2, 2)))()
+        wal = WriteAheadLog()
+        kernel = TransactionManager(built.db, scheduler=Scheduler(), wal=wal)
+        for name, factory in programs(built).items():
+            kernel.spawn(name, factory)
+        finished = kernel.scheduler.run(max_steps=max_steps)
+        if not finished:
+            kernel.scheduler.shutdown()
+        return built, wal, kernel
+
+    @staticmethod
+    def ship_pay(built):
+        return {
+            "T1": make_t1(built.item(0), 1, built.item(1), 2),
+            "T2": make_t2(built.item(0), 1, built.item(1), 2),
+        }
+
+    def test_commit_records_present(self):
+        __, wal, __k = self.run_logged(self.ship_pay)
+        statuses = [r for r in wal if isinstance(r, TxnStatusRecord)]
+        assert [r.status for r in statuses if r.txn == "T1"] == ["begin", "commit"]
+        assert wal.status_of("T1") == "commit"
+
+    def test_subtxn_commits_carry_inverses(self):
+        __, wal, __k = self.run_logged(self.ship_pay)
+        ships = [
+            r
+            for r in wal
+            if isinstance(r, SubtxnCommitRecord) and r.operation == "ShipOrder"
+        ]
+        assert len(ships) == 2
+        assert all(r.inverse_operation == "UnshipOrder" for r in ships)
+        assert all(r.subtree_ids for r in ships)
+
+    def test_readonly_methods_not_logged(self):
+        def progs(built):
+            async def t5(tx):
+                return await tx.call(built.item(0), "TotalPayment")
+
+            return {"T5": t5}
+
+        __, wal, __k = self.run_logged(progs)
+        assert not [r for r in wal if isinstance(r, SubtxnCommitRecord)]
+        assert not [r for r in wal if isinstance(r, UpdateRecord)]
+
+    def test_insert_logs_member_snapshot(self):
+        def progs(built):
+            return {"N": make_new_order_txn(built.item(0), 700, 2)}
+
+        __, wal, __k = self.run_logged(progs)
+        inserts = [
+            r for r in wal if isinstance(r, UpdateRecord) and r.operation == "Insert"
+        ]
+        assert len(inserts) == 1
+        assert inserts[0].member_snapshot is not None
+        assert inserts[0].member_snapshot["kind"] == "encapsulated"
+
+    def test_detached_object_changes_not_logged(self):
+        """NewOrder initialises atoms of the order before inserting it;
+        those changes live inside the Insert snapshot, not as records."""
+
+        def progs(built):
+            return {"N": make_new_order_txn(built.item(0), 700, 2)}
+
+        __, wal, __k = self.run_logged(progs)
+        puts = [r for r in wal if isinstance(r, UpdateRecord) and r.operation == "Put"]
+        # only the NextOrderNo counter update is an attached Put
+        assert len(puts) == 1
+
+    def test_status_of_in_flight(self):
+        __, wal, __k = self.run_logged(self.ship_pay, max_steps=12)
+        assert "in-flight" in {wal.status_of(t) for t in wal.transactions()}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        __, wal, __k = self.run_logged(self.ship_pay)
+        path = str(tmp_path / "wal.pickle")
+        wal.save(path)
+        loaded = WriteAheadLog.load(path)
+        assert len(loaded) == len(wal)
+        assert loaded.status_of("T2") == "commit"
+
+
+def run_crash(programs_factory, builder, max_steps):
+    built = builder()
+    wal = WriteAheadLog()
+    kernel = TransactionManager(built.db, scheduler=Scheduler(), wal=wal)
+    for name, program in programs_factory(built).items():
+        kernel.spawn(name, program)
+    finished = kernel.scheduler.run(max_steps=max_steps)
+    if not finished:
+        kernel.scheduler.shutdown()
+    return built, wal, kernel
+
+
+class TestRecovery:
+    BUILDER = staticmethod(lambda: build_order_entry_database(2, 2))
+
+    @staticmethod
+    def programs(built):
+        return {
+            "T1": make_t1(built.item(0), 1, built.item(1), 2),
+            "T2": make_t2(built.item(0), 1, built.item(1), 2),
+            "N1": make_new_order_txn(built.item(0), 777, 3),
+        }
+
+    def oracle(self, winners):
+        fresh = self.BUILDER()
+        programs = self.programs(fresh)
+        for winner in winners:
+            run_transactions(fresh.db, {winner: programs[winner]})
+        return snapshot_state(fresh.db)
+
+    def test_recovery_of_complete_run_reproduces_state(self):
+        built, wal, __ = run_crash(self.programs, self.BUILDER, None)
+        restored = self.BUILDER()
+        report = recover(restored.db, wal, TYPE_SPECS)
+        assert not report.losers
+        assert snapshot_state(restored.db) == snapshot_state(built.db)
+        assert report.redone == sum(isinstance(r, UpdateRecord) for r in wal)
+
+    @pytest.mark.parametrize("crash_at", range(0, 140, 5))
+    def test_crash_point_sweep(self, crash_at):
+        """At every crash point: recovered state == serial execution of
+        exactly the durably-committed transactions."""
+        built, wal, __ = run_crash(self.programs, self.BUILDER, crash_at)
+        restored = self.BUILDER()
+        report = recover(restored.db, wal, TYPE_SPECS)
+        winners = [
+            r.txn
+            for r in wal
+            if isinstance(r, TxnStatusRecord) and r.status == "commit"
+        ]
+        assert snapshot_state(restored.db) == self.oracle(winners), report
+
+    def test_loser_new_order_disappears(self):
+        """Crash right after NewOrder's subtransaction committed but
+        before N1's top-level commit: recovery cancels the order."""
+        def programs(built):
+            async def n1(tx):
+                order_no = await tx.call(built.item(0), "NewOrder", 777, 3)
+                for __ in range(20):
+                    await tx.pause()  # a wide window before the commit
+                return order_no
+
+            return {"N1": n1}
+
+        found = False
+        for crash_at in range(4, 40, 2):
+            built, wal, __ = run_crash(programs, self.BUILDER, crash_at)
+            n1_inserts = [
+                r
+                for r in wal
+                if isinstance(r, UpdateRecord)
+                and r.txn == "N1"
+                and r.operation == "Insert"
+            ]
+            if n1_inserts and wal.status_of("N1") == "in-flight":
+                found = True
+                restored = self.BUILDER()
+                report = recover(restored.db, wal, TYPE_SPECS)
+                orders = restored.item(0).impl_component("Orders")
+                assert orders.raw_size() == 2  # the pre-existing orders only
+                assert report.compensated >= 1
+        assert found, "no crash point hit the committed-subtxn window"
+
+    def test_crash_during_abort_completes_the_abort(self):
+        """A transaction that aborted in-flight (compensations partially
+        logged, no abort record) is finished off by recovery."""
+        def programs(built):
+            async def doomed(tx):
+                await tx.call(built.item(0), "PayOrder", 1)
+                tx.abort("business rule")
+
+            return {"D": doomed}
+
+        # sweep crash points through the abort path
+        for crash_at in range(5, 60, 2):
+            built, wal, __ = run_crash(programs, self.BUILDER, crash_at)
+            if wal.status_of("D") != "in-flight":
+                continue
+            restored = self.BUILDER()
+            recover(restored.db, wal, TYPE_SPECS)
+            status = restored.status_atom(0, 0).raw_get()
+            assert "paid" not in status, f"crash@{crash_at}"
+        # and the completed abort also recovers clean
+        built, wal, __ = run_crash(programs, self.BUILDER, None)
+        assert wal.status_of("D") == "abort"
+        restored = self.BUILDER()
+        report = recover(restored.db, wal, TYPE_SPECS)
+        assert "paid" not in restored.status_atom(0, 0).raw_get()
+        assert not report.losers
+
+    def test_report_string(self):
+        built, wal, __ = run_crash(self.programs, self.BUILDER, 40)
+        restored = self.BUILDER()
+        report = recover(restored.db, wal, TYPE_SPECS)
+        text = str(report)
+        assert "recovery:" in text and "redone" in text

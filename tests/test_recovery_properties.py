@@ -1,0 +1,111 @@
+"""Property-based tests for crash recovery.
+
+For random workloads, random interleavings, and random crash points:
+recovering the surviving write-ahead log onto a restored backup must
+yield the state of a serial execution of exactly the durably-committed
+transactions (up to surrogate order-number renaming), and recovery must
+be idempotent in its classification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernel import TransactionManager, run_transactions
+from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE, build_order_entry_database
+from repro.orderentry.transactions import make_new_order_txn, make_t1, make_t2
+from repro.recovery import WriteAheadLog, recover
+from repro.recovery.wal import TxnStatusRecord
+from repro.runtime.scheduler import Scheduler
+
+from tests.test_properties import canonical_state
+
+TYPE_SPECS = {"Item": ITEM_TYPE, "Order": ORDER_TYPE}
+N_ITEMS = 2
+ORDERS = 2
+
+item_idx = st.integers(0, N_ITEMS - 1)
+order_no = st.integers(1, ORDERS)
+
+txn_spec = st.one_of(
+    st.tuples(st.just("T1"), item_idx, order_no, item_idx, order_no),
+    st.tuples(st.just("T2"), item_idx, order_no, item_idx, order_no),
+    st.tuples(st.just("T0"), item_idx, st.integers(100, 104), st.integers(1, 3)),
+)
+
+
+def build():
+    return build_order_entry_database(n_items=N_ITEMS, orders_per_item=ORDERS)
+
+
+def make_program(spec, built):
+    kind = spec[0]
+    if kind == "T1":
+        __, i1, o1, i2, o2 = spec
+        return make_t1(built.item(i1), o1, built.item(i2), o2)
+    if kind == "T2":
+        __, i1, o1, i2, o2 = spec
+        return make_t2(built.item(i1), o1, built.item(i2), o2)
+    __, i1, customer, qty = spec
+    return make_new_order_txn(built.item(i1), customer, qty)
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        specs=st.lists(txn_spec, min_size=1, max_size=3),
+        crash_at=st.integers(0, 120),
+        seed=st.integers(0, 1000),
+    )
+    def test_crash_recovery_matches_winners_oracle(self, specs, crash_at, seed):
+        built = build()
+        wal = WriteAheadLog()
+        kernel = TransactionManager(
+            built.db, scheduler=Scheduler(policy="random", seed=seed), wal=wal
+        )
+        names = []
+        for i, spec in enumerate(specs):
+            name = f"X{i}-{spec[0]}"
+            names.append(name)
+            kernel.spawn(name, make_program(spec, built))
+        finished = kernel.scheduler.run(max_steps=crash_at)
+        if not finished:
+            kernel.scheduler.shutdown()
+
+        restored = build()
+        report = recover(restored.db, wal, TYPE_SPECS)
+
+        winners = [
+            r.txn
+            for r in wal
+            if isinstance(r, TxnStatusRecord) and r.status == "commit"
+        ]
+        oracle = build()
+        name_to_spec = dict(zip(names, specs))
+        for winner in winners:
+            run_transactions(
+                oracle.db, {winner: make_program(name_to_spec[winner], oracle)}
+            )
+        assert canonical_state(restored.db) == canonical_state(oracle.db), str(report)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        specs=st.lists(txn_spec, min_size=1, max_size=2),
+        crash_at=st.integers(0, 80),
+    )
+    def test_analysis_is_complete(self, specs, crash_at):
+        """Every logged transaction is classified exactly once."""
+        built = build()
+        wal = WriteAheadLog()
+        kernel = TransactionManager(built.db, scheduler=Scheduler(), wal=wal)
+        for i, spec in enumerate(specs):
+            kernel.spawn(f"X{i}", make_program(spec, built))
+        if not kernel.scheduler.run(max_steps=crash_at):
+            kernel.scheduler.shutdown()
+        restored = build()
+        report = recover(restored.db, wal, TYPE_SPECS)
+        classified = set(report.winners) | set(report.aborted) | set(report.losers)
+        assert classified == set(wal.transactions())
+        assert len(report.winners) + len(report.aborted) + len(report.losers) == len(
+            classified
+        )

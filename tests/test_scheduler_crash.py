@@ -1,0 +1,72 @@
+"""Tests for bounded scheduler runs (crash simulation) and shutdown."""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.runtime.scheduler import Pause, Scheduler, Task
+
+
+def make_worker(log, name, steps=5):
+    async def body():
+        for i in range(steps):
+            log.append(f"{name}{i}")
+            await Pause()
+        return name
+
+    return body
+
+
+class TestMaxSteps:
+    def test_unbounded_returns_true(self):
+        sched = Scheduler()
+        log: list[str] = []
+        sched.spawn("a", make_worker(log, "a")())
+        assert sched.run() is True
+
+    def test_bounded_stops_early(self):
+        sched = Scheduler()
+        log: list[str] = []
+        sched.spawn("a", make_worker(log, "a", steps=10)())
+        assert sched.run(max_steps=3) is False
+        assert len(log) == 3
+        sched.shutdown()
+
+    def test_bounded_run_can_resume(self):
+        sched = Scheduler()
+        log: list[str] = []
+        task = sched.spawn("a", make_worker(log, "a", steps=6)())
+        assert sched.run(max_steps=2) is False
+        assert sched.run() is True  # resume to completion
+        assert task.result == "a"
+        assert len(log) == 6
+
+    def test_zero_budget_runs_nothing(self):
+        sched = Scheduler()
+        log: list[str] = []
+        sched.spawn("a", make_worker(log, "a")())
+        assert sched.run(max_steps=0) is False
+        assert log == []
+        sched.shutdown()
+
+
+class TestShutdown:
+    def test_shutdown_closes_unfinished(self):
+        sched = Scheduler()
+        log: list[str] = []
+        task = sched.spawn("a", make_worker(log, "a", steps=10)())
+        sched.run(max_steps=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # unawaited-coroutine warns -> error
+            sched.shutdown()
+            del task
+        assert all(t.finished for t in sched.tasks.values())
+
+    def test_shutdown_keeps_finished_results(self):
+        sched = Scheduler()
+        log: list[str] = []
+        task = sched.spawn("a", make_worker(log, "a", steps=1)())
+        sched.run()
+        sched.shutdown()
+        assert task.state == Task.DONE
+        assert task.result == "a"

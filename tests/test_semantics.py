@@ -1,0 +1,131 @@
+"""Unit tests for invocations and compatibility matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.semantics.compatibility import CompatibilityMatrix
+from repro.semantics.generic import ATOM_MATRIX, DATABASE_MATRIX, SET_MATRIX
+from repro.semantics.invocation import Invocation
+
+
+def inv(op: str, *args) -> Invocation:
+    return Invocation(op, args)
+
+
+class TestInvocation:
+    def test_args_frozen_and_hashable(self):
+        i = inv("Op", [1, 2], {"a": 1}, {3, 4})
+        assert hash(i) is not None
+        assert i.args[0] == (1, 2)
+
+    def test_arg_accessor(self):
+        i = inv("Op", "x", "y")
+        assert i.arg(0) == "x"
+        assert i.arg(5) is None
+        assert i.arg(5, "d") == "d"
+
+    def test_str(self):
+        assert str(inv("ShipOrder", 3)) == "ShipOrder(3)"
+
+    def test_equality(self):
+        assert inv("A", 1) == inv("A", 1)
+        assert inv("A", 1) != inv("A", 2)
+        assert inv("A") != inv("B")
+
+
+class TestCompatibilityMatrix:
+    def make(self) -> CompatibilityMatrix:
+        return CompatibilityMatrix("T", ["A", "B", "C"])
+
+    def test_boolean_entries_symmetric(self):
+        m = self.make()
+        m.allow("A", "B")
+        assert m.compatible(inv("A"), inv("B"))
+        assert m.compatible(inv("B"), inv("A"))
+
+    def test_conflict_entries(self):
+        m = self.make()
+        m.conflict("A", "B")
+        assert not m.compatible(inv("A"), inv("B"))
+
+    def test_unknown_pairs_conflict(self):
+        m = self.make()
+        assert not m.compatible(inv("A"), inv("C"))
+
+    def test_unknown_operation_rejected(self):
+        m = self.make()
+        with pytest.raises(SchemaError, match="not declared"):
+            m.allow("A", "Z")
+
+    def test_predicate_entries_mirror_arguments(self):
+        m = self.make()
+        # compatible iff held's first arg is smaller than requested's
+        m.allow_if("A", "B", lambda h, r: h.arg(0) < r.arg(0))
+        assert m.compatible(inv("A", 1), inv("B", 2))
+        assert not m.compatible(inv("A", 2), inv("B", 1))
+        # mirrored cell swaps roles: held B(2), requested A(1) means
+        # A(1) < B(2) in the original orientation
+        assert m.compatible(inv("B", 2), inv("A", 1))
+        assert not m.compatible(inv("B", 1), inv("A", 2))
+
+    def test_distinct_arg_helper(self):
+        m = self.make()
+        m.allow_if_distinct_arg("A", "A")
+        assert m.compatible(inv("A", 1), inv("A", 2))
+        assert not m.compatible(inv("A", 1), inv("A", 1))
+
+    def test_exactly_one_of_value_predicate(self):
+        m = self.make()
+        with pytest.raises(SchemaError):
+            m.set_entry("A", "B")
+        with pytest.raises(SchemaError):
+            m.set_entry("A", "B", value=True, predicate=lambda h, r: True)
+
+    def test_completeness_tracking(self):
+        m = CompatibilityMatrix("T", ["A", "B"])
+        assert not m.is_complete()
+        m.allow("A", "A")
+        m.allow("A", "B")
+        m.conflict("B", "B")
+        assert m.is_complete()
+        assert m.missing_pairs() == []
+
+    def test_table_rendering(self):
+        m = CompatibilityMatrix("T", ["A", "B"])
+        m.allow("A", "A")
+        m.conflict("A", "B")
+        m.allow_if_distinct_arg("B", "B")
+        table = m.as_table()
+        assert table[0] == ["T", "A", "B"]
+        assert table[1] == ["A", "ok", "conflict"]
+        assert table[2][2] == "ok iff arg0 differs"
+        assert "conflict" in m.format_table()
+
+
+class TestGenericMatrices:
+    def test_atom_matrix(self):
+        assert ATOM_MATRIX.compatible(inv("Get"), inv("Get"))
+        assert not ATOM_MATRIX.compatible(inv("Get"), inv("Put", 1))
+        assert not ATOM_MATRIX.compatible(inv("Put", 1), inv("Put", 1))
+        assert ATOM_MATRIX.is_complete()
+
+    def test_set_matrix_key_dependence(self):
+        assert SET_MATRIX.compatible(inv("Insert", 1), inv("Insert", 2))
+        assert not SET_MATRIX.compatible(inv("Insert", 1), inv("Insert", 1))
+        assert SET_MATRIX.compatible(inv("Insert", 1), inv("Select", 2))
+        assert not SET_MATRIX.compatible(inv("Insert", 1), inv("Select", 1))
+        assert SET_MATRIX.compatible(inv("Remove", 1), inv("Remove", 2))
+        assert not SET_MATRIX.compatible(inv("Remove", 1), inv("Remove", 1))
+
+    def test_set_matrix_scan_and_size(self):
+        assert not SET_MATRIX.compatible(inv("Insert", 1), inv("Scan"))
+        assert not SET_MATRIX.compatible(inv("Remove", 1), inv("Size"))
+        assert SET_MATRIX.compatible(inv("Scan"), inv("Scan"))
+        assert SET_MATRIX.compatible(inv("Select", 1), inv("Scan"))
+        assert SET_MATRIX.compatible(inv("Size"), inv("Size"))
+        assert SET_MATRIX.is_complete()
+
+    def test_database_matrix(self):
+        assert DATABASE_MATRIX.compatible(inv("Transaction", "a"), inv("Transaction", "b"))

@@ -1,0 +1,168 @@
+"""Tests for state-dependent commutativity (escrow-style matrix cells)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import run_transactions
+from repro.core.serializability import is_semantically_serializable
+from repro.errors import SchemaError
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.semantics.compatibility import CompatibilityMatrix, StateView
+from repro.semantics.invocation import Invocation
+
+INSUFFICIENT = "insufficient-funds"
+
+
+def make_escrow_type() -> TypeSpec:
+    spec = TypeSpec("Escrow")
+
+    @spec.method(inverse=lambda result, args: ("Deposit", args) if result == "ok" else None)
+    async def Withdraw(ctx, account, amount):
+        balance_atom = account.impl_component("balance")
+        balance = await ctx.get(balance_atom)
+        if balance < amount:
+            return INSUFFICIENT
+        await ctx.put(balance_atom, balance - amount)
+        return "ok"
+
+    @spec.method(inverse=lambda result, args: ("Withdraw", args))
+    async def Deposit(ctx, account, amount):
+        atom = account.impl_component("balance")
+        await ctx.put(atom, await ctx.get(atom) + amount)
+        return "ok"
+
+    @spec.method(readonly=True)
+    async def Balance(ctx, account):
+        return await ctx.get(account.impl_component("balance"))
+
+    def funds_cover_all(held, requested, view):
+        balance = view.obj.impl_component("balance").raw_get()
+        reserved = sum(
+            inv.arg(0, 0)
+            for inv in view.held_invocations
+            if inv.operation == "Withdraw"
+        )
+        return balance >= reserved + requested.arg(0, 0)
+
+    m = spec.matrix
+    m.allow_if_state("Withdraw", "Withdraw", funds_cover_all, "escrow")
+    m.allow("Deposit", "Deposit")
+    m.allow("Deposit", "Withdraw")
+    m.conflict("Deposit", "Balance")
+    m.conflict("Withdraw", "Balance")
+    m.allow("Balance", "Balance")
+    spec.validate()
+    return spec
+
+
+def build_account(opening: int):
+    spec = make_escrow_type()
+    db = Database()
+    account = db.new_encapsulated(spec, "acct")
+    db.attach_child(account)
+    impl = db.new_tuple("impl")
+    impl.add_component("balance", db.new_atom("balance", opening))
+    account.set_implementation(impl)
+    return db, account
+
+
+def withdrawers(account, amounts):
+    def make(amount):
+        async def program(tx):
+            return await tx.call(account, "Withdraw", amount)
+        return program
+
+    return {f"W{i}": make(a) for i, a in enumerate(amounts)}
+
+
+class TestMatrixMechanics:
+    def test_state_cell_requires_view(self):
+        m = CompatibilityMatrix("T", ["A"])
+        m.allow_if_state("A", "A", lambda h, r, v: True)
+        a = Invocation("A")
+        assert not m.compatible(a, a)  # no view: conservative conflict
+        db = Database()
+        obj = db.new_atom("x", 0)
+        assert m.compatible(a, a, StateView(obj=obj))
+
+    def test_state_cell_mirrors_arguments(self):
+        m = CompatibilityMatrix("T", ["A", "B"])
+        m.allow_if_state("A", "B", lambda h, r, v: h.arg(0) < r.arg(0))
+        db = Database()
+        view = StateView(obj=db.new_atom("x", 0))
+        assert m.compatible(Invocation("A", (1,)), Invocation("B", (2,)), view)
+        # mirrored orientation swaps the roles
+        assert m.compatible(Invocation("B", (2,)), Invocation("A", (1,)), view)
+        assert not m.compatible(Invocation("B", (1,)), Invocation("A", (2,)), view)
+
+    def test_exactly_one_kind_per_cell(self):
+        m = CompatibilityMatrix("T", ["A"])
+        with pytest.raises(SchemaError):
+            m.set_entry("A", "A", value=True, state_predicate=lambda h, r, v: True)
+
+    def test_has_state_cells(self):
+        m = CompatibilityMatrix("T", ["A"])
+        assert not m.has_state_cells()
+        m.allow_if_state("A", "A", lambda h, r, v: True)
+        assert m.has_state_cells()
+
+    def test_render(self):
+        m = CompatibilityMatrix("T", ["A"])
+        m.allow_if_state("A", "A", lambda h, r, v: True, label="escrow")
+        assert m.as_table()[1][1] == "escrow"
+
+
+class TestEscrowExecution:
+    def test_covered_withdrawals_run_concurrently(self):
+        db, account = build_account(100)
+        kernel = run_transactions(db, withdrawers(account, [30, 30, 30]))
+        assert account.impl_component("balance").raw_get() == 10
+        method_blocks = [
+            e for e in kernel.trace.of_kind("block")
+            if "Withdraw" in str(e.detail.get("mode", ""))
+        ]
+        assert method_blocks == []  # escrow granted all three
+        assert all(h.result == "ok" for h in kernel.handles.values())
+
+    def test_uncovered_withdrawal_waits_and_fails_cleanly(self):
+        db, account = build_account(70)
+        kernel = run_transactions(db, withdrawers(account, [30, 30, 30]))
+        balance = account.impl_component("balance").raw_get()
+        results = sorted(h.result for h in kernel.handles.values())
+        assert balance == 10
+        assert results == [INSUFFICIENT, "ok", "ok"]
+        # the uncovered request produced a method-level wait
+        method_blocks = [
+            e for e in kernel.trace.of_kind("block")
+            if "Withdraw" in str(e.detail.get("mode", ""))
+        ]
+        assert method_blocks
+
+    def test_never_overdraft(self):
+        for opening in (0, 25, 50, 95, 200):
+            db, account = build_account(opening)
+            kernel = run_transactions(
+                db, withdrawers(account, [30, 40, 50]), policy="random", seed=opening
+            )
+            assert account.impl_component("balance").raw_get() >= 0
+
+    def test_histories_serializable(self):
+        for seed in range(6):
+            db, account = build_account(100)
+            kernel = run_transactions(
+                db, withdrawers(account, [30, 30, 30]), policy="random", seed=seed
+            )
+            result = is_semantically_serializable(kernel.history(), db=db)
+            assert result.serializable, seed
+
+    def test_deposit_never_blocks_withdraw(self):
+        db, account = build_account(10)
+
+        async def deposit(tx):
+            return await tx.call(account, "Deposit", 100)
+
+        programs = {"D": deposit, **withdrawers(account, [5])}
+        kernel = run_transactions(db, programs)
+        assert all(h.committed for h in kernel.handles.values())

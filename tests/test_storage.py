@@ -1,0 +1,96 @@
+"""Unit tests for the storage substrate: records, pages, manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.objects.oid import Oid
+from repro.storage.manager import StorageManager
+from repro.storage.page import Page
+from repro.storage.record import RecordId
+
+
+def oid(n: int) -> Oid:
+    return Oid("Atom", n)
+
+
+class TestPage:
+    def test_allocate_and_release(self):
+        page = Page(0, capacity=2)
+        s0 = page.allocate(oid(1))
+        s1 = page.allocate(oid(2))
+        assert {s0, s1} == {0, 1}
+        assert page.occupied == 2
+        with pytest.raises(IndexError, match="full"):
+            page.allocate(oid(3))
+        page.release(s0)
+        assert page.free_slots == 1
+        assert page.owner_of(s1) == oid(2)
+
+    def test_double_release_rejected(self):
+        page = Page(0, capacity=1)
+        slot = page.allocate(oid(1))
+        page.release(slot)
+        with pytest.raises(IndexError, match="already free"):
+            page.release(slot)
+
+    def test_owners(self):
+        page = Page(0, capacity=3)
+        page.allocate(oid(1))
+        page.allocate(oid(2))
+        assert set(page.owners()) == {oid(1), oid(2)}
+
+
+class TestStorageManager:
+    def test_sequential_clustering(self):
+        mgr = StorageManager(records_per_page=2)
+        rids = [mgr.allocate(oid(i)) for i in range(4)]
+        assert [r.page_no for r in rids] == [0, 0, 1, 1]
+        assert mgr.page_count == 2
+        assert mgr.co_located(oid(0), oid(1))
+        assert not mgr.co_located(oid(1), oid(2))
+
+    def test_hole_reuse(self):
+        mgr = StorageManager(records_per_page=2)
+        for i in range(4):
+            mgr.allocate(oid(i))
+        mgr.release(oid(0))
+        rid = mgr.allocate(oid(9))
+        assert rid.page_no == 0  # hole reused before growing the file
+        assert mgr.page_count == 2
+
+    def test_page_oid(self):
+        mgr = StorageManager(records_per_page=4)
+        mgr.allocate(oid(1))
+        page_oid = mgr.page_oid(oid(1))
+        assert page_oid.type_name == "Page"
+        assert page_oid.number == 0
+
+    def test_duplicate_allocation_rejected(self):
+        mgr = StorageManager()
+        mgr.allocate(oid(1))
+        with pytest.raises(UnknownObjectError, match="already has a record"):
+            mgr.allocate(oid(1))
+
+    def test_unknown_queries(self):
+        mgr = StorageManager()
+        with pytest.raises(UnknownObjectError):
+            mgr.record_of(oid(1))
+        with pytest.raises(UnknownObjectError):
+            mgr.release(oid(1))
+
+    def test_record_count(self):
+        mgr = StorageManager(records_per_page=8)
+        for i in range(5):
+            mgr.allocate(oid(i))
+        assert mgr.record_count == 5
+        mgr.release(oid(3))
+        assert mgr.record_count == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StorageManager(records_per_page=0)
+
+    def test_record_id_str(self):
+        assert str(RecordId(2, 3)) == "R(2,3)"

@@ -1,0 +1,116 @@
+"""Tests for the threaded runtime: protocol invariants under real threads.
+
+Threaded runs are nondeterministic by design, so these tests assert
+outcome invariants (final state, serializability, clean lock table)
+rather than specific interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import TransactionManager
+from repro.core.serializability import is_semantically_serializable
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.orderentry.schema import PAID, SHIPPED, build_order_entry_database
+from repro.orderentry.transactions import make_t1, make_t2
+from repro.runtime.threads import ThreadedRuntime
+
+
+def threaded_kernel(db):
+    runtime = ThreadedRuntime()
+    kernel = TransactionManager(db, scheduler=runtime.scheduler)
+    return runtime, kernel
+
+
+class TestThreadedBasics:
+    def test_single_transaction(self):
+        db = Database()
+        atom = db.new_atom("x", 1)
+        db.attach_child(atom)
+        runtime, kernel = threaded_kernel(db)
+
+        async def program(tx):
+            await tx.put(atom, 2)
+            return await tx.get(atom)
+
+        kernel.spawn("T", program)
+        runtime.run()
+        assert kernel.handles["T"].committed
+        assert kernel.handles["T"].result == 2
+
+    def test_ship_and_pay_under_threads(self):
+        built = build_order_entry_database(n_items=2, orders_per_item=2)
+        runtime, kernel = threaded_kernel(built.db)
+        kernel.spawn("T1", make_t1(built.item(0), 1, built.item(1), 2))
+        kernel.spawn("T2", make_t2(built.item(0), 1, built.item(1), 2))
+        runtime.run()
+        assert kernel.handles["T1"].committed
+        assert kernel.handles["T2"].committed
+        assert built.status_atom(0, 0).raw_get().events == frozenset({SHIPPED, PAID})
+        assert kernel.locks.lock_count == 0
+        result = is_semantically_serializable(kernel.history(), db=built.db)
+        assert result.serializable
+
+    def test_commuting_counter_adds_no_lost_updates(self):
+        spec = TypeSpec("TCounter")
+
+        @spec.method
+        async def Add(ctx, counter, amount):
+            atom = counter.impl_component("value")
+            await ctx.put(atom, await ctx.get(atom) + amount)
+            return None
+
+        spec.matrix.allow("Add", "Add")
+        db = Database()
+        counter = db.new_encapsulated(spec, "c")
+        db.attach_child(counter)
+        impl = db.new_tuple("impl")
+        impl.add_component("value", db.new_atom("value", 0))
+        counter.set_implementation(impl)
+
+        runtime, kernel = threaded_kernel(db)
+        for i in range(1, 5):
+            amount = i
+
+            def make(amount=amount):
+                async def program(tx):
+                    await tx.call(counter, "Add", amount)
+                return program
+
+            kernel.spawn(f"T{i}", make())
+        runtime.run()
+        committed = sum(1 for h in kernel.handles.values() if h.committed)
+        assert committed == 4
+        assert counter.impl_component("value").raw_get() == 10
+
+    def test_deadlock_resolved_under_threads(self):
+        db = Database()
+        x = db.new_atom("x", 0)
+        y = db.new_atom("y", 0)
+        db.attach_child(x)
+        db.attach_child(y)
+        runtime, kernel = threaded_kernel(db)
+
+        async def ab(tx):
+            await tx.put(x, "A")
+            for __ in range(3):
+                await tx.pause()
+            await tx.put(y, "A")
+
+        async def ba(tx):
+            await tx.put(y, "B")
+            for __ in range(3):
+                await tx.pause()
+            await tx.put(x, "B")
+
+        kernel.spawn("A", ab)
+        kernel.spawn("B", ba)
+        runtime.run()
+        outcomes = {n: (h.committed, h.aborted) for n, h in kernel.handles.items()}
+        # every transaction finished one way or the other, at least one
+        # committed, and the lock table is clean
+        assert all(c or a for c, a in outcomes.values())
+        assert any(c for c, __ in outcomes.values())
+        assert kernel.locks.lock_count == 0

@@ -1,0 +1,95 @@
+"""Tests for the Fig. 4-style timeline renderer."""
+
+from __future__ import annotations
+
+from repro.orderentry.schema import build_order_entry_database
+from repro.orderentry.transactions import make_t1, make_t2
+from repro.txn.history import History
+from repro.txn.timeline import render_lock_waits, render_timeline
+
+from tests.helpers import run_programs
+
+
+def run_fig4_like():
+    built = build_order_entry_database(n_items=2, orders_per_item=2)
+    kernel = run_programs(
+        built.db,
+        {
+            "T1": make_t1(built.item(0), 1, built.item(1), 2),
+            "T2": make_t2(built.item(0), 1, built.item(1), 2),
+        },
+    )
+    return kernel
+
+
+class TestRenderTimeline:
+    def test_empty_history(self):
+        assert "empty" in render_timeline(History(records=[], composition_parent={}))
+
+    def test_lanes_and_events(self):
+        kernel = run_fig4_like()
+        text = render_timeline(kernel.history())
+        lines = text.splitlines()
+        assert "T1" in lines[0] and "T2" in lines[0]
+        # both transactions begin and commit
+        assert sum("BEGIN" in line for line in lines) == 2
+        assert sum("COMMIT" in line for line in lines) == 2
+        # method frames open and close
+        assert any("ShipOrder" in line and "{" in line for line in lines)
+        assert any("} ShipOrder" in line for line in lines)
+        # leaves appear
+        assert any("Get()" in line for line in lines)
+
+    def test_rows_ordered_by_seq(self):
+        kernel = run_fig4_like()
+        text = render_timeline(kernel.history())
+        seqs = [
+            int(line.split()[0])
+            for line in text.splitlines()[2:]
+            if line.strip() and line.split()[0].isdigit()
+        ]
+        assert seqs == sorted(seqs)
+
+    def test_truncation(self):
+        kernel = run_fig4_like()
+        text = render_timeline(kernel.history(), lane_width=12)
+        for line in text.splitlines()[2:]:
+            # prefix "seq  " is 6 chars; lanes 12 + 2 separator
+            assert len(line) <= 6 + 12 * 2 + 2
+
+    def test_interleaving_visible(self):
+        """Events of the two transactions alternate in the output."""
+        kernel = run_fig4_like()
+        lanes = []
+        for line in render_timeline(kernel.history()).splitlines()[2:]:
+            if not line.strip():
+                continue
+            body = line[6:]
+            left = body[:36].strip()
+            lanes.append("T1" if left else "T2")
+        assert "T1" in lanes and "T2" in lanes
+        switches = sum(1 for a, b in zip(lanes, lanes[1:]) if a != b)
+        assert switches >= 4  # genuinely interleaved
+
+
+class TestRenderLockWaits:
+    def test_no_waits(self):
+        kernel = run_fig4_like()
+        assert render_lock_waits(kernel.history(), kernel.trace) == "(no lock waits)"
+
+    def test_waits_listed(self):
+        built = build_order_entry_database(n_items=1, orders_per_item=1)
+
+        async def writer(tx):
+            atom = built.status_atom(0, 0)
+            await tx.put(atom, frozenset({"x"}))
+            for __ in range(4):
+                await tx.pause()
+
+        async def reader(tx):
+            return await tx.get(built.status_atom(0, 0))
+
+        kernel = run_programs(built.db, {"W": writer, "R": reader})
+        text = render_lock_waits(kernel.history(), kernel.trace)
+        assert "R blocked on" in text
+        assert "waiting for: W" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the waits-for graph and cycle detection."""
+
+from __future__ import annotations
+
+from repro.txn.waits import WaitsForGraph
+
+
+class TestEdges:
+    def test_set_and_clear(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B", "C"})
+        assert g.waits_of("A") == {"B", "C"}
+        g.clear_waits("A")
+        assert g.waits_of("A") == frozenset()
+
+    def test_self_edges_dropped(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"A", "B"})
+        assert g.waits_of("A") == {"B"}
+
+    def test_remove_transaction(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        g.set_waits("C", {"A"})
+        g.remove_transaction("A")
+        assert g.waits_of("A") == frozenset()
+        assert g.waits_of("C") == frozenset()
+
+    def test_edge_count(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B", "C"})
+        g.set_waits("B", {"C"})
+        assert g.edge_count == 3
+
+
+class TestCycles:
+    def test_no_cycle(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        assert g.find_cycle_through("A") is None
+        assert g.find_any_cycle() is None
+
+    def test_two_cycle(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"A"})
+        cycle = g.find_cycle_through("A")
+        assert cycle is not None
+        assert set(cycle) == {"A", "B"}
+
+    def test_three_cycle(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        g.set_waits("C", {"A"})
+        cycle = g.find_cycle_through("B")
+        assert cycle is not None
+        assert set(cycle) == {"A", "B", "C"}
+
+    def test_cycle_must_pass_through_start(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        g.set_waits("C", {"B"})  # cycle B<->C not through A
+        assert g.find_cycle_through("A") is None
+        assert g.find_any_cycle() is not None
+
+    def test_deterministic_cycle_report(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B", "C"})
+        g.set_waits("B", {"A"})
+        g.set_waits("C", {"A"})
+        # sorted neighbour order: B explored before C
+        assert g.find_cycle_through("A") == ["A", "B"]
+
+    def test_find_any_cycle_empty_graph(self):
+        assert WaitsForGraph().find_any_cycle() is None
+
+    def test_branching_graph_with_deep_cycle(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B", "D"})
+        g.set_waits("B", {"C"})
+        g.set_waits("D", {"E"})
+        g.set_waits("E", {"A"})
+        cycle = g.find_cycle_through("A")
+        assert cycle == ["A", "D", "E"]

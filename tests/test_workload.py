@@ -1,0 +1,76 @@
+"""Tests for the order-entry workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+from tests.helpers import run_programs
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_items=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(orders_per_item=0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(mix={})
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(mix={"T1": 0.0})
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(WorkloadError, match="unknown transaction types"):
+            WorkloadConfig(mix={"T9": 1.0})
+
+
+class TestGeneration:
+    def test_deterministic_stream(self):
+        def names(seed):
+            wl = OrderEntryWorkload(WorkloadConfig(seed=seed))
+            return [name for name, __ in wl.take(20)]
+
+        assert names(3) == names(3)
+        assert names(3) != names(4)
+
+    def test_names_follow_mix(self):
+        wl = OrderEntryWorkload(WorkloadConfig(mix={"T5": 1.0}, seed=0))
+        names = [name for name, __ in wl.take(5)]
+        assert all(name.startswith("T5-") for name in names)
+
+    def test_mix_with_order_entry_type(self):
+        wl = OrderEntryWorkload(WorkloadConfig(mix={"T0": 1.0}, seed=0))
+        name, program = wl.next_transaction()
+        assert name.startswith("T0-")
+        kernel = run_programs(wl.db, {name: program})
+        assert kernel.handles[name].committed
+
+    def test_generated_transactions_run(self):
+        wl = OrderEntryWorkload(WorkloadConfig(seed=1, n_items=3, orders_per_item=2))
+        batch = dict(wl.take(8))
+        kernel = run_programs(wl.db, batch, policy="random", seed=1)
+        finished = sum(
+            1 for h in kernel.handles.values() if h.committed or h.aborted
+        )
+        assert finished == 8
+        assert kernel.metrics.commits >= 1
+
+    def test_single_item_maximum_contention(self):
+        wl = OrderEntryWorkload(WorkloadConfig(n_items=1, seed=2))
+        batch = dict(wl.take(5))
+        kernel = run_programs(wl.db, batch, policy="random", seed=2)
+        assert kernel.metrics.commits + kernel.metrics.aborts == 5
+
+    def test_iterator_protocol(self):
+        wl = OrderEntryWorkload(WorkloadConfig(seed=0))
+        stream = iter(wl)
+        first = next(stream)
+        second = next(stream)
+        assert first[0] != second[0]
