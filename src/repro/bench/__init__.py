@@ -2,7 +2,14 @@
 
 from repro.bench.metrics import RunMetrics, aggregate
 from repro.bench.harness import DEFAULT_COST_MODEL, run_closed_loop, sweep_protocols
-from repro.bench.report import format_table, format_markdown_table
+from repro.bench.report import (
+    format_conflict_breakdown,
+    format_counters,
+    format_gauges,
+    format_histograms,
+    format_markdown_table,
+    format_table,
+)
 
 __all__ = [
     "RunMetrics",
@@ -10,6 +17,10 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "run_closed_loop",
     "sweep_protocols",
+    "format_conflict_breakdown",
+    "format_counters",
+    "format_gauges",
+    "format_histograms",
     "format_table",
     "format_markdown_table",
 ]

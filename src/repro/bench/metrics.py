@@ -1,9 +1,25 @@
-"""Metrics extracted from kernel runs for the performance study."""
+"""Metrics extracted from kernel runs for the performance study.
+
+:func:`collect` reads a finished kernel's observability registry (one
+:class:`~repro.obs.Snapshot` per run) rather than scraping ad-hoc
+counters off individual components; :class:`RunMetrics` keeps the flat,
+table-friendly shape the benches render, and carries the full snapshot
+for anything the flat fields do not cover (histograms, the
+conflict-case breakdown).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.obs import Snapshot
+from repro.obs.cases import (
+    CASE1_RELIEF,
+    CASE2_WAIT,
+    CASE_COMMUTATIVE,
+    CASE_TOPLEVEL_WAIT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.kernel import TransactionManager
@@ -25,6 +41,7 @@ class RunMetrics:
     clock: float = 0.0
     total_response: float = 0.0
     max_locks_held: int = 0
+    snapshot: Optional[Snapshot] = field(default=None, repr=False, compare=False)
 
     @property
     def throughput(self) -> float:
@@ -54,6 +71,28 @@ class RunMetrics:
             return 0.0
         return self.aborted / total
 
+    # ------------------------------------------------------------------
+    # Conflict-case accounting (from the snapshot; 0 when absent)
+    # ------------------------------------------------------------------
+    def _case(self, name: str) -> int:
+        return self.snapshot.counter(name) if self.snapshot is not None else 0
+
+    @property
+    def commutative_grants(self) -> int:
+        return self._case(CASE_COMMUTATIVE)
+
+    @property
+    def case1_reliefs(self) -> int:
+        return self._case(CASE1_RELIEF)
+
+    @property
+    def case2_waits(self) -> int:
+        return self._case(CASE2_WAIT)
+
+    @property
+    def toplevel_waits(self) -> int:
+        return self._case(CASE_TOPLEVEL_WAIT)
+
     def row(self) -> dict[str, float | int | str]:
         """Flat dict for table rendering."""
         return {
@@ -71,15 +110,16 @@ class RunMetrics:
 
 
 def collect(kernel: "TransactionManager", protocol_name: str, retries: int = 0) -> RunMetrics:
-    """Read a finished kernel's counters into a :class:`RunMetrics`."""
-    metrics = RunMetrics(protocol=protocol_name, retries=retries)
-    metrics.deadlocks = kernel.metrics.deadlocks
-    metrics.blocks = kernel.metrics.blocks
-    metrics.subtxn_restarts = kernel.metrics.subtxn_restarts
-    metrics.compensations = kernel.metrics.compensations
-    metrics.actions = kernel.metrics.actions
+    """Snapshot a finished kernel's registry into a :class:`RunMetrics`."""
+    snapshot = kernel.obs.snapshot()
+    metrics = RunMetrics(protocol=protocol_name, retries=retries, snapshot=snapshot)
+    metrics.deadlocks = snapshot.counter("kernel.deadlocks")
+    metrics.blocks = snapshot.counter("kernel.blocks")
+    metrics.subtxn_restarts = snapshot.counter("kernel.subtxn_restarts")
+    metrics.compensations = snapshot.counter("kernel.compensations")
+    metrics.actions = snapshot.counter("kernel.actions")
     metrics.clock = kernel.scheduler.clock
-    metrics.max_locks_held = kernel.locks.max_locks_held
+    metrics.max_locks_held = int(snapshot.gauge_hwm("lock.held"))
     for handle in kernel.handles.values():
         if handle.committed:
             metrics.committed += 1
@@ -106,4 +146,10 @@ def aggregate(runs: list[RunMetrics]) -> RunMetrics:
         total.clock += run.clock
         total.total_response += run.total_response
         total.max_locks_held = max(total.max_locks_held, run.max_locks_held)
+        if run.snapshot is not None:
+            total.snapshot = (
+                run.snapshot
+                if total.snapshot is None
+                else total.snapshot.merged(run.snapshot)
+            )
     return total

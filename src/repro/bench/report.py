@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
+
+from repro.obs.cases import conflict_breakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Snapshot
 
 
 def format_table(rows: Iterable[Mapping[str, Any]], title: str = "") -> str:
@@ -38,3 +43,46 @@ def format_markdown_table(rows: Iterable[Mapping[str, Any]], title: str = "") ->
     for row in rows:
         lines.append("| " + " | ".join(str(row[h]) for h in headers) + " |")
     return "\n".join(lines)
+
+
+def format_conflict_breakdown(snapshot: "Snapshot", title: str = "conflict-test outcomes") -> str:
+    """The four-way Fig. 9 outcome table (plus same-transaction grants)."""
+    return format_table(conflict_breakdown(snapshot), title)
+
+
+def format_counters(snapshot: "Snapshot", prefix: str = "", title: str = "") -> str:
+    """Counters (optionally filtered by name prefix) as a two-column table."""
+    rows = [
+        {"counter": name, "value": value}
+        for name, value in snapshot.counters.items()
+        if name.startswith(prefix)
+    ]
+    return format_table(rows, title)
+
+
+def format_gauges(snapshot: "Snapshot", title: str = "gauges") -> str:
+    """Gauge values and high-water marks."""
+    rows = [
+        {"gauge": name, "value": gauge["value"], "hwm": gauge["hwm"]}
+        for name, gauge in snapshot.gauges.items()
+    ]
+    return format_table(rows, title)
+
+
+def format_histograms(snapshot: "Snapshot", title: str = "histograms") -> str:
+    """One row per histogram: count, mean, and the populated buckets."""
+    rows = []
+    for name, hist in snapshot.histograms.items():
+        buckets = []
+        for bound, count in zip(list(hist.bounds) + ["inf"], hist.counts):
+            if count:
+                buckets.append(f"<={bound}:{count}")
+        rows.append(
+            {
+                "histogram": name,
+                "count": hist.count,
+                "mean": round(hist.mean, 4),
+                "buckets": " ".join(buckets) or "-",
+            }
+        )
+    return format_table(rows, title)

@@ -11,7 +11,11 @@ Commands:
   (``--transactions``, ``--mpl``, ``--items``, ``--seed``);
 * ``check`` — run a random workload under a chosen protocol and check
   the admitted history for semantic serializability
-  (``--protocol``, ``--transactions``, ``--seed``).
+  (``--protocol``, ``--transactions``, ``--seed``);
+* ``stats`` — run a workload and print the observability breakdown:
+  the four-way Fig. 9 conflict-case table, kernel / lock / scheduler /
+  waits-for counters, and histograms; ``--jsonl`` exports the snapshot
+  as JSON Lines.
 """
 
 from __future__ import annotations
@@ -19,7 +23,14 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from repro.bench import format_table, run_closed_loop
+from repro.bench import (
+    format_conflict_breakdown,
+    format_counters,
+    format_gauges,
+    format_histograms,
+    format_table,
+    run_closed_loop,
+)
 from repro.core.kernel import run_transactions
 from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
 from repro.core.serializability import is_semantically_serializable
@@ -123,6 +134,45 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.orderentry.workload import WorkloadConfig
+
+    metrics = run_closed_loop(
+        PROTOCOLS[args.protocol],
+        WorkloadConfig(
+            n_items=args.items, orders_per_item=args.orders, seed=args.seed
+        ),
+        n_transactions=args.transactions,
+        mpl=args.mpl,
+    )
+    snapshot = metrics.snapshot
+    assert snapshot is not None
+    print(
+        f"protocol {args.protocol}: {metrics.committed} committed, "
+        f"{metrics.aborted} aborted, {metrics.retries} retries, "
+        f"virtual clock {metrics.clock}"
+    )
+    print()
+    print(format_conflict_breakdown(snapshot))
+    print()
+    print(format_counters(snapshot, "kernel.", "kernel counters"))
+    print()
+    print(format_counters(snapshot, "lock.", "lock manager"))
+    print()
+    print(format_counters(snapshot, "sched.", "scheduler"))
+    print()
+    print(format_counters(snapshot, "waits.", "waits-for graph"))
+    print()
+    print(format_gauges(snapshot))
+    print()
+    print(format_histograms(snapshot))
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fp:
+            lines = snapshot.write_jsonl(fp)
+        print(f"\nwrote {lines} metric lines to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--items", type=int, default=2)
     check.add_argument("--seed", type=int, default=0)
     check.set_defaults(fn=cmd_check)
+
+    stats = sub.add_parser(
+        "stats", help="run a workload and print the metrics breakdown"
+    )
+    stats.add_argument("--protocol", choices=sorted(PROTOCOLS), default="semantic")
+    stats.add_argument("--transactions", type=int, default=40)
+    stats.add_argument("--mpl", type=int, default=6)
+    stats.add_argument("--items", type=int, default=2)
+    stats.add_argument("--orders", type=int, default=3)
+    stats.add_argument("--seed", type=int, default=11)
+    stats.add_argument("--jsonl", metavar="PATH", help="export the snapshot as JSON Lines")
+    stats.set_defaults(fn=cmd_stats)
     return parser
 
 

@@ -35,6 +35,13 @@ from typing import Callable, Optional
 
 from repro.objects.database import Database
 from repro.objects.oid import Oid
+from repro.obs.cases import (
+    CASE1_RELIEF,
+    CASE2_WAIT,
+    CASE_COMMUTATIVE,
+    CASE_SAME_TRANSACTION,
+    CASE_TOPLEVEL_WAIT,
+)
 from repro.semantics.compatibility import StateView
 from repro.semantics.invocation import Invocation
 from repro.txn.transaction import TransactionNode
@@ -42,6 +49,10 @@ from repro.txn.transaction import TransactionNode
 # Builds a StateView of the target for state-dependent matrix cells
 # (None where no live view is available, e.g. in the checker).
 ViewFactory = Callable[[Oid], Optional[StateView]]
+
+# Receives the outcome of one conflict test, as a counter name from
+# repro.obs.cases; the semantic protocol feeds a MetricsRegistry here.
+OutcomeSink = Callable[[str], None]
 
 
 def actions_commute(
@@ -81,12 +92,16 @@ def test_conflict(
     requester_target: Oid,
     ancestor_relief: bool = True,
     view_factory: Optional[ViewFactory] = None,
+    on_outcome: Optional[OutcomeSink] = None,
 ) -> Optional[TransactionNode]:
     """Fig. 9: returns None, a commutative ancestor, or the holder's root.
 
     *ancestor_relief=False* disables step 2 entirely (the A1 ablation:
     retained locks whose formal conflicts are never relaxed).
     *view_factory* enables state-dependent matrix cells (escrow-style).
+    *on_outcome* receives the outcome's counter name (conflict-case
+    accounting) — the return value alone cannot distinguish a
+    commutative grant from a case-1 relief.
     """
     if actions_commute(
         db,
@@ -96,8 +111,12 @@ def test_conflict(
         requester_invocation,
         view_factory,
     ):
+        if on_outcome is not None:
+            on_outcome(CASE_COMMUTATIVE)
         return None
     if holder.same_top_level(requester):
+        if on_outcome is not None:
+            on_outcome(CASE_SAME_TRANSACTION)
         return None
 
     if ancestor_relief:
@@ -112,7 +131,20 @@ def test_conflict(
                     view_factory,
                 ):
                     if h_anc.completed:
+                        if on_outcome is not None:
+                            on_outcome(CASE1_RELIEF)
                         return None
+                    if on_outcome is not None:
+                        # The search reaching the root Transaction pair
+                        # (always commutative, footnote 2) *is* the
+                        # worst case: waiting for the holder's top-level
+                        # commit.  Only a wait on a proper
+                        # subtransaction is the paper's case 2.
+                        on_outcome(
+                            CASE_TOPLEVEL_WAIT if h_anc.is_top_level else CASE2_WAIT
+                        )
                     return h_anc
 
+    if on_outcome is not None:
+        on_outcome(CASE_TOPLEVEL_WAIT)
     return holder.root()

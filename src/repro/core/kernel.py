@@ -42,6 +42,8 @@ from repro.objects.encapsulated import EncapsulatedObject, TypeSpec
 from repro.objects.oid import Oid
 from repro.objects.sets import SetObject
 from repro.objects.tuples import TupleObject
+from repro.obs import MetricsRegistry
+from repro.obs.cases import CASE2_WAIT, CASE_COMMUTATIVE, CASE_TOPLEVEL_WAIT
 from repro.protocols.base import CCProtocol, LockSpec
 from repro.core.protocol import SemanticLockingProtocol
 from repro.runtime.scheduler import Pause, Scheduler, Task
@@ -92,28 +94,47 @@ class CostModel:
         return self.method_op
 
 
-@dataclass
 class KernelMetrics:
-    """Counters accumulated over a kernel run."""
+    """Kernel counters, backed by the kernel's metrics registry.
 
-    commits: int = 0
-    aborts: int = 0
-    deadlocks: int = 0
-    blocks: int = 0
-    compensations: int = 0
-    actions: int = 0
-    subtxn_restarts: int = 0
+    Keeps the historical attribute API (``kernel.metrics.commits`` and
+    friends, readable and assignable) while storing every count in the
+    shared :class:`~repro.obs.MetricsRegistry` under ``kernel.*`` names,
+    so snapshots and the ``repro stats`` breakdown see the same numbers.
+    """
+
+    FIELDS = (
+        "commits",
+        "aborts",
+        "deadlocks",
+        "blocks",
+        "compensations",
+        "actions",
+        "subtxn_restarts",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._counters = {
+            field: registry.counter(f"kernel.{field}") for field in self.FIELDS
+        }
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "commits": self.commits,
-            "aborts": self.aborts,
-            "deadlocks": self.deadlocks,
-            "blocks": self.blocks,
-            "compensations": self.compensations,
-            "actions": self.actions,
-            "subtxn_restarts": self.subtxn_restarts,
-        }
+        return {field: self._counters[field].value for field in self.FIELDS}
+
+
+def _kernel_counter_property(field: str) -> property:
+    def fget(self: KernelMetrics) -> int:
+        return self._counters[field].value
+
+    def fset(self: KernelMetrics, value: int) -> None:
+        self._counters[field].value = value
+
+    return property(fget, fset)
+
+
+for _field in KernelMetrics.FIELDS:
+    setattr(KernelMetrics, _field, _kernel_counter_property(_field))
+del _field
 
 
 @dataclass
@@ -240,16 +261,34 @@ class TransactionManager:
         cost_model: Optional[CostModel] = None,
         deadlock_policy: str = "detect",
         wal=None,
+        obs: Optional[MetricsRegistry] = None,
     ) -> None:
         if deadlock_policy not in ("detect", "wait-die", "wound-wait"):
             raise ValueError(f"unknown deadlock policy {deadlock_policy!r}")
         self.db = db
+        # One registry per kernel: every component below records into it,
+        # and ``self.obs.snapshot()`` captures the whole run.
+        self.obs = obs if obs is not None else MetricsRegistry()
         self.protocol = protocol if protocol is not None else SemanticLockingProtocol()
         self.protocol.bind(db)
-        self.locks = LockTable()
-        self.protocol.bind_lock_table(self.locks)
+        self.protocol.bind_metrics(self.obs)
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.scheduler.on_stall = self._on_stall
+        self.scheduler.bind_metrics(self.obs)
+        self.locks = LockTable(
+            metrics=self.obs, clock=lambda: self.scheduler.clock
+        )
+        self.protocol.bind_lock_table(self.locks)
+        # Baseline protocols do not classify Fig. 9 outcomes themselves;
+        # the kernel bins their conflict-test results coarsely so the
+        # breakdown table is populated for every protocol.
+        self._coarse_outcomes = None
+        if not self.protocol.reports_conflict_cases:
+            self._coarse_outcomes = (
+                self.obs.counter(CASE_COMMUTATIVE),
+                self.obs.counter(CASE2_WAIT),
+                self.obs.counter(CASE_TOPLEVEL_WAIT),
+            )
         self.cost_model = cost_model if cost_model is not None else CostModel()
         # Deadlock handling: "detect" (waits-for cycle detection with
         # victim restart/abort — the default), or the classical
@@ -270,12 +309,12 @@ class TransactionManager:
         # commits, and transaction outcomes are logged for multi-level
         # crash recovery.
         self.wal = wal
-        self.waits = WaitsForGraph()
+        self.waits = WaitsForGraph(self.obs)
         self.recorder = HistoryRecorder(db)
         self.undo = UndoLog()
         self.trace = TraceLog()
         self.seq = SequenceCounter()
-        self.metrics = KernelMetrics()
+        self.metrics = KernelMetrics(self.obs)
         self.handles: dict[str, TxnHandle] = {}
         self._ids = IdGenerator()
         # Optional execution probe: called as probe(node, phase) with
@@ -797,9 +836,18 @@ class TransactionManager:
         requester_invocation: Invocation,
         target: Oid,
     ) -> Optional[TransactionNode]:
-        return self.protocol.test_conflict(
+        result = self.protocol.test_conflict(
             holder, holder_invocation, requester, requester_invocation, target
         )
+        if self._coarse_outcomes is not None:
+            commutative, subtxn_wait, toplevel_wait = self._coarse_outcomes
+            if result is None:
+                commutative.inc()
+            elif result.is_top_level:
+                toplevel_wait.inc()
+            else:
+                subtxn_wait.inc()
+        return result
 
     def _after_lock_change(self) -> None:
         granted = self.locks.reevaluate(self._tester)
@@ -810,7 +858,9 @@ class TransactionManager:
 
     def _sync_waits(self) -> None:
         """Rebuild the waits-for graph from the current lock queues."""
-        self.waits = WaitsForGraph()
+        if self.locks.pending_count == 0 and self.waits.edge_count == 0:
+            return  # nothing blocked, graph already empty: keep it
+        self.waits = WaitsForGraph(self.obs)
         for pending in self._all_pending():
             waiter = pending.node.top_level_name
             holders = {b.top_level_name for b in pending.blockers}

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.core.conflict import test_conflict
 from repro.errors import UnknownObjectError
 from repro.objects.oid import Oid
+from repro.obs.cases import CONFLICT_CASES
 from repro.protocols.base import CCProtocol, LockSpec
 from repro.semantics.compatibility import StateView
 from repro.semantics.invocation import Invocation
@@ -32,6 +33,17 @@ class SemanticLockingProtocol(CCProtocol):
 
     name = "semantic"
     ancestor_relief = True
+    reports_conflict_cases = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._on_outcome = None
+
+    def bind_metrics(self, registry) -> None:
+        """Cache one counter per Fig. 9 outcome for the conflict test."""
+        super().bind_metrics(registry)
+        counters = {case: registry.counter(case) for case in CONFLICT_CASES}
+        self._on_outcome = lambda case: counters[case].inc()
 
     def lock_specs(self, node: TransactionNode) -> list[LockSpec]:
         return [LockSpec(node.target, node.invocation)]
@@ -71,6 +83,7 @@ class SemanticLockingProtocol(CCProtocol):
             target,
             ancestor_relief=self.ancestor_relief,
             view_factory=self._view_for,
+            on_outcome=self._on_outcome,
         )
 
     # on_node_complete: default no-op — locks are retained, not released.

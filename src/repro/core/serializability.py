@@ -13,10 +13,24 @@ Commutativity of two actions is decided as follows: on the *same*
 object, by the object's compatibility matrix; on objects in *disjoint*
 composition subtrees, trivially (the paper's complex objects are
 disjoint, so the actions touch disjoint state); on hierarchically
-*related* objects, conservatively **not** — with one sound refinement: a
-set object's own state is only its membership directory, which is
-disjoint from the state inside its members, so a set operation commutes
-with any action strictly below a member.
+*related* objects, by two sound refinements before giving up:
+
+1. a set object's own state is only its membership directory, which is
+   disjoint from the state inside its members, so a set operation
+   commutes with any action strictly below a member; and
+2. the *executed leaf footprints* are compared — a composite object has
+   no state of its own (its state lives entirely in its atoms and set
+   directories), so two actions whose recorded primitive accesses are
+   pairwise compatible physically commute regardless of where they sit
+   in the composition hierarchy.  This is the classical conflict test:
+   distinct primitive objects hold disjoint state, and same-object leaf
+   pairs are decided by the primitive type's matrix.
+
+Without refinement 2, a method on an ancestor object was conservatively
+ordered against *every* access inside it — e.g. ``TestStatus`` on an
+order (which only reads the status atom) against a read of the same
+order's amount atom — which produced false non-serializable verdicts
+for histories the Fig. 9 protocol correctly admits.
 
 **Algorithm.**  Sequences that differ only by exchanges of commuting
 elements form one Mazurkiewicz *trace*, so the search works on traces,
@@ -105,6 +119,7 @@ class _Reducer:
             self.child_ids[record.node_id] = tuple(c.node_id for c in children)
         self._commute_cache: dict[tuple[str, str], bool] = {}
         self._related_cache: dict[tuple, bool] = {}
+        self._footprint_cache: dict[str, tuple[ActionRecord, ...]] = {}
 
     # ------------------------------------------------------------------
     # Commutativity of elements
@@ -154,7 +169,41 @@ class _Reducer:
             ancestor = b
         if ancestor.target.type_name == "Set":
             return True  # directory state vs member-internal state
-        return False
+        return self._footprints_commute(a, b)
+
+    def _leaf_footprint(self, node_id: str) -> tuple[ActionRecord, ...]:
+        """The primitive accesses recorded under a node (itself if a leaf)."""
+        cached = self._footprint_cache.get(node_id)
+        if cached is not None:
+            return cached
+        children = self.child_ids.get(node_id, ())
+        if not children:
+            footprint: tuple[ActionRecord, ...] = (self.records[node_id],)
+        else:
+            footprint = tuple(
+                leaf for child in children for leaf in self._leaf_footprint(child)
+            )
+        self._footprint_cache[node_id] = footprint
+        return footprint
+
+    def _footprints_commute(self, a: ActionRecord, b: ActionRecord) -> bool:
+        """Physical conflict test over the executed leaf accesses.
+
+        Leaves on distinct primitive objects touch disjoint state and
+        commute; leaves on the same object are decided by that object's
+        matrix.  Sound because the recorded leaves are exactly the state
+        the two subtrees read or wrote in this execution.
+        """
+        for la in self._leaf_footprint(a.node_id):
+            for lb in self._leaf_footprint(b.node_id):
+                if la.target != lb.target:
+                    continue
+                matrix = self._matrix_for(la.target.type_name)
+                if matrix is None or not matrix.compatible(
+                    Invocation(la.operation, la.args), Invocation(lb.operation, lb.args)
+                ):
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # Initial state

@@ -1,0 +1,46 @@
+"""Kernel observability: metrics registry, conflict-case accounting.
+
+See ``docs/OBSERVABILITY.md`` for the full metric catalogue and the
+conflict-case taxonomy.
+"""
+
+from repro.obs.cases import (
+    CASE1_RELIEF,
+    CASE2_WAIT,
+    CASE_COMMUTATIVE,
+    CASE_LABELS,
+    CASE_SAME_TRANSACTION,
+    CASE_TOPLEVEL_WAIT,
+    CONFLICT_CASES,
+    conflict_breakdown,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    TIMER_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.snapshot import HistogramSnapshot, Snapshot
+
+__all__ = [
+    "CASE1_RELIEF",
+    "CASE2_WAIT",
+    "CASE_COMMUTATIVE",
+    "CASE_LABELS",
+    "CASE_SAME_TRANSACTION",
+    "CASE_TOPLEVEL_WAIT",
+    "CONFLICT_CASES",
+    "conflict_breakdown",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "Snapshot",
+    "Timer",
+    "TIMER_BUCKETS",
+]

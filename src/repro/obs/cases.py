@@ -1,0 +1,72 @@
+"""The conflict-case taxonomy: one name per Fig. 9 outcome.
+
+Every invocation of the conflict test ends in exactly one of these
+outcomes, so the counters below partition the test population:
+
+* ``CASE_COMMUTATIVE`` — the two invocations commute per the object's
+  compatibility matrix (step 1): no conflict, the lock is granted.
+* ``CASE_SAME_TRANSACTION`` — both actions belong to one top-level
+  transaction (also step 1): never a conflict.
+* ``CASE1_RELIEF`` — a formal conflict masked by a *committed*
+  commutative ancestor pair (the paper's case 1, Fig. 6): the request
+  is granted despite the retained lock.
+* ``CASE2_WAIT`` — a commutative ancestor pair exists but the holder
+  side is still active (case 2, Fig. 7): the requester waits only for
+  that subtransaction's commit.
+* ``CASE_TOPLEVEL_WAIT`` — no commutative ancestors (Fig. 5 bypassing
+  being the canonical producer): the requester waits for the holder's
+  top-level commit.
+
+Baseline protocols (2PL variants, closed nested) have no ancestor
+search; their outcomes are classified coarsely by the kernel — ``None``
+counts as commutative, a returned top-level root as a top-level wait,
+anything else as a subtransaction wait.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.snapshot import Snapshot
+
+CASE_COMMUTATIVE = "conflict.commutative"
+CASE_SAME_TRANSACTION = "conflict.same_transaction"
+CASE1_RELIEF = "conflict.case1_relief"
+CASE2_WAIT = "conflict.case2_wait"
+CASE_TOPLEVEL_WAIT = "conflict.toplevel_wait"
+
+#: Every conflict-test outcome counter, in presentation order.
+CONFLICT_CASES: tuple[str, ...] = (
+    CASE_COMMUTATIVE,
+    CASE_SAME_TRANSACTION,
+    CASE1_RELIEF,
+    CASE2_WAIT,
+    CASE_TOPLEVEL_WAIT,
+)
+
+#: Human-readable labels for the breakdown table.
+CASE_LABELS: dict[str, str] = {
+    CASE_COMMUTATIVE: "commutative grant",
+    CASE_SAME_TRANSACTION: "same-transaction grant",
+    CASE1_RELIEF: "case-1 relief (committed ancestor)",
+    CASE2_WAIT: "case-2 wait (subtxn commit)",
+    CASE_TOPLEVEL_WAIT: "top-level wait",
+}
+
+
+def conflict_breakdown(snapshot: "Snapshot") -> list[dict[str, object]]:
+    """Rows (case, count, share) of the conflict-test outcome breakdown."""
+    total = sum(snapshot.counter(case) for case in CONFLICT_CASES)
+    rows: list[dict[str, object]] = []
+    for case in CONFLICT_CASES:
+        count = snapshot.counter(case)
+        rows.append(
+            {
+                "case": CASE_LABELS[case],
+                "counter": case,
+                "count": count,
+                "share": round(count / total, 4) if total else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,250 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Every kernel component (lock table, conflict test, scheduler, waits-for
+graph) increments instruments from one shared registry, so a single
+:meth:`MetricsRegistry.snapshot` captures a whole run.  Instruments are
+created on first use and cached by the hot paths, so the steady-state
+cost of an update is one attribute store — cheap enough to leave the
+registry permanently enabled.
+
+Design constraints:
+
+* no third-party dependencies (stdlib only);
+* deterministic: snapshots of two identical runs compare equal, so the
+  regression tests can diff them (no timestamps inside instruments);
+* fixed-bucket histograms (upper bounds chosen at creation time), the
+  standard trick for mergeable, export-friendly distributions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Any, Callable, Optional
+
+from repro.obs.snapshot import (
+    HistogramSnapshot,
+    Snapshot,
+)
+
+#: Generic default bucket upper bounds — suit both virtual-time costs
+#: (units of the bench cost model) and small integer distributions.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+#: Default bucket upper bounds for wall-clock timers, in seconds.
+TIMER_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing event count (resettable to zero)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """An instantaneous level (queue depth, held locks, graph edges).
+
+    Tracks its high-water mark alongside the current value, because for
+    saturation questions ("how deep did the queue get?") the end-of-run
+    value is usually 0 and useless.
+    """
+
+    __slots__ = ("name", "value", "hwm")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.hwm = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.hwm:
+            self.hwm = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.hwm = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value} hwm={self.hwm}>"
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    ``bounds`` are inclusive upper bounds; values above the last bound
+    fall into an implicit overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` entries.  Sum and count are tracked exactly, so
+    the mean is exact even though the shape is bucketed.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class Timer:
+    """Reusable context manager timing a block into a histogram.
+
+    The clock is injectable: pass the scheduler's virtual clock to
+    measure virtual durations, or leave the default
+    :func:`time.perf_counter` for wall-clock timings.  Not reentrant.
+    """
+
+    __slots__ = ("histogram", "clock", "_start", "_last")
+
+    def __init__(
+        self, histogram: Histogram, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.histogram = histogram
+        self.clock = clock
+        self._start = 0.0
+        self._last = 0.0
+
+    @property
+    def last(self) -> float:
+        """The most recently observed duration (0.0 before first use)."""
+        return self._last
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self._last = self.clock() - self._start
+        self.histogram.observe(self._last)
+        return False
+
+
+class MetricsRegistry:
+    """A namespace of instruments; see module docstring.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: callers on
+    hot paths fetch their instrument once and keep the reference.
+    Re-declaring a histogram with different bounds is an error (the
+    buckets would be ambiguous); counters and gauges are bound-free.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[tuple[float, ...]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_BUCKETS
+            )
+        elif bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds {instrument.bounds}"
+            )
+        return instrument
+
+    def timer(
+        self,
+        name: str,
+        clock: Callable[[], float] = time.perf_counter,
+        bounds: tuple[float, ...] = TIMER_BUCKETS,
+    ) -> Timer:
+        """A context manager observing durations into histogram *name*."""
+        return Timer(self.histogram(name, bounds), clock)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument (bucket layouts are kept)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for instrument in group.values():
+                instrument.reset()
+
+    def snapshot(self) -> Snapshot:
+        """An immutable, comparable copy of every instrument's state."""
+        return Snapshot(
+            counters={n: c.value for n, c in sorted(self._counters.items())},
+            gauges={
+                n: {"value": g.value, "hwm": g.hwm}
+                for n, g in sorted(self._gauges.items())
+            },
+            histograms={
+                n: HistogramSnapshot(
+                    bounds=h.bounds,
+                    counts=tuple(h.counts),
+                    sum=h.sum,
+                    count=h.count,
+                )
+                for n, h in sorted(self._histograms.items())
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms>"
+        )

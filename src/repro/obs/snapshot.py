@@ -1,0 +1,182 @@
+"""Point-in-time metric state: comparable, mergeable, JSONL-portable.
+
+A :class:`Snapshot` is plain data — two runs that executed identically
+produce snapshots that compare equal, which the determinism regression
+tests rely on.  Snapshots merge (for aggregating repeated benchmark
+runs) and round-trip through JSON Lines: one JSON object per
+instrument, a format that diffs cleanly and appends cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, IO, Iterable
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen histogram state (bounds, per-bucket counts, sum, count)."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "HistogramSnapshot":
+        return cls(
+            bounds=tuple(data["bounds"]),
+            counts=tuple(data["counts"]),
+            sum=data["sum"],
+            count=data["count"],
+        )
+
+    def merged(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            sum=self.sum + other.sum,
+            count=self.count + other.count,
+        )
+
+
+@dataclass
+class Snapshot:
+    """All instruments of one registry at one instant."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, {}).get("value", default)
+
+    def gauge_hwm(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, {}).get("hwm", default)
+
+    def histogram(self, name: str) -> HistogramSnapshot | None:
+        return self.histograms.get(name)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": {n: dict(g) for n, g in self.gauges.items()},
+            "histograms": {n: h.to_dict() for n, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Snapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges={n: dict(g) for n, g in data.get("gauges", {}).items()},
+            histograms={
+                n: HistogramSnapshot.from_dict(h)
+                for n, h in data.get("histograms", {}).items()
+            },
+        )
+
+    def merged(self, other: "Snapshot") -> "Snapshot":
+        """Combine two runs: counters/histograms sum, gauge hwms max.
+
+        Gauge *values* are instantaneous, so the merged value is the
+        later run's (``other``'s) — matching how repeated benchmark runs
+        are aggregated.
+        """
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = {n: dict(g) for n, g in self.gauges.items()}
+        for name, gauge in other.gauges.items():
+            if name in gauges:
+                gauges[name] = {
+                    "value": gauge["value"],
+                    "hwm": max(gauges[name]["hwm"], gauge["hwm"]),
+                }
+            else:
+                gauges[name] = dict(gauge)
+        histograms = dict(self.histograms)
+        for name, hist in other.histograms.items():
+            histograms[name] = (
+                histograms[name].merged(hist) if name in histograms else hist
+            )
+        return Snapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    # ------------------------------------------------------------------
+    # JSONL
+    # ------------------------------------------------------------------
+    def write_jsonl(self, fp: IO[str]) -> int:
+        """Write one JSON object per instrument; returns lines written."""
+        lines = 0
+        for name, value in self.counters.items():
+            fp.write(json.dumps({"type": "counter", "name": name, "value": value}) + "\n")
+            lines += 1
+        for name, gauge in self.gauges.items():
+            fp.write(
+                json.dumps(
+                    {
+                        "type": "gauge",
+                        "name": name,
+                        "value": gauge["value"],
+                        "hwm": gauge["hwm"],
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for name, hist in self.histograms.items():
+            record = {"type": "histogram", "name": name}
+            record.update(hist.to_dict())
+            fp.write(json.dumps(record) + "\n")
+            lines += 1
+        return lines
+
+    @classmethod
+    def read_jsonl(cls, lines: Iterable[str]) -> "Snapshot":
+        """Rebuild a snapshot from :meth:`write_jsonl` output."""
+        snapshot = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type")
+            name = record.pop("name")
+            if kind == "counter":
+                snapshot.counters[name] = record["value"]
+            elif kind == "gauge":
+                snapshot.gauges[name] = {
+                    "value": record["value"],
+                    "hwm": record["hwm"],
+                }
+            elif kind == "histogram":
+                snapshot.histograms[name] = HistogramSnapshot.from_dict(record)
+            else:
+                raise ValueError(f"unknown metric record type {kind!r}")
+        return snapshot

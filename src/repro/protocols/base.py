@@ -75,13 +75,29 @@ class CCProtocol(ABC):
 
     name: str = "abstract"
 
+    #: True when the protocol's :meth:`test_conflict` reports its own
+    #: fine-grained conflict-case outcomes into the bound metrics
+    #: registry (the semantic protocols do); otherwise the kernel
+    #: classifies outcomes coarsely from the return value alone.
+    reports_conflict_cases: bool = False
+
     def __init__(self) -> None:
         self._db: Optional[Database] = None
         self._lock_table = None
+        self._metrics = None
 
     def bind(self, db: Database) -> None:
         """Attach the protocol to the database it will run against."""
         self._db = db
+
+    def bind_metrics(self, registry) -> None:
+        """Give the protocol a :class:`~repro.obs.MetricsRegistry`.
+
+        Protocols that account per-conflict-case outcomes (the semantic
+        family) override this to cache their counters; the base just
+        stores the registry.
+        """
+        self._metrics = registry
 
     def bind_lock_table(self, lock_table) -> None:
         """Give the protocol access to the live lock table.

@@ -142,6 +142,20 @@ class Scheduler:
         # Hook: called when all tasks are blocked.  Must return True if it
         # unblocked something (e.g. resolved a deadlock), False otherwise.
         self.on_stall: Optional[Callable[[list[Task]], bool]] = None
+        self._switch_counter = None
+        self._stall_counter = None
+        self._ready_gauge = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a :class:`~repro.obs.MetricsRegistry`.
+
+        Exposes ``sched.task_switches`` (one per coroutine step),
+        ``sched.stalls`` (all-blocked events handed to the stall hook),
+        and the ``sched.ready_queue`` length gauge.
+        """
+        self._switch_counter = registry.counter("sched.task_switches")
+        self._stall_counter = registry.counter("sched.stalls")
+        self._ready_gauge = registry.gauge("sched.ready_queue")
 
     # ------------------------------------------------------------------
     # Task management
@@ -241,6 +255,8 @@ class Scheduler:
                 blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
                 if not blocked:
                     break  # all done
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
                 if self.on_stall is not None and self.on_stall(blocked):
                     continue
                 names = ", ".join(t.name for t in blocked)
@@ -256,6 +272,9 @@ class Scheduler:
 
     def _step(self, task: Task) -> None:
         self.steps += 1
+        if self._switch_counter is not None:
+            self._switch_counter.inc()
+            self._ready_gauge.set(len(self._ready) + 1)  # +1: the running task
         task.state = Task.READY  # running; reset below on suspension
         exc = task.pending_exception
         value = task.resume_value

@@ -38,13 +38,14 @@ ConflictTester = Callable[
 class Lock:
     """A granted lock: an invocation by a node on a target object."""
 
-    __slots__ = ("lock_id", "node", "target", "invocation")
+    __slots__ = ("lock_id", "node", "target", "invocation", "grant_clock")
 
     def __init__(self, lock_id: int, node: TransactionNode, target: Oid, invocation: Invocation) -> None:
         self.lock_id = lock_id
         self.node = node
         self.target = target
         self.invocation = invocation
+        self.grant_clock = 0.0  # virtual time of the grant (hold-time metric)
 
     @property
     def retained(self) -> bool:
@@ -90,7 +91,11 @@ class PendingRequest:
 class LockTable:
     """Granted locks and FCFS request queues, per object."""
 
-    def __init__(self) -> None:
+    #: Virtual-time upper bounds for the lock-hold histogram — matched
+    #: to the bench cost model, where one storage op costs 1.0.
+    HOLD_TIME_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+    def __init__(self, metrics=None, clock: Optional[Callable[[], float]] = None) -> None:
         self._granted: defaultdict[Oid, list[Lock]] = defaultdict(list)
         self._queues: defaultdict[Oid, list[PendingRequest]] = defaultdict(list)
         self._next_lock_id = 0
@@ -98,6 +103,46 @@ class LockTable:
         self.max_locks_held = 0  # high-water mark, a bench metric
         self.total_grants = 0
         self.total_blocks = 0
+        # Incremental counts: grant/release/enqueue are the hot path, so
+        # lock_count/pending_count must not walk the per-object dicts.
+        self._n_granted = 0
+        self._n_pending = 0
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._grant_counter = None
+        self._block_counter = None
+        self._held_gauge = None
+        self._queue_gauge = None
+        self._hold_hist = None
+        if metrics is not None:
+            self.bind_metrics(metrics, clock)
+
+    def bind_metrics(self, registry, clock: Optional[Callable[[], float]] = None) -> None:
+        """Attach a :class:`~repro.obs.MetricsRegistry` (and a clock).
+
+        The clock (typically the scheduler's virtual clock) stamps
+        grants so releases can feed the ``lock.hold_time`` histogram.
+        """
+        if clock is not None:
+            self._clock = clock
+        self._grant_counter = registry.counter("lock.grants")
+        self._block_counter = registry.counter("lock.blocks")
+        self._held_gauge = registry.gauge("lock.held")
+        self._queue_gauge = registry.gauge("lock.queue_depth")
+        self._hold_hist = registry.histogram("lock.hold_time", self.HOLD_TIME_BUCKETS)
+
+    def _queue_changed(self) -> None:
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(self.pending_count)
+
+    def _released(self, locks: list[Lock]) -> None:
+        self._n_granted -= len(locks)
+        if self._hold_hist is None or not locks:
+            return
+        now = self._clock()
+        for lock in locks:
+            self._hold_hist.observe(now - lock.grant_clock)
+        if self._held_gauge is not None:
+            self._held_gauge.set(self._n_granted)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -124,11 +169,11 @@ class LockTable:
 
     @property
     def lock_count(self) -> int:
-        return sum(len(locks) for locks in self._granted.values())
+        return self._n_granted
 
     @property
     def pending_count(self) -> int:
-        return sum(len(queue) for queue in self._queues.values())
+        return self._n_pending
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -168,7 +213,13 @@ class LockTable:
         lock = Lock(self._next_lock_id, node, target, invocation)
         self._granted[target].append(lock)
         self.total_grants += 1
-        self.max_locks_held = max(self.max_locks_held, self.lock_count)
+        self._n_granted += 1
+        if self._n_granted > self.max_locks_held:
+            self.max_locks_held = self._n_granted
+        if self._grant_counter is not None:
+            lock.grant_clock = self._clock()
+            self._grant_counter.inc()
+            self._held_gauge.set(self._n_granted)
         return lock
 
     def enqueue(
@@ -183,6 +234,10 @@ class LockTable:
         pending = PendingRequest(node, target, invocation, signal, self._next_enqueue_seq)
         self._queues[target].append(pending)
         self.total_blocks += 1
+        self._n_pending += 1
+        if self._block_counter is not None:
+            self._block_counter.inc()
+            self._queue_changed()
         return pending
 
     def cancel(self, pending: PendingRequest) -> None:
@@ -190,6 +245,8 @@ class LockTable:
         queue = self._queues.get(pending.target)
         if queue and pending in queue:
             queue.remove(pending)
+            self._n_pending -= 1
+            self._queue_changed()
 
     def reevaluate(self, tester: ConflictTester) -> list[PendingRequest]:
         """Grant every queued request whose blockers are gone.
@@ -220,10 +277,13 @@ class LockTable:
                     self.grant(pending.node, target, pending.invocation)
                     pending.blockers = set()
                     granted_now.append(pending)
+                    self._n_pending -= 1
             if still_waiting:
                 self._queues[target][:] = still_waiting
             else:
                 self._queues[target].clear()
+        if granted_now:
+            self._queue_changed()
         for pending in granted_now:
             pending.signal.fire(pending)
         return granted_now
@@ -236,6 +296,7 @@ class LockTable:
         if not locks or lock not in locks:
             raise ProtocolViolation(f"releasing unknown lock {lock!r}")
         locks.remove(lock)
+        self._released([lock])
 
     def release_tree(self, root: TransactionNode) -> list[Lock]:
         """Release every lock of the given top-level transaction.
@@ -249,6 +310,7 @@ class LockTable:
             if len(keep) != len(locks):
                 released.extend(lock for lock in locks if lock.node.root() is root)
                 self._granted[target][:] = keep
+        self._released(released)
         return released
 
     def release_descendant_locks(self, node: TransactionNode) -> list[Lock]:
@@ -267,6 +329,7 @@ class LockTable:
                 else:
                     keep.append(lock)
             self._granted[target][:] = keep
+        self._released(released)
         return released
 
     def release_subtree(self, node: TransactionNode) -> list[Lock]:
@@ -284,6 +347,7 @@ class LockTable:
                 else:
                     keep.append(lock)
             self._granted[target][:] = keep
+        self._released(released)
         return released
 
     def reassign_locks_to_parent(self, node: TransactionNode) -> list[Lock]:

@@ -10,27 +10,48 @@ blocked; a cycle is a deadlock and one member is aborted (compensated).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import MetricsRegistry
 
 
 class WaitsForGraph:
-    """Directed graph: waiter transaction name -> holder transaction names."""
+    """Directed graph: waiter transaction name -> holder transaction names.
 
-    def __init__(self) -> None:
+    With a metrics registry bound, the graph keeps the ``waits.edges``
+    gauge current (high-water mark included) and counts every cycle
+    check under ``waits.cycle_checks``.
+    """
+
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
         self._edges: defaultdict[str, set[str]] = defaultdict(set)
+        self._edge_gauge = metrics.gauge("waits.edges") if metrics else None
+        self._cycle_counter = metrics.counter("waits.cycle_checks") if metrics else None
+        # The kernel rebuilds the graph on every lock change; starting
+        # from zero keeps the gauge truthful (the hwm survives in the
+        # registry's gauge object).
+        self._edges_changed()
+
+    def _edges_changed(self) -> None:
+        if self._edge_gauge is not None:
+            self._edge_gauge.set(self.edge_count)
 
     def set_waits(self, waiter: str, holders: set[str]) -> None:
         """Replace *waiter*'s outgoing edges (self-edges are dropped)."""
         self._edges[waiter] = {h for h in holders if h != waiter}
+        self._edges_changed()
 
     def clear_waits(self, waiter: str) -> None:
         self._edges.pop(waiter, None)
+        self._edges_changed()
 
     def remove_transaction(self, name: str) -> None:
         """Drop the transaction entirely (it committed or aborted)."""
         self._edges.pop(name, None)
         for holders in self._edges.values():
             holders.discard(name)
+        self._edges_changed()
 
     def waits_of(self, waiter: str) -> frozenset[str]:
         return frozenset(self._edges.get(waiter, ()))
@@ -46,6 +67,8 @@ class WaitsForGraph:
         path returning to *start* is reported (deterministically, since
         neighbours are visited in sorted order).
         """
+        if self._cycle_counter is not None:
+            self._cycle_counter.inc()
         path: list[str] = [start]
         on_path = {start}
         visited: set[str] = set()

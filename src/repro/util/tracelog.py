@@ -8,8 +8,9 @@ examples pretty-print it.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, IO, Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,26 @@ class TraceEvent:
     def __str__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
         return f"[{self.seq:>4}] {self.kind:<12} {self.txn}/{self.node} {parts}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form, the unit of the JSONL trace export."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "node": self.node,
+            "txn": self.txn,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            seq=data["seq"],
+            kind=data["kind"],
+            node=data["node"],
+            txn=data["txn"],
+            detail=dict(data.get("detail", {})),
+        )
 
 
 class TraceLog:
@@ -63,3 +84,27 @@ class TraceLog:
 
     def clear(self) -> None:
         self._events.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def write_jsonl(self, fp: IO[str]) -> int:
+        """Write one JSON object per event; returns lines written.
+
+        Detail values must be JSON-serializable; the kernel only puts
+        strings, numbers, and lists of strings there (a contract the
+        golden-trace schema test enforces).
+        """
+        for event in self._events:
+            fp.write(json.dumps(event.to_dict(), default=str) + "\n")
+        return len(self._events)
+
+    @classmethod
+    def read_jsonl(cls, lines: Iterable[str]) -> "TraceLog":
+        """Rebuild a trace log from :meth:`write_jsonl` output."""
+        log = cls()
+        for line in lines:
+            line = line.strip()
+            if line:
+                log.emit(TraceEvent.from_dict(json.loads(line)))
+        return log

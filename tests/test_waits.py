@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs import MetricsRegistry
 from repro.txn.waits import WaitsForGraph
 
 
@@ -85,3 +86,80 @@ class TestCycles:
         g.set_waits("E", {"A"})
         cycle = g.find_cycle_through("A")
         assert cycle == ["A", "D", "E"]
+
+
+class TestMetricsIntegration:
+    """The waits.edges gauge and waits.cycle_checks counter invariants."""
+
+    def test_edge_gauge_tracks_every_mutation(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("waits.edges")
+        g = WaitsForGraph(registry)
+        assert gauge.value == 0
+
+        g.set_waits("A", {"B", "C"})
+        assert gauge.value == g.edge_count == 2
+        g.set_waits("B", {"C"})
+        assert gauge.value == g.edge_count == 3
+        g.clear_waits("A")
+        assert gauge.value == g.edge_count == 1
+        g.remove_transaction("C")
+        assert gauge.value == g.edge_count == 0
+        assert gauge.hwm == 3
+
+    def test_self_edges_never_counted(self):
+        registry = MetricsRegistry()
+        g = WaitsForGraph(registry)
+        g.set_waits("A", {"A", "B"})
+        assert registry.gauge("waits.edges").value == 1
+
+    def test_remove_drops_incoming_and_outgoing_edges(self):
+        registry = MetricsRegistry()
+        g = WaitsForGraph(registry)
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        g.set_waits("C", {"A"})
+        g.remove_transaction("A")
+        assert g.edge_count == 1  # only B -> C survives
+        assert registry.gauge("waits.edges").value == 1
+
+    def test_rebuild_resets_gauge_but_keeps_hwm(self):
+        """The kernel rebuilds the graph on every lock change; a fresh
+        graph on the same registry must zero the live value while the
+        run-wide high-water mark survives in the registry's gauge."""
+        registry = MetricsRegistry()
+        g = WaitsForGraph(registry)
+        g.set_waits("A", {"B", "C", "D"})
+        rebuilt = WaitsForGraph(registry)
+        gauge = registry.gauge("waits.edges")
+        assert gauge.value == 0
+        assert gauge.hwm == 3
+        assert rebuilt.edge_count == 0
+
+    def test_cycle_checks_counted_including_backstop_scan(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("waits.cycle_checks")
+        g = WaitsForGraph(registry)
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        g.find_cycle_through("A")
+        assert counter.value == 1
+        # find_any_cycle scans via find_cycle_through per start node
+        g.find_any_cycle()
+        assert counter.value == 3
+
+    def test_three_txn_ring_detected_with_metrics_bound(self):
+        registry = MetricsRegistry()
+        g = WaitsForGraph(registry)
+        g.set_waits("A", {"B"})
+        g.set_waits("B", {"C"})
+        g.set_waits("C", {"A"})
+        assert registry.gauge("waits.edges").value == 3
+        cycle = g.find_cycle_through("A")
+        assert cycle is not None and set(cycle) == {"A", "B", "C"}
+        assert registry.counter("waits.cycle_checks").value == 1
+
+    def test_unbound_graph_has_no_instruments(self):
+        g = WaitsForGraph()
+        g.set_waits("A", {"B"})
+        assert g.find_cycle_through("A") is None  # no counter, no crash
