@@ -154,6 +154,7 @@ def sweep_mpl(mpls, n_transactions=30, protocols=None, seed=11):
     for mpl in mpls:
         row: dict = {"mpl": mpl}
         resp: dict = {"mpl": mpl}
+        ctpr: dict = {"mpl": mpl}
         for label, factory in protocols.items():
             metrics = run_closed_loop(
                 factory,
@@ -163,7 +164,8 @@ def sweep_mpl(mpls, n_transactions=30, protocols=None, seed=11):
             )
             row[label] = round(metrics.throughput, 4)
             resp[label] = round(metrics.mean_response, 2)
-        rows.append((row, resp))
+            ctpr[label] = round(metrics.conflict_tests_per_release, 2)
+        rows.append((row, resp, ctpr))
     return rows
 
 
@@ -181,6 +183,7 @@ def sweep_contention(item_counts, n_transactions=30, protocols=None, seed=23, re
         block_row: dict = {"n_items": n_items}
         abort_row: dict = {"n_items": n_items}
         tput_row: dict = {"n_items": n_items}
+        ctpr_row: dict = {"n_items": n_items}
         for label, factory in protocols.items():
             runs = [
                 run_closed_loop(
@@ -199,7 +202,8 @@ def sweep_contention(item_counts, n_transactions=30, protocols=None, seed=23, re
             block_row[label] = round(metrics.blocking_rate, 4)
             abort_row[label] = round(metrics.abort_rate, 4)
             tput_row[label] = round(metrics.throughput, 4)
-        rows.append((block_row, abort_row, tput_row))
+            ctpr_row[label] = round(metrics.conflict_tests_per_release, 2)
+        rows.append((block_row, abort_row, tput_row, ctpr_row))
     return rows
 
 

@@ -26,10 +26,16 @@ def experiment():
 def test_p1_throughput(benchmark):
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
-    throughput_rows = [t for t, __ in rows]
-    response_rows = [r for __, r in rows]
+    throughput_rows = [t for t, __, ___ in rows]
+    response_rows = [r for __, r, ___ in rows]
+    ctpr_rows = [c for __, ___, c in rows]
     print_rows(throughput_rows, "P1a — throughput (committed txns / virtual time) vs MPL")
     print_rows(response_rows, "P1b — mean response time (virtual) vs MPL")
+    print_rows(ctpr_rows, "P1c — conflict tests per release op vs MPL")
+
+    # surfaced in the bench JSON so the perf-smoke job (and BENCH.md)
+    # can watch the lock manager's per-release work directly
+    benchmark.extra_info["conflict_tests_per_release"] = ctpr_rows
 
     # MPL 1: roughly protocol-independent (within 25%, retry noise aside)
     base = throughput_rows[0]

@@ -20,12 +20,16 @@ def experiment():
 def test_p2_contention(benchmark):
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
-    block_rows = [b for b, __, ___ in rows]
-    abort_rows = [a for __, a, ___ in rows]
-    tput_rows = [t for __, ___, t in rows]
+    block_rows = [b for b, *__ in rows]
+    abort_rows = [a for __, a, *___ in rows]
+    tput_rows = [t for __, ___, t, ____ in rows]
+    ctpr_rows = [c for *__, c in rows]
     print_rows(block_rows, "P2a — blocking rate (lock waits per action) vs #items")
     print_rows(abort_rows, "P2b — abort rate vs #items")
     print_rows(tput_rows, "P2c — throughput vs #items")
+    print_rows(ctpr_rows, "P2d — conflict tests per release op vs #items")
+
+    benchmark.extra_info["conflict_tests_per_release"] = ctpr_rows
 
     # contention relief: blocking at 8 items is lower than at 1 item
     hot, cold = block_rows[0], block_rows[-1]

@@ -93,6 +93,31 @@ class RunMetrics:
     def toplevel_waits(self) -> int:
         return self._case(CASE_TOPLEVEL_WAIT)
 
+    # ------------------------------------------------------------------
+    # Lock-manager work accounting (from the snapshot; 0 when absent)
+    # ------------------------------------------------------------------
+    @property
+    def conflict_tests(self) -> int:
+        """Fig. 9 conflict-test invocations over the whole run."""
+        return self._case("lock.conflict_tests")
+
+    @property
+    def release_ops(self) -> int:
+        """Bulk release/reassign operations (commit/abort boundaries)."""
+        return self._case("lock.release_ops")
+
+    @property
+    def conflict_tests_per_release(self) -> float:
+        """Mean conflict tests paid per release operation.
+
+        The headline figure for the indexed lock manager: with dirty-mark
+        re-evaluation this tracks the number of *affected* requests, not
+        the table size.
+        """
+        if not self.release_ops:
+            return float(self.conflict_tests)
+        return self.conflict_tests / self.release_ops
+
     def row(self) -> dict[str, float | int | str]:
         """Flat dict for table rendering."""
         return {
@@ -106,6 +131,7 @@ class RunMetrics:
             "deadlocks": self.deadlocks,
             "restarts": self.subtxn_restarts,
             "max_locks": self.max_locks_held,
+            "ct_per_rel": round(self.conflict_tests_per_release, 2),
         }
 
 

@@ -262,6 +262,7 @@ class TransactionManager:
         deadlock_policy: str = "detect",
         wal=None,
         obs: Optional[MetricsRegistry] = None,
+        lock_table_cls: Optional[type[LockTable]] = None,
     ) -> None:
         if deadlock_policy not in ("detect", "wait-die", "wound-wait"):
             raise ValueError(f"unknown deadlock policy {deadlock_policy!r}")
@@ -275,9 +276,13 @@ class TransactionManager:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.scheduler.on_stall = self._on_stall
         self.scheduler.bind_metrics(self.obs)
-        self.locks = LockTable(
+        # lock_table_cls is a test seam: the differential suite swaps in
+        # the scan-based reference implementation to prove the indexed
+        # table behaves identically.
+        self.locks = (lock_table_cls or LockTable)(
             metrics=self.obs, clock=lambda: self.scheduler.clock
         )
+        self.locks.on_waits_changed = self._on_waits_changed
         self.protocol.bind_lock_table(self.locks)
         # Baseline protocols do not classify Fig. 9 outcomes themselves;
         # the kernel bins their conflict-test results coarsely so the
@@ -749,7 +754,9 @@ class TransactionManager:
 
         signal = self.scheduler.create_signal(f"grant-{node.node_id}")
         pending = self.locks.enqueue(node, spec.target, spec.invocation, signal)
-        pending.blockers = blockers
+        # set_blockers keeps the reverse blocker index current and fires
+        # the waits-changed hook, so the waits-for graph needs no rebuild.
+        self.locks.set_blockers(pending, blockers)
         self.metrics.blocks += 1
         self._trace(
             node,
@@ -759,15 +766,12 @@ class TransactionManager:
             waits_for=sorted(b.node_id for b in blockers),
         )
         try:
-            self._sync_waits()
             if self.deadlock_policy == "detect":
                 self._resolve_deadlocks(requester=node)
             await signal
         except BaseException:
             self.locks.cancel(pending)
-            self._sync_waits()
             raise
-        self._sync_waits()
         self._trace(node, "wake", target=str(spec.target), mode=str(spec.invocation))
 
     def _apply_prevention_policy(
@@ -822,9 +826,8 @@ class TransactionManager:
                 victim.task,
                 DeadlockError(victim_name, (my_root.top_level_name, victim_name)),
             )
-            for pending in list(self._all_pending()):
-                if pending.node.root() is victim.root:
-                    self.locks.cancel(pending)
+            for pending in self.locks.pending_of_tree(victim.root):
+                self.locks.cancel(pending)
             survivors.add(blocker)  # its abort completion is the wake event
         return survivors
 
@@ -853,21 +856,24 @@ class TransactionManager:
         granted = self.locks.reevaluate(self._tester)
         for pending in granted:
             self._trace(pending.node, "regrant", target=str(pending.target))
-        self._sync_waits()
         self._resolve_deadlocks()
 
-    def _sync_waits(self) -> None:
-        """Rebuild the waits-for graph from the current lock queues."""
-        if self.locks.pending_count == 0 and self.waits.edge_count == 0:
-            return  # nothing blocked, graph already empty: keep it
-        self.waits = WaitsForGraph(self.obs)
-        for pending in self._all_pending():
-            waiter = pending.node.top_level_name
-            holders = {b.top_level_name for b in pending.blockers}
-            self.waits.set_waits(waiter, holders)
+    def _on_waits_changed(self, pending: PendingRequest) -> None:
+        """Lock-table hook: mirror a request's blocker set into the graph.
 
-    def _all_pending(self) -> Iterable[PendingRequest]:
-        return self.locks.iter_pending()
+        Execution within a transaction is sequential, so each top-level
+        name has at most one blocked request at a time — a pending
+        request's blocker set maps one-to-one onto the waiter's outgoing
+        edges, and the graph can be maintained edge-by-edge instead of
+        being rebuilt from every queue on each block/wake.
+        """
+        waiter = pending.node.top_level_name
+        holders = {b.top_level_name for b in pending.blockers}
+        holders.discard(waiter)
+        if holders:
+            self.waits.set_waits(waiter, holders)
+        else:
+            self.waits.clear_waits(waiter)
 
     # ------------------------------------------------------------------
     # Deadlock handling
@@ -903,17 +909,20 @@ class TransactionManager:
             )
             if isinstance(error, TransactionAborted):
                 victim.aborting = True
-            self.waits.remove_transaction(victim_name)
+            # The victim's queued request is cancelled below (or in the
+            # requester's except handler), which clears its outgoing
+            # edges through the lock-table hook and breaks the cycle.
+            # Edges *to* the victim stay until its locks are actually
+            # released — they are still truthful waits.
             if requester is not None and victim_name == requester.top_level_name:
                 raise error
             assert victim.task is not None
             self.scheduler.interrupt(victim.task, error)
             # Cancel the victim's queued request right away so the cycle
-            # check below sees the updated queues.
-            for pending in list(self._all_pending()):
-                if pending.node.root() is victim.root:
-                    self.locks.cancel(pending)
-            self._sync_waits()
+            # check below sees the updated queues (cancel clears its
+            # waits-for edges through the lock-table hook).
+            for pending in self.locks.pending_of_tree(victim.root):
+                self.locks.cancel(pending)
 
     def _pick_victim_and_resolution(
         self, cycle: list[str]
@@ -962,11 +971,8 @@ class TransactionManager:
         transaction root or the victim has restarted too often
         (livelock guard).
         """
-        blocked_node: Optional[TransactionNode] = None
-        for pending in self._all_pending():
-            if pending.node.root() is victim.root:
-                blocked_node = pending.node
-                break
+        tree_pending = self.locks.pending_of_tree(victim.root)
+        blocked_node = tree_pending[0].node if tree_pending else None
         scope = blocked_node.parent if blocked_node is not None else None
         # Compensating transactions must run to completion, so their
         # restart budget is not capped.
@@ -997,6 +1003,11 @@ class TransactionManager:
         self.recorder.on_node_end(node)
         self._trace(node, "commit")
         self._wal_subtxn_commit(node)
+        # Flag the requests recorded as waiting on this node (case-2
+        # waits relieved by its commit) and re-dirty its lock targets
+        # (its writes are now visible to state-dependent conflict
+        # tests), before the release below drops its owner-index entry.
+        self.locks.notify_node_completed(node)
         if node.is_top_level:
             released = self.locks.release_tree(node)
             self.waits.remove_transaction(node.top_level_name)

@@ -179,6 +179,18 @@ class Scheduler:
         task.state = Task.READY
         task.blocked_on = None
         self._ready.append(task)
+        self._ready_changed()
+
+    def _ready_changed(self) -> None:
+        """Keep the ``sched.ready_queue`` gauge on every transition.
+
+        Called whenever the ready deque grows or shrinks, so the gauge
+        tracks block/ready transitions and reads 0 once the last task
+        finishes (the high-water mark still captures peak readiness,
+        counting the running task at step time).
+        """
+        if self._ready_gauge is not None:
+            self._ready_gauge.set(len(self._ready))
 
     def interrupt(self, task: Task, exc: BaseException) -> None:
         """Inject an exception into a (possibly blocked) task.
@@ -195,6 +207,7 @@ class Scheduler:
         if task.state != Task.READY:
             task.state = Task.READY
             self._ready.append(task)
+            self._ready_changed()
         else:
             # Already queued; the pending exception will be thrown when
             # the task is next stepped.
@@ -251,6 +264,7 @@ class Scheduler:
                 self.clock = max(self.clock, time)
                 task.state = Task.READY
                 self._ready.append(task)
+                self._ready_changed()
             if not self._ready:
                 blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
                 if not blocked:
@@ -264,9 +278,11 @@ class Scheduler:
                     f"all tasks blocked and stall hook made no progress: {names}"
                 )
             task = self._pick_ready()
+            self._ready_changed()
             if task.state != Task.READY:
                 continue  # stale queue entry (task finished or re-blocked)
             self._step(task)
+            self._ready_changed()
             executed += 1
         return True
 

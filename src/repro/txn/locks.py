@@ -11,12 +11,38 @@ cannot overtake an earlier conflicting one.
 The conflict test itself is protocol-specific and injected as a callable
 (:data:`ConflictTester`): the semantic protocol supplies Fig. 9, the
 baselines supply read/write-mode tests.
+
+Subtransaction commit is the hottest event of the retained-lock protocol
+(Fig. 8 converts the completed child's locks and wakes its waiters), so
+every commit-time operation here is indexed to cost O(affected locks),
+not O(table size):
+
+* **owner indices** — ``node -> its locks`` and ``top-level root ->
+  every lock of its tree`` — make the tree-scoped release / reassign
+  operations and :meth:`LockTable.locks_held_by_tree` proportional to
+  the locks of that subtree;
+* **dirty marks + a reverse blocker index** (``blocking node -> pending
+  requests recorded as waiting on it``) let :meth:`LockTable.reevaluate`
+  re-test only the queues whose conflict-test inputs may have changed —
+  the object's granted set or earlier queue changed, or a recorded
+  blocker completed — instead of conflict-testing every pending request
+  table-wide on every lock change.
+
+The skip condition is sound because a conflict test's outcome is a
+function of (a) the granted locks and earlier queue entries on the
+request's target and (b) the commit status of nodes in the holders'
+trees: (a) changes mark the target dirty at the mutation site, and (b)
+changes are delivered through :meth:`LockTable.notify_node_completed`
+(which also re-dirties the completed node's own lock targets, covering
+state-dependent compatibility cells that read the object's state).
+``tests/test_lock_differential.py`` enforces behavioural equality with
+the scan-based reference implementation kept in ``tests/helpers.py``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolViolation
 from repro.objects.oid import Oid
@@ -38,7 +64,7 @@ ConflictTester = Callable[
 class Lock:
     """A granted lock: an invocation by a node on a target object."""
 
-    __slots__ = ("lock_id", "node", "target", "invocation", "grant_clock")
+    __slots__ = ("lock_id", "node", "target", "invocation", "grant_clock", "tree_root")
 
     def __init__(self, lock_id: int, node: TransactionNode, target: Oid, invocation: Invocation) -> None:
         self.lock_id = lock_id
@@ -46,6 +72,10 @@ class Lock:
         self.target = target
         self.invocation = invocation
         self.grant_clock = 0.0  # virtual time of the grant (hold-time metric)
+        # The owning top-level transaction, cached at grant time: release
+        # paths must not re-walk the parent chain per lock, and the root
+        # never changes (reassign moves a lock between nodes of one tree).
+        self.tree_root = node.root()
 
     @property
     def retained(self) -> bool:
@@ -89,7 +119,7 @@ class PendingRequest:
 
 
 class LockTable:
-    """Granted locks and FCFS request queues, per object."""
+    """Granted locks and FCFS request queues, per object; see module doc."""
 
     #: Virtual-time upper bounds for the lock-hold histogram — matched
     #: to the bench cost model, where one storage op costs 1.0.
@@ -98,21 +128,53 @@ class LockTable:
     def __init__(self, metrics=None, clock: Optional[Callable[[], float]] = None) -> None:
         self._granted: defaultdict[Oid, list[Lock]] = defaultdict(list)
         self._queues: defaultdict[Oid, list[PendingRequest]] = defaultdict(list)
+        # Owner indices: node -> {lock_id: Lock} and tree root ->
+        # {lock_id: Lock}, both in grant order (dict insertion order).
+        self._locks_by_node: defaultdict[TransactionNode, dict[int, Lock]] = defaultdict(dict)
+        self._locks_by_root: defaultdict[TransactionNode, dict[int, Lock]] = defaultdict(dict)
+        # Pending requests per owning top-level transaction, in enqueue
+        # order (enqueue_seq is monotonic, so insertion order suffices).
+        self._pending_by_root: defaultdict[TransactionNode, dict[int, PendingRequest]] = defaultdict(dict)
+        # Reverse blocker index: blocking node -> the pending requests
+        # whose recorded blocker set contains it.
+        self._blocker_index: defaultdict[TransactionNode, dict[int, PendingRequest]] = defaultdict(dict)
+        # Re-evaluation work list: objects whose granted set or queue
+        # changed, and pending requests whose recorded blocker completed.
+        self._dirty_targets: set[Oid] = set()
+        self._retest: set[int] = set()
         self._next_lock_id = 0
         self._next_enqueue_seq = 0
         self.max_locks_held = 0  # high-water mark, a bench metric
         self.total_grants = 0
         self.total_blocks = 0
+        # Work accounting (always on; mirrored into obs counters when a
+        # registry is bound): conflict-test invocations are the
+        # irreducible cost every release/commit pays, so the bench layer
+        # reports tests-per-release from these.
+        self.total_conflict_tests = 0
+        self.total_release_ops = 0
         # Incremental counts: grant/release/enqueue are the hot path, so
         # lock_count/pending_count must not walk the per-object dicts.
         self._n_granted = 0
         self._n_pending = 0
         self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        # Fired whenever a pending request's recorded blocker set changes
+        # (block, re-test, grant, cancel) — the kernel maintains the
+        # waits-for graph incrementally from these events.
+        self.on_waits_changed: Optional[Callable[[PendingRequest], None]] = None
         self._grant_counter = None
         self._block_counter = None
         self._held_gauge = None
         self._queue_gauge = None
         self._hold_hist = None
+        self._test_counter = None
+        self._test_skipped_counter = None
+        self._release_counter = None
+        self._reeval_counter = None
+        self._queues_checked_counter = None
+        self._queues_skipped_counter = None
+        self._owner_index_gauge = None
+        self._blocker_index_gauge = None
         if metrics is not None:
             self.bind_metrics(metrics, clock)
 
@@ -129,10 +191,25 @@ class LockTable:
         self._held_gauge = registry.gauge("lock.held")
         self._queue_gauge = registry.gauge("lock.queue_depth")
         self._hold_hist = registry.histogram("lock.hold_time", self.HOLD_TIME_BUCKETS)
+        self._test_counter = registry.counter("lock.conflict_tests")
+        self._test_skipped_counter = registry.counter("lock.conflict_tests_skipped")
+        self._release_counter = registry.counter("lock.release_ops")
+        self._reeval_counter = registry.counter("lock.reeval_passes")
+        self._queues_checked_counter = registry.counter("lock.reeval_queues_checked")
+        self._queues_skipped_counter = registry.counter("lock.reeval_queues_skipped")
+        self._owner_index_gauge = registry.gauge("lock.index.owners")
+        self._blocker_index_gauge = registry.gauge("lock.index.blockers")
+        self._test_counter.inc(self.total_conflict_tests)
+        self._release_counter.inc(self.total_release_ops)
 
     def _queue_changed(self) -> None:
         if self._queue_gauge is not None:
             self._queue_gauge.set(self.pending_count)
+
+    def _index_sizes_changed(self) -> None:
+        if self._owner_index_gauge is not None:
+            self._owner_index_gauge.set(len(self._locks_by_node))
+            self._blocker_index_gauge.set(len(self._blocker_index))
 
     def _released(self, locks: list[Lock]) -> None:
         self._n_granted -= len(locks)
@@ -158,14 +235,17 @@ class LockTable:
         pending = [p for queue in self._queues.values() for p in queue]
         return sorted(pending, key=lambda p: p.enqueue_seq)
 
+    def pending_of_tree(self, root: TransactionNode) -> list[PendingRequest]:
+        """Queued requests of the given top-level transaction, in enqueue order."""
+        return list(self._pending_by_root.get(root, {}).values())
+
     def locks_held_by_tree(self, root: TransactionNode) -> list[Lock]:
         """All granted locks belonging to the given top-level transaction."""
-        return [
-            lock
-            for locks in self._granted.values()
-            for lock in locks
-            if lock.node.root() is root
-        ]
+        return list(self._locks_by_root.get(root, {}).values())
+
+    def locks_held_by_node(self, node: TransactionNode) -> list[Lock]:
+        """The locks granted to exactly *node* (not its descendants)."""
+        return list(self._locks_by_node.get(node, {}).values())
 
     @property
     def lock_count(self) -> int:
@@ -193,7 +273,9 @@ class LockTable:
         queued request).
         """
         blockers: set[TransactionNode] = set()
+        tests = 0
         for lock in self._granted.get(target, ()):
+            tests += 1
             blocker = tester(lock.node, lock.invocation, node, invocation, target)
             if blocker is not None:
                 blockers.add(blocker)
@@ -202,9 +284,13 @@ class LockTable:
                 continue
             if before_seq is not None and pending.enqueue_seq >= before_seq:
                 continue
+            tests += 1
             blocker = tester(pending.node, pending.invocation, node, invocation, target)
             if blocker is not None:
                 blockers.add(blocker)
+        self.total_conflict_tests += tests
+        if self._test_counter is not None:
+            self._test_counter.inc(tests)
         return blockers
 
     def grant(self, node: TransactionNode, target: Oid, invocation: Invocation) -> Lock:
@@ -212,14 +298,21 @@ class LockTable:
         self._next_lock_id += 1
         lock = Lock(self._next_lock_id, node, target, invocation)
         self._granted[target].append(lock)
+        self._locks_by_node[node][lock.lock_id] = lock
+        self._locks_by_root[lock.tree_root][lock.lock_id] = lock
+        self._dirty_targets.add(target)
         self.total_grants += 1
         self._n_granted += 1
+        # Always stamp the grant time: a lock granted before bind_metrics
+        # must not poison the hold-time histogram with a zero grant clock
+        # once metrics are attached mid-run.
+        lock.grant_clock = self._clock()
         if self._n_granted > self.max_locks_held:
             self.max_locks_held = self._n_granted
         if self._grant_counter is not None:
-            lock.grant_clock = self._clock()
             self._grant_counter.inc()
             self._held_gauge.set(self._n_granted)
+            self._index_sizes_changed()
         return lock
 
     def enqueue(
@@ -233,6 +326,11 @@ class LockTable:
         self._next_enqueue_seq += 1
         pending = PendingRequest(node, target, invocation, signal, self._next_enqueue_seq)
         self._queues[target].append(pending)
+        self._pending_by_root[pending.node.root()][pending.enqueue_seq] = pending
+        # A fresh request must be re-tested on the next pass even if
+        # nothing else touches the object (its blockers may already be
+        # gone by then, e.g. the holder released between test and queue).
+        self._dirty_targets.add(target)
         self.total_blocks += 1
         self._n_pending += 1
         if self._block_counter is not None:
@@ -240,63 +338,189 @@ class LockTable:
             self._queue_changed()
         return pending
 
+    def set_blockers(self, pending: PendingRequest, blockers: set[TransactionNode]) -> None:
+        """Record a pending request's blocker set, keeping the reverse
+        blocker index consistent and notifying the waits-for hook."""
+        for old in pending.blockers:
+            if old not in blockers:
+                entry = self._blocker_index.get(old)
+                if entry is not None:
+                    entry.pop(pending.enqueue_seq, None)
+                    if not entry:
+                        del self._blocker_index[old]
+        for blocker in blockers:
+            self._blocker_index[blocker][pending.enqueue_seq] = pending
+        pending.blockers = blockers
+        self._index_sizes_changed()
+        if self.on_waits_changed is not None:
+            self.on_waits_changed(pending)
+
+    def notify_node_completed(self, node: TransactionNode) -> None:
+        """Tell the table a node committed: flag its recorded waiters for
+        re-testing, and re-dirty the targets of its own locks (their
+        state-dependent compatibility cells may read state it changed)."""
+        entry = self._blocker_index.get(node)
+        if entry is not None:
+            self._retest.update(entry)
+        for lock in self._locks_by_node.get(node, {}).values():
+            self._dirty_targets.add(lock.target)
+
+    def _forget_pending(self, pending: PendingRequest) -> None:
+        """Bookkeeping shared by grant-from-queue and cancel."""
+        tree = self._pending_by_root.get(pending.node.root())
+        if tree is not None:
+            tree.pop(pending.enqueue_seq, None)
+            if not tree:
+                del self._pending_by_root[pending.node.root()]
+        self._retest.discard(pending.enqueue_seq)
+        self._n_pending -= 1
+
     def cancel(self, pending: PendingRequest) -> None:
-        """Drop a queued request (the requester aborted)."""
+        """Drop a queued request (the requester aborted).
+
+        Clears the recorded blocker set (and its reverse-index entries)
+        and fires the waits-for hook, so a cancelled request can never
+        contribute stale waits-for edges or stale blocker-index entries.
+        """
         queue = self._queues.get(pending.target)
         if queue and pending in queue:
             queue.remove(pending)
-            self._n_pending -= 1
+            self._forget_pending(pending)
+            # Later entries of this queue were tested against the
+            # cancelled one; their outcome may have changed.
+            self._dirty_targets.add(pending.target)
+            self.set_blockers(pending, set())
             self._queue_changed()
 
     def reevaluate(self, tester: ConflictTester) -> list[PendingRequest]:
         """Grant every queued request whose blockers are gone.
 
-        Walks each object's queue in FCFS order; a request is granted
-        only if it conflicts neither with granted locks nor with requests
-        still queued ahead of it.  Returns the requests granted in this
-        pass; their signals are fired so the blocked coroutines resume.
+        Walks the affected objects' queues in FCFS order; a request is
+        granted only if it conflicts neither with granted locks nor with
+        requests still queued ahead of it.  Only queues whose
+        conflict-test inputs may have changed since the last pass — the
+        object is dirty, or a queued request's recorded blocker
+        completed — are re-tested; the rest are provably still blocked.
+        Returns the requests granted in this pass; their signals are
+        fired so the blocked coroutines resume.
         """
+        dirty, self._dirty_targets = self._dirty_targets, set()
+        retest, self._retest = self._retest, set()
+        if self._reeval_counter is not None:
+            self._reeval_counter.inc()
         granted_now: list[PendingRequest] = []
         for target, queue in self._queues.items():
-            still_waiting: list[PendingRequest] = []
-            for pending in queue:
-                blockers = self.compute_blockers(
-                    pending.node,
-                    target,
-                    pending.invocation,
-                    tester,
-                    before_seq=pending.enqueue_seq,
-                )
-                # Requests that were granted earlier in this pass are
-                # already in the granted list and tested above.
-                blockers -= {pending.node}
-                if blockers:
-                    pending.blockers = blockers
-                    still_waiting.append(pending)
-                else:
-                    self.grant(pending.node, target, pending.invocation)
-                    pending.blockers = set()
-                    granted_now.append(pending)
-                    self._n_pending -= 1
-            if still_waiting:
-                self._queues[target][:] = still_waiting
-            else:
-                self._queues[target].clear()
+            if not queue:
+                continue
+            if not self._queue_needs_retest(target, queue, dirty, retest):
+                if self._queues_skipped_counter is not None:
+                    self._queues_skipped_counter.inc()
+                    self._test_skipped_counter.inc(self._scan_cost_of(target, queue))
+                continue
+            if self._queues_checked_counter is not None:
+                self._queues_checked_counter.inc()
+            self._retest_queue(target, queue, tester, granted_now)
         if granted_now:
             self._queue_changed()
         for pending in granted_now:
             pending.signal.fire(pending)
         return granted_now
 
+    def _queue_needs_retest(
+        self,
+        target: Oid,
+        queue: list[PendingRequest],
+        dirty: set[Oid],
+        retest: set[int],
+    ) -> bool:
+        if target in dirty:
+            return True
+        if retest:
+            return any(p.enqueue_seq in retest for p in queue)
+        return False
+
+    def _scan_cost_of(self, target: Oid, queue: list[PendingRequest]) -> int:
+        """Conflict tests a full table scan would have spent on *queue*:
+        each entry against every granted lock plus the entries ahead."""
+        n_granted = len(self._granted.get(target, ()))
+        n_queued = len(queue)
+        return n_queued * n_granted + n_queued * (n_queued - 1) // 2
+
+    def _retest_queue(
+        self,
+        target: Oid,
+        queue: list[PendingRequest],
+        tester: ConflictTester,
+        granted_now: list[PendingRequest],
+    ) -> None:
+        still_waiting: list[PendingRequest] = []
+        for pending in queue:
+            blockers = self.compute_blockers(
+                pending.node,
+                target,
+                pending.invocation,
+                tester,
+                before_seq=pending.enqueue_seq,
+            )
+            # Requests that were granted earlier in this pass are
+            # already in the granted list and tested above.
+            blockers -= {pending.node}
+            if blockers:
+                self.set_blockers(pending, blockers)
+                still_waiting.append(pending)
+            else:
+                self.grant(pending.node, target, pending.invocation)
+                self._forget_pending(pending)
+                self.set_blockers(pending, set())
+                granted_now.append(pending)
+        if still_waiting:
+            self._queues[target][:] = still_waiting
+        else:
+            self._queues[target].clear()
+
     # ------------------------------------------------------------------
     # Release
     # ------------------------------------------------------------------
+    def _count_release_op(self) -> None:
+        self.total_release_ops += 1
+        if self._release_counter is not None:
+            self._release_counter.inc()
+
+    def _drop_locks(self, locks: list[Lock]) -> None:
+        """Remove already-collected locks from every structure.
+
+        Cost is O(len(locks) + locks held on the affected objects): the
+        per-object granted lists are rewritten once per affected target.
+        """
+        if not locks:
+            self._released(locks)
+            return
+        dropped_ids = {lock.lock_id for lock in locks}
+        for lock in locks:
+            node_entry = self._locks_by_node.get(lock.node)
+            if node_entry is not None:
+                node_entry.pop(lock.lock_id, None)
+                if not node_entry:
+                    del self._locks_by_node[lock.node]
+            root_entry = self._locks_by_root.get(lock.tree_root)
+            if root_entry is not None:
+                root_entry.pop(lock.lock_id, None)
+                if not root_entry:
+                    del self._locks_by_root[lock.tree_root]
+            self._dirty_targets.add(lock.target)
+        for target in {lock.target for lock in locks}:
+            held = self._granted.get(target)
+            if held:
+                held[:] = [l for l in held if l.lock_id not in dropped_ids]
+        self._released(locks)
+        self._index_sizes_changed()
+
     def release_lock(self, lock: Lock) -> None:
         locks = self._granted.get(lock.target)
         if not locks or lock not in locks:
             raise ProtocolViolation(f"releasing unknown lock {lock!r}")
-        locks.remove(lock)
-        self._released([lock])
+        self._count_release_op()
+        self._drop_locks([lock])
 
     def release_tree(self, root: TransactionNode) -> list[Lock]:
         """Release every lock of the given top-level transaction.
@@ -304,14 +528,20 @@ class LockTable:
         This is Fig. 8's "if t.parent = nil then release all locks".
         Returns the released locks (for tracing).
         """
-        released: list[Lock] = []
-        for target, locks in self._granted.items():
-            keep = [lock for lock in locks if lock.node.root() is not root]
-            if len(keep) != len(locks):
-                released.extend(lock for lock in locks if lock.node.root() is root)
-                self._granted[target][:] = keep
-        self._released(released)
+        self._count_release_op()
+        released = list(self._locks_by_root.get(root, {}).values())
+        self._drop_locks(released)
         return released
+
+    def _collect_subtree_locks(
+        self, node: TransactionNode, include_self: bool
+    ) -> list[Lock]:
+        locks: list[Lock] = []
+        for member in node.descendants(include_self=include_self):
+            entry = self._locks_by_node.get(member)
+            if entry:
+                locks.extend(entry.values())
+        return locks
 
     def release_descendant_locks(self, node: TransactionNode) -> list[Lock]:
         """Release locks of *node*'s strict descendants.
@@ -320,16 +550,9 @@ class LockTable:
         a subtransaction's locks when it completes (keeping only the
         subtransaction's own semantic lock, held further by its parent).
         """
-        released: list[Lock] = []
-        for target, locks in self._granted.items():
-            keep: list[Lock] = []
-            for lock in locks:
-                if lock.node is not node and node.is_ancestor_of(lock.node):
-                    released.append(lock)
-                else:
-                    keep.append(lock)
-            self._granted[target][:] = keep
-        self._released(released)
+        self._count_release_op()
+        released = self._collect_subtree_locks(node, include_self=False)
+        self._drop_locks(released)
         return released
 
     def release_subtree(self, node: TransactionNode) -> list[Lock]:
@@ -338,16 +561,9 @@ class LockTable:
         Used by subtransaction restart: the rolled-back subtree gives up
         everything it acquired and will re-acquire on retry.
         """
-        released: list[Lock] = []
-        for target, locks in self._granted.items():
-            keep: list[Lock] = []
-            for lock in locks:
-                if lock.node is node or node.is_ancestor_of(lock.node):
-                    released.append(lock)
-                else:
-                    keep.append(lock)
-            self._granted[target][:] = keep
-        self._released(released)
+        self._count_release_op()
+        released = self._collect_subtree_locks(node, include_self=True)
+        self._drop_locks(released)
         return released
 
     def reassign_locks_to_parent(self, node: TransactionNode) -> list[Lock]:
@@ -358,10 +574,70 @@ class LockTable:
         """
         if node.parent is None:
             raise ProtocolViolation("cannot reassign locks of a top-level transaction")
-        moved: list[Lock] = []
-        for locks in self._granted.values():
-            for lock in locks:
-                if lock.node is node or node.is_ancestor_of(lock.node):
-                    lock.node = node.parent
-                    moved.append(lock)
+        self._count_release_op()
+        moved = self._collect_subtree_locks(node, include_self=True)
+        parent_entry = self._locks_by_node[node.parent]
+        for lock in moved:
+            owner_entry = self._locks_by_node.get(lock.node)
+            if owner_entry is not None and owner_entry is not parent_entry:
+                owner_entry.pop(lock.lock_id, None)
+                if not owner_entry:
+                    del self._locks_by_node[lock.node]
+            lock.node = node.parent
+            parent_entry[lock.lock_id] = lock
+            # The holder changed, so recorded conflict outcomes on this
+            # object may have changed with it.
+            self._dirty_targets.add(lock.target)
+        if not parent_entry:
+            # defaultdict access created an empty entry for a node
+            # without locks; do not let it linger in the index.
+            del self._locks_by_node[node.parent]
+        self._index_sizes_changed()
         return moved
+
+    # ------------------------------------------------------------------
+    # Invariants (used by tests and the differential oracle)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the indices agree with ``_granted``/``_queues``."""
+        by_scan: dict[int, Lock] = {}
+        for target, locks in self._granted.items():
+            for lock in locks:
+                assert lock.target == target, (lock, target)
+                by_scan[lock.lock_id] = lock
+        by_node = {
+            lock_id: lock
+            for entry in self._locks_by_node.values()
+            for lock_id, lock in entry.items()
+        }
+        by_root = {
+            lock_id: lock
+            for entry in self._locks_by_root.values()
+            for lock_id, lock in entry.items()
+        }
+        assert by_scan == by_node == by_root, (by_scan, by_node, by_root)
+        assert len(by_scan) == self._n_granted
+        for node, entry in self._locks_by_node.items():
+            assert entry, f"empty owner-index entry for {node!r}"
+            for lock in entry.values():
+                assert lock.node is node
+        for root, entry in self._locks_by_root.items():
+            assert entry, f"empty root-index entry for {root!r}"
+            for lock in entry.values():
+                assert lock.tree_root is root
+        queued = {p.enqueue_seq: p for q in self._queues.values() for p in q}
+        assert len(queued) == self._n_pending
+        by_pending_root = {
+            seq: p
+            for entry in self._pending_by_root.values()
+            for seq, p in entry.items()
+        }
+        assert queued == by_pending_root, (queued, by_pending_root)
+        for blocker, entry in self._blocker_index.items():
+            assert entry, f"empty blocker-index entry for {blocker!r}"
+            for seq, pending in entry.items():
+                assert seq in queued, f"stale blocker-index entry {pending!r}"
+                assert blocker in pending.blockers
+        for pending in queued.values():
+            for blocker in pending.blockers:
+                assert pending.enqueue_seq in self._blocker_index.get(blocker, {})

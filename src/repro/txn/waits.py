@@ -28,9 +28,9 @@ class WaitsForGraph:
         self._edges: defaultdict[str, set[str]] = defaultdict(set)
         self._edge_gauge = metrics.gauge("waits.edges") if metrics else None
         self._cycle_counter = metrics.counter("waits.cycle_checks") if metrics else None
-        # The kernel rebuilds the graph on every lock change; starting
-        # from zero keeps the gauge truthful (the hwm survives in the
-        # registry's gauge object).
+        # Starting from zero keeps the gauge truthful when a graph is
+        # constructed over an already-used registry (the hwm survives in
+        # the registry's gauge object).
         self._edges_changed()
 
     def _edges_changed(self) -> None:

@@ -9,6 +9,54 @@ from repro.objects.database import Database
 from repro.orderentry.schema import OrderEntryDatabase
 from repro.protocols.base import CCProtocol
 from repro.runtime.scheduler import Scheduler
+from repro.txn.locks import Lock, LockTable
+from repro.txn.transaction import TransactionNode
+
+
+class ReferenceLockTable(LockTable):
+    """The pre-index lock-table semantics, kept as a differential oracle.
+
+    Release paths find locks by scanning every object's granted list
+    with the original ownership predicates, and ``reevaluate`` re-tests
+    every queue on every pass (no dirty-mark skipping) — i.e. the
+    O(table size) behaviour the owner/blocker indices replaced.  The
+    differential tests drive identical workloads through this class and
+    the indexed one and require identical grant order, traces, and
+    final state.  ``check_invariants`` still runs against the inherited
+    index bookkeeping, so the oracle also cross-checks the indices.
+    """
+
+    def _queue_needs_retest(self, target, queue, dirty, retest) -> bool:
+        return True
+
+    def _scan(self, keep) -> list[Lock]:
+        return [
+            lock
+            for locks in self._granted.values()
+            for lock in locks
+            if keep(lock)
+        ]
+
+    def locks_held_by_tree(self, root: TransactionNode) -> list[Lock]:
+        return self._scan(lambda lock: lock.node.root() is root)
+
+    def release_tree(self, root: TransactionNode) -> list[Lock]:
+        self._count_release_op()
+        released = self._scan(lambda lock: lock.node.root() is root)
+        self._drop_locks(released)
+        return released
+
+    def _collect_subtree_locks(
+        self, node: TransactionNode, include_self: bool
+    ) -> list[Lock]:
+        # Feeds release_descendant_locks / release_subtree /
+        # reassign_locks_to_parent, which share the index bookkeeping.
+        def keep(lock: Lock) -> bool:
+            if lock.node is node:
+                return include_self
+            return node.is_ancestor_of(lock.node)
+
+        return self._scan(keep)
 
 
 def run_programs(
@@ -19,10 +67,13 @@ def run_programs(
     seed: Optional[int] = None,
     script: Optional[list[str]] = None,
     probe: Any = None,
+    lock_table_cls: Optional[type[LockTable]] = None,
 ) -> TransactionManager:
     """Spawn and run programs on a fresh kernel; return the kernel."""
     scheduler = Scheduler(policy=policy, seed=seed, script=script)
-    kernel = TransactionManager(database, protocol=protocol, scheduler=scheduler)
+    kernel = TransactionManager(
+        database, protocol=protocol, scheduler=scheduler, lock_table_cls=lock_table_cls
+    )
     if probe is not None:
         kernel.probe = probe
     for name, program in programs.items():

@@ -39,6 +39,21 @@ class TestRunMetrics:
         row = RunMetrics(protocol="p").row()
         assert row["protocol"] == "p"
         assert "throughput" in row and "block_rate" in row
+        assert "ct_per_rel" in row
+
+    def test_conflict_tests_per_release(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("lock.conflict_tests").inc(12)
+        registry.counter("lock.release_ops").inc(4)
+        metrics = RunMetrics(protocol="p", snapshot=registry.snapshot())
+        assert metrics.conflict_tests == 12
+        assert metrics.release_ops == 4
+        assert metrics.conflict_tests_per_release == pytest.approx(3.0)
+
+    def test_conflict_tests_per_release_without_snapshot(self):
+        assert RunMetrics(protocol="p").conflict_tests_per_release == 0.0
 
     def test_aggregate(self):
         a = RunMetrics(protocol="p", committed=3, clock=10.0, max_locks_held=5)

@@ -1,0 +1,181 @@
+"""Differential tests: indexed lock table vs. the scan-based oracle.
+
+The owner/blocker indices and dirty-mark re-evaluation in
+:class:`~repro.txn.locks.LockTable` are a pure performance change — the
+PR's contract is that grant decisions, grant *order*, the trace stream,
+and final database state are bit-identical to the original
+scan-everything implementation, which is retained as
+:class:`tests.helpers.ReferenceLockTable`.  Random order-entry workloads
+under random interleavings are driven through both tables (same specs,
+same scheduler seed, same protocol) and every observable compared.
+
+A probe additionally runs :meth:`LockTable.check_invariants` at each
+action boundary of the indexed run, so index/scan consistency is checked
+*during* execution, not just at the quiesced end.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.protocols.closed_nested import ClosedNestedProtocol
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+from repro.protocols.two_phase_page import PageLockingProtocol
+from repro.orderentry.schema import build_order_entry_database
+from repro.txn.locks import LockTable
+
+from tests.helpers import ReferenceLockTable
+from tests.test_properties import (
+    N_ITEMS,
+    ORDERS_PER_ITEM,
+    canonical_state,
+    make_program,
+    seeds,
+    snapshot,
+    workload,
+)
+
+
+def _run(specs, seed, protocol_factory, lock_table_cls, check_invariants=False):
+    from repro.core.kernel import TransactionManager
+    from repro.runtime.scheduler import Scheduler
+
+    built = build_order_entry_database(
+        n_items=N_ITEMS, orders_per_item=ORDERS_PER_ITEM
+    )
+    programs = {
+        f"X{i}-{spec[0]}": make_program(spec, built) for i, spec in enumerate(specs)
+    }
+    kernel = TransactionManager(
+        built.db,
+        protocol=protocol_factory(),
+        scheduler=Scheduler(policy="random", seed=seed),
+        lock_table_cls=lock_table_cls,
+    )
+    if check_invariants:
+        kernel.probe = lambda node, phase: kernel.locks.check_invariants()
+    for name, program in programs.items():
+        kernel.spawn(name, program)
+    kernel.run()
+    if check_invariants:
+        kernel.locks.check_invariants()
+    return built, kernel
+
+
+def observables(built, kernel):
+    """Everything the optimisation must not change."""
+    return {
+        "trace": [e.to_dict() for e in kernel.trace],
+        "grant_order": [
+            (e.txn, e.node, e.kind, e.detail.get("target"))
+            for e in kernel.trace.of_kind("grant", "regrant")
+        ],
+        "outcomes": {
+            name: (h.committed, h.aborted, h.restarts)
+            for name, h in kernel.handles.items()
+        },
+        "history": [
+            (r.txn, r.node_id, r.operation, r.begin_seq)
+            for r in kernel.history().records
+        ],
+        "state": snapshot(built.db),
+        "canonical": canonical_state(built.db),
+        "lock_totals": (
+            kernel.locks.total_grants,
+            kernel.locks.total_blocks,
+            kernel.locks.max_locks_held,
+            kernel.locks.lock_count,
+            kernel.locks.pending_count,
+        ),
+    }
+
+
+def assert_equivalent(specs, seed, protocol_factory):
+    built_i, kernel_i = _run(specs, seed, protocol_factory, LockTable)
+    built_r, kernel_r = _run(specs, seed, protocol_factory, ReferenceLockTable)
+    obs_i = observables(built_i, kernel_i)
+    obs_r = observables(built_r, kernel_r)
+    for key in obs_i:
+        assert obs_i[key] == obs_r[key], f"{key} diverged"
+
+
+class TestIndexedTableMatchesReference:
+    @settings(max_examples=40, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_semantic(self, specs, seed):
+        assert_equivalent(specs, seed, SemanticLockingProtocol)
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_semantic_no_relief(self, specs, seed):
+        assert_equivalent(specs, seed, SemanticNoReliefProtocol)
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_closed_nested(self, specs, seed):
+        assert_equivalent(specs, seed, ClosedNestedProtocol)
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_object_2pl(self, specs, seed):
+        assert_equivalent(specs, seed, ObjectRW2PLProtocol)
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_page_2pl(self, specs, seed):
+        assert_equivalent(specs, seed, PageLockingProtocol)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        specs=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("T1"),
+                    st.integers(0, N_ITEMS - 1),
+                    st.integers(0, ORDERS_PER_ITEM - 1),
+                    st.integers(0, N_ITEMS - 1),
+                    st.integers(0, ORDERS_PER_ITEM - 1),
+                ),
+                st.tuples(
+                    st.just("T2"),
+                    st.integers(0, N_ITEMS - 1),
+                    st.integers(0, ORDERS_PER_ITEM - 1),
+                    st.integers(0, N_ITEMS - 1),
+                    st.integers(0, ORDERS_PER_ITEM - 1),
+                ),
+            ),
+            min_size=2,
+            max_size=3,
+        ),
+        seed=seeds,
+    )
+    def test_open_nested_naive(self, specs, seed):
+        # The naive protocol is only sound without encapsulation
+        # bypassing (T1/T2), mirroring test_properties.
+        assert_equivalent(specs, seed, OpenNestedNaiveProtocol)
+
+
+class TestIndexInvariantsUnderLoad:
+    """check_invariants holds at every action boundary of a random run."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_semantic_invariants(self, specs, seed):
+        __, kernel = _run(
+            specs, seed, SemanticLockingProtocol, LockTable, check_invariants=True
+        )
+        assert kernel.locks.lock_count == 0
+        assert kernel.locks.pending_count == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_reference_oracle_inherits_consistent_indices(self, specs, seed):
+        """The oracle shares the index bookkeeping; its invariants must
+        hold too, or the differential comparison proves nothing."""
+        __, kernel = _run(
+            specs, seed, SemanticLockingProtocol, ReferenceLockTable,
+            check_invariants=True,
+        )
+        assert kernel.locks.lock_count == 0

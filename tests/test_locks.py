@@ -181,6 +181,211 @@ class TestRelease:
         table.cancel(pending)  # idempotent
 
 
+class TestGrantClockStamping:
+    def test_grant_before_bind_metrics_does_not_inflate_hold_time(self):
+        """Regression: grant_clock was only stamped when metrics were
+        already bound, so a lock granted before ``bind_metrics`` kept
+        grant_clock = 0.0 and its later release recorded the full run
+        time as the hold time."""
+        from repro.obs import MetricsRegistry
+
+        now = {"t": 5.0}
+        table = LockTable(clock=lambda: now["t"])
+        __, c1 = root_and_child("T1")
+        lock = table.grant(c1, X, c1.invocation)
+        assert lock.grant_clock == 5.0  # stamped even without metrics
+
+        now["t"] = 100.0
+        registry = MetricsRegistry()
+        table.bind_metrics(registry)
+        now["t"] = 103.0
+        table.release_lock(lock)
+
+        hist = registry.histogram("lock.hold_time", LockTable.HOLD_TIME_BUCKETS)
+        assert hist.count == 1
+        assert hist.sum == 103.0 - 5.0  # not 103.0 - 0.0
+
+    def test_grant_clock_with_metrics_bound_from_start(self):
+        now = {"t": 2.0}
+        from repro.obs import MetricsRegistry
+
+        table = LockTable(metrics=MetricsRegistry(), clock=lambda: now["t"])
+        __, c1 = root_and_child("T1")
+        assert table.grant(c1, X, c1.invocation).grant_clock == 2.0
+
+
+class TestBlockerIndexAndCancel:
+    def test_cancel_clears_blockers_and_blocker_index(self):
+        """Regression: cancel used to leave pending.blockers populated,
+        which would feed stale waits-for edges."""
+        table = LockTable()
+        r0, c0 = root_and_child("T0")
+        __, c1 = root_and_child("T1")
+        table.grant(c0, X, c0.invocation)
+        pending = table.enqueue(c1, X, c1.invocation, make_signal())
+        table.set_blockers(pending, {r0})
+        assert pending.blockers == {r0}
+
+        events = []
+        table.on_waits_changed = lambda p: events.append(set(p.blockers))
+        table.cancel(pending)
+        assert pending.blockers == set()
+        assert events == [set()]  # waiter's edges cleared through the hook
+        table.check_invariants()  # no stale blocker-index entries
+
+    def test_set_blockers_replaces_reverse_index_entries(self):
+        table = LockTable()
+        r0, __ = root_and_child("T0")
+        r2, __ = root_and_child("T2")
+        __, c1 = root_and_child("T1")
+        pending = table.enqueue(c1, X, c1.invocation, make_signal())
+        table.set_blockers(pending, {r0})
+        table.set_blockers(pending, {r2})  # r0 entry must be dropped
+        table.check_invariants()
+        table.cancel(pending)
+        table.check_invariants()
+
+    def test_cancel_dirties_target_for_later_requests(self):
+        """Entries queued behind a cancelled request were conflict-tested
+        against it; the queue must be re-tested after the cancel."""
+        table = LockTable()
+        __, h = root_and_child("T0")
+        __, d1 = root_and_child("T1")
+        __, d2 = root_and_child("T2")
+        table.grant(h, X, h.invocation)
+
+        def tester(holder, h_inv, requester, r_inv, target):
+            if requester is d1:
+                return holder.root()  # d1 conflicts with the holder
+            if holder is d1:
+                return holder.root()  # d2 conflicts with queued d1 only
+            return None
+
+        q1 = table.enqueue(d1, X, d1.invocation, make_signal())
+        table.enqueue(d2, X, d2.invocation, make_signal())
+        assert table.reevaluate(tester) == []  # d1 on T0, d2 on T1 (FCFS)
+
+        # Cancelling q1 dirties X; d2's blocker (d1) is gone on re-test.
+        table.cancel(q1)
+        granted = table.reevaluate(tester)
+        assert [p.node for p in granted] == [d2]
+        table.check_invariants()
+
+    def test_pending_of_tree_in_enqueue_order(self):
+        table = LockTable()
+        r1, c1 = root_and_child("T1")
+        d1 = TransactionNode("T1.2", r1, Y, Invocation("Get"))
+        __, c2 = root_and_child("T2")
+        p_a = table.enqueue(c1, X, c1.invocation, make_signal())
+        table.enqueue(c2, X, c2.invocation, make_signal())
+        p_b = table.enqueue(d1, Y, d1.invocation, make_signal())
+        assert table.pending_of_tree(r1) == [p_a, p_b]
+        table.cancel(p_a)
+        assert table.pending_of_tree(r1) == [p_b]
+
+
+class TestReevaluateSkipsUntouchedQueues:
+    """The dirty-mark contract: a queue is only re-tested when its
+    granted set changed, its queue changed, or a recorded blocker
+    completed — otherwise its prior outcome is provably unchanged."""
+
+    def test_unrelated_release_skips_queue(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        table = LockTable(metrics=registry)
+        r0, c0 = root_and_child("T0")
+        __, c1 = root_and_child("T1")
+        __, other = root_and_child("T9")
+        table.grant(c0, X, c0.invocation)
+        lock_y = table.grant(other, Y, other.invocation)
+
+        pending = table.enqueue(c1, X, c1.invocation, make_signal())
+        assert table.reevaluate(always_conflicts) == []
+        tests_before = table.total_conflict_tests
+
+        # Releasing an unrelated lock must not re-test the X queue.
+        table.release_lock(lock_y)
+        assert table.reevaluate(always_conflicts) == []
+        assert table.total_conflict_tests == tests_before
+        snapshot = registry.snapshot()
+        assert snapshot.counter("lock.reeval_queues_skipped") >= 1
+        assert pending.blockers == {r0}
+
+    def test_notify_node_completed_retests_blocked_queue(self):
+        table = LockTable()
+        r0, c0 = root_and_child("T0")
+        __, c1 = root_and_child("T1")
+        table.grant(c0, X, c0.invocation)
+        table.enqueue(c1, X, c1.invocation, make_signal())
+        assert table.reevaluate(always_conflicts) == []
+
+        # Queue untouched: even a now-permissive tester is not consulted.
+        assert table.reevaluate(never_conflicts) == []
+
+        # The recorded blocker completing flags the queue for re-test.
+        table.notify_node_completed(r0)
+        granted = table.reevaluate(never_conflicts)
+        assert [p.node for p in granted] == [c1]
+        table.check_invariants()
+
+    def test_notify_node_completed_dirties_own_lock_targets(self):
+        """A completing node's lock targets are re-dirtied: its state
+        changes become visible to state-dependent conflict tests."""
+        table = LockTable()
+        __, c0 = root_and_child("T0")
+        __, c1 = root_and_child("T1")
+        table.grant(c0, X, c0.invocation)
+        table.enqueue(c1, X, c1.invocation, make_signal())
+        assert table.reevaluate(always_conflicts) == []
+        table.notify_node_completed(c0)  # c0 holds a lock on X
+        granted = table.reevaluate(never_conflicts)
+        assert [p.node for p in granted] == [c1]
+
+
+class TestOwnerIndices:
+    def test_locks_held_by_tree_and_node(self):
+        table = LockTable()
+        r1, c1 = root_and_child("T1")
+        leaf = TransactionNode("T1.1.1", c1, Y, Invocation("Get"))
+        r2, c2 = root_and_child("T2")
+        l_c1 = table.grant(c1, X, c1.invocation)
+        l_leaf = table.grant(leaf, Y, leaf.invocation)
+        table.grant(c2, X, c2.invocation)
+        assert table.locks_held_by_tree(r1) == [l_c1, l_leaf]
+        assert table.locks_held_by_node(c1) == [l_c1]
+        assert table.locks_held_by_tree(r2) != []
+        table.check_invariants()
+
+    def test_indices_consistent_across_release_and_reassign(self):
+        table = LockTable()
+        r1, mid = root_and_child("T1")
+        leaf = TransactionNode("T1.1.1", mid, Y, Invocation("Get"))
+        table.grant(mid, X, mid.invocation)
+        table.grant(leaf, Y, leaf.invocation)
+        table.check_invariants()
+        table.reassign_locks_to_parent(mid)
+        table.check_invariants()
+        assert table.locks_held_by_node(r1) and not table.locks_held_by_node(mid)
+        table.release_tree(r1)
+        table.check_invariants()
+        assert table.lock_count == 0
+        assert table.locks_held_by_tree(r1) == []
+
+    def test_release_counters(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        table = LockTable(metrics=registry)
+        r1, c1 = root_and_child("T1")
+        table.grant(c1, X, c1.invocation)
+        table.release_tree(r1)
+        table.release_subtree(c1)  # no-op but counted as an operation
+        snapshot = registry.snapshot()
+        assert snapshot.counter("lock.release_ops") == 2
+        assert table.total_release_ops == 2
+
+
 class TestRetainedProperty:
     def test_lock_becomes_retained_when_parent_commits(self):
         table = LockTable()

@@ -264,3 +264,60 @@ class TestConflictBreakdown:
         assert sum(row["count"] for row in rows) == 4
         by_counter = {row["counter"]: row for row in rows}
         assert by_counter[CASE1_RELIEF]["count"] == 1
+
+
+class TestSchedulerReadyGauge:
+    """Regression: ``sched.ready_queue`` was only set when a task was
+    stepped, so it never returned to 0 after the last task finished and
+    drifted on ready/block transitions that happened between steps."""
+
+    def _run_kernel(self, policy="fifo", seed=None):
+        from repro.core.kernel import TransactionManager
+        from repro.orderentry.schema import build_order_entry_database
+        from repro.orderentry.transactions import make_t1, make_t2
+        from repro.runtime.scheduler import Scheduler
+
+        built = build_order_entry_database(n_items=2, orders_per_item=2)
+        kernel = TransactionManager(
+            built.db, scheduler=Scheduler(policy=policy, seed=seed)
+        )
+        kernel.spawn("T1", make_t1(built.item(0), 1, built.item(1), 2))
+        kernel.spawn("T2", make_t2(built.item(0), 1, built.item(1), 2))
+        kernel.run()
+        return kernel
+
+    def test_final_snapshot_reads_zero(self):
+        kernel = self._run_kernel()
+        snapshot = kernel.obs.snapshot()
+        assert snapshot.gauge("sched.ready_queue") == 0
+
+    def test_final_snapshot_reads_zero_under_random_policy(self):
+        for seed in range(3):
+            kernel = self._run_kernel(policy="random", seed=seed)
+            assert kernel.obs.snapshot().gauge("sched.ready_queue") == 0
+
+    def test_hwm_still_counts_concurrent_readiness(self):
+        kernel = self._run_kernel()
+        snapshot = kernel.obs.snapshot()
+        # Two spawned tasks were ready together at least once.
+        assert snapshot.gauge_hwm("sched.ready_queue") >= 2
+
+    def test_gauge_tracks_ready_transitions(self):
+        from repro.runtime.scheduler import Scheduler
+
+        registry = MetricsRegistry()
+        scheduler = Scheduler()
+        scheduler.bind_metrics(registry)
+        gate = scheduler.create_signal("gate")
+
+        async def waiter():
+            await gate
+
+        async def firer():
+            gate.fire()
+
+        scheduler.spawn("W", waiter())
+        scheduler.spawn("F", firer())
+        assert registry.gauge("sched.ready_queue").value == 2
+        scheduler.run()
+        assert registry.gauge("sched.ready_queue").value == 0

@@ -124,9 +124,10 @@ class TestMetricsIntegration:
         assert registry.gauge("waits.edges").value == 1
 
     def test_rebuild_resets_gauge_but_keeps_hwm(self):
-        """The kernel rebuilds the graph on every lock change; a fresh
-        graph on the same registry must zero the live value while the
-        run-wide high-water mark survives in the registry's gauge."""
+        """A fresh graph on the same registry must zero the live value
+        while the run-wide high-water mark survives in the registry's
+        gauge.  (The kernel now maintains its graph incrementally, but
+        construct-over-the-same-registry remains part of the API.)"""
         registry = MetricsRegistry()
         g = WaitsForGraph(registry)
         g.set_waits("A", {"B", "C", "D"})
@@ -163,3 +164,106 @@ class TestMetricsIntegration:
         g = WaitsForGraph()
         g.set_waits("A", {"B"})
         assert g.find_cycle_through("A") is None  # no counter, no crash
+
+
+def _expected_edges(kernel) -> dict[str, set[str]]:
+    """The waits-for edges implied by the live lock queues."""
+    expected: dict[str, set[str]] = {}
+    for pending in kernel.locks.iter_pending():
+        waiter = pending.node.top_level_name
+        holders = {b.top_level_name for b in pending.blockers} - {waiter}
+        if holders:
+            expected[waiter] = holders
+    return expected
+
+
+def _actual_edges(kernel) -> dict[str, set[str]]:
+    return {w: set(hs) for w, hs in kernel.waits._edges.items() if hs}
+
+
+class TestIncrementalGraphInvariant:
+    """The incrementally maintained graph must always equal the graph a
+    full rebuild from the queues would produce — in particular across
+    cancellations (abort unwinding and the wound-wait mass cancel),
+    which used to leave stale ``pending.blockers`` behind."""
+
+    def _run_checked(self, deadlock_policy, programs_factory, seed=None):
+        from repro.core.kernel import TransactionManager
+        from repro.runtime.scheduler import Scheduler
+
+        db, programs = programs_factory()
+        policy = "random" if seed is not None else "fifo"
+        kernel = TransactionManager(
+            db,
+            scheduler=Scheduler(policy=policy, seed=seed),
+            deadlock_policy=deadlock_policy,
+        )
+        checks = {"n": 0}
+
+        def probe(node, phase):
+            assert _actual_edges(kernel) == _expected_edges(kernel)
+            kernel.locks.check_invariants()
+            checks["n"] += 1
+            return None
+
+        kernel.probe = probe
+        for name, program in programs.items():
+            kernel.spawn(name, program)
+        kernel.run()
+        assert checks["n"] > 0
+        assert _actual_edges(kernel) == {} == _expected_edges(kernel)
+        assert kernel.waits.edge_count == 0
+        return kernel
+
+    @staticmethod
+    def _opposing_writes():
+        from repro.objects.database import Database
+
+        db = Database()
+        x = db.new_atom("x", 0)
+        y = db.new_atom("y", 0)
+        db.attach_child(x)
+        db.attach_child(y)
+
+        async def ab(tx):
+            await tx.put(x, "A")
+            await tx.pause()
+            await tx.put(y, "A")
+            return "A"
+
+        async def ba(tx):
+            await tx.put(y, "B")
+            await tx.pause()
+            await tx.put(x, "B")
+            return "B"
+
+        return db, {"A": ab, "B": ba}
+
+    def test_cancel_during_wound_leaves_no_stale_edges(self):
+        """Wound-wait mass-cancels the victim's queued requests; its
+        edges (and blocker-index entries) must vanish with them."""
+        kernel = self._run_checked("wound-wait", self._opposing_writes)
+        assert kernel.handles["A"].committed
+        assert kernel.handles["B"].aborted  # wounded while blocked
+
+    def test_cancel_during_wait_die(self):
+        kernel = self._run_checked("wait-die", self._opposing_writes)
+        assert kernel.handles["B"].aborted
+
+    def test_cancel_during_detection_victim_abort(self):
+        kernel = self._run_checked("detect", self._opposing_writes)
+        outcomes = sorted(
+            (h.committed, h.aborted) for h in kernel.handles.values()
+        )
+        assert (True, False) in outcomes  # at least one side commits
+
+    def test_contended_workload_under_wound_wait(self):
+        def factory():
+            from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+            workload = OrderEntryWorkload(
+                WorkloadConfig(n_items=2, orders_per_item=2, seed=7)
+            )
+            return workload.db, dict(workload.take(6))
+
+        self._run_checked("wound-wait", factory, seed=7)
