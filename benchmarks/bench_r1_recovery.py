@@ -83,6 +83,10 @@ def experiment():
                 "compensated": report.compensated,
                 "phys_undone": report.physically_undone,
                 "state_ok": state_of(restored.db) == oracle(winners),
+                "analysis_ms": round(report.analysis_seconds * 1e3, 3),
+                "redo_ms": round(report.redo_seconds * 1e3, 3),
+                "undo_ms": round(report.undo_seconds * 1e3, 3),
+                "recover_ms": round(report.total_seconds * 1e3, 3),
             }
         )
     return outcomes
@@ -103,3 +107,6 @@ def test_r1_recovery_sweep(benchmark):
     )
     assert any(o["phys_undone"] > 0 for o in outcomes)
     assert outcomes[-1]["losers"] <= 1  # late crashes: mostly complete
+    # the pass timers actually measure the passes
+    assert all(o["recover_ms"] >= 0 for o in outcomes)
+    assert any(o["recover_ms"] > 0 for o in outcomes)

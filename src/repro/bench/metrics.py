@@ -106,6 +106,24 @@ class RunMetrics:
         """Bulk release/reassign operations (commit/abort boundaries)."""
         return self._case("lock.release_ops")
 
+    # ------------------------------------------------------------------
+    # Fault plane (from the snapshot; 0 when absent or no plan bound)
+    # ------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        """Faults fired by the bound :class:`~repro.faults.FaultPlan`."""
+        return self._case("fault.injected")
+
+    @property
+    def timeouts_fired(self) -> int:
+        """Lock-wait timers that expired (``deadlock_policy="timeout"``)."""
+        return self._case("timeout.fired")
+
+    @property
+    def retries_exhausted(self) -> int:
+        """Transactions escalated to abort after burning the retry budget."""
+        return self._case("retry.exhausted")
+
     @property
     def conflict_tests_per_release(self) -> float:
         """Mean conflict tests paid per release operation.

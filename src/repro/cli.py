@@ -15,7 +15,13 @@ Commands:
 * ``stats`` — run a workload and print the observability breakdown:
   the four-way Fig. 9 conflict-case table, kernel / lock / scheduler /
   waits-for counters, and histograms; ``--jsonl`` exports the snapshot
-  as JSON Lines.
+  as JSON Lines;
+* ``torture`` — the crash-torture sweep: crash a seeded workload at
+  every scheduler step and WAL-record boundary, recover each crash from
+  the pickled log, and verify state equivalence, committed-result
+  equivalence, serializability of the surviving history, and lock
+  hygiene (``--protocol``, ``--seed``, ``--transactions``, ``--steps``,
+  ``--json``); exits non-zero when any crash point fails.
 """
 
 from __future__ import annotations
@@ -163,6 +169,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(format_counters(snapshot, "waits.", "waits-for graph"))
     print()
+    if metrics.faults_injected or metrics.timeouts_fired or metrics.retries_exhausted:
+        print(format_counters(snapshot, "fault.", "fault injection"))
+        print()
+        print(format_counters(snapshot, "timeout.", "lock-wait timeouts"))
+        print()
+        print(format_counters(snapshot, "retry.", "retry / backoff"))
+        print()
     print(format_gauges(snapshot))
     print()
     print(format_histograms(snapshot))
@@ -171,6 +184,28 @@ def cmd_stats(args: argparse.Namespace) -> int:
             lines = snapshot.write_jsonl(fp)
         print(f"\nwrote {lines} metric lines to {args.jsonl}")
     return 0
+
+
+def cmd_torture(args: argparse.Namespace) -> int:
+    from repro.faults.torture import order_entry_scenario, run_torture
+
+    scenario = order_entry_scenario(
+        seed=args.seed,
+        n_transactions=args.transactions,
+        n_items=args.items,
+        protocol=PROTOCOLS[args.protocol],
+    )
+    report = run_torture(
+        scenario,
+        steps=args.steps,
+        wal_sweep=not args.no_wal_sweep,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            fp.write(report.to_json() + "\n")
+        print(f"wrote torture report to {args.json}")
+    return 0 if report.all_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +245,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=11)
     stats.add_argument("--jsonl", metavar="PATH", help="export the snapshot as JSON Lines")
     stats.set_defaults(fn=cmd_stats)
+
+    torture = sub.add_parser(
+        "torture", help="crash at every point and verify every recovery"
+    )
+    torture.add_argument("--protocol", choices=sorted(PROTOCOLS), default="semantic")
+    torture.add_argument("--transactions", type=int, default=5)
+    torture.add_argument("--items", type=int, default=2)
+    torture.add_argument("--seed", type=int, default=0)
+    torture.add_argument(
+        "--steps", type=int, default=None,
+        help="cap the number of step crash points (default: every step)",
+    )
+    torture.add_argument(
+        "--no-wal-sweep", action="store_true",
+        help="skip the WAL-record-boundary crash points",
+    )
+    torture.add_argument("--json", metavar="PATH", help="write the report as JSON")
+    torture.set_defaults(fn=cmd_torture)
     return parser
 
 

@@ -31,6 +31,8 @@ from typing import Any, Awaitable, Callable, Iterable, Mapping, Optional, Union
 from repro.errors import (
     CompensationError,
     DeadlockError,
+    LockTimeout,
+    RetryExhausted,
     SubtransactionRestart,
     TransactionAborted,
     UnknownOperationError,
@@ -60,6 +62,7 @@ from repro.semantics.generic import (
 )
 from repro.semantics.invocation import Invocation
 from repro.txn.compensation import UndoEntry, UndoLog
+from repro.txn.retry import RetryPolicy
 from repro.txn.history import History, HistoryRecorder
 from repro.txn.locks import LockTable, PendingRequest
 from repro.txn.transaction import NodeStatus, TransactionNode
@@ -253,6 +256,11 @@ class TransactionContext:
 class TransactionManager:
     """The kernel; see module docstring."""
 
+    #: Default lock-wait budget under ``deadlock_policy="timeout"``.
+    #: Generous relative to the default cost model (whole transactions
+    #: cost ~10 virtual time units) so only genuinely stuck waiters fire.
+    DEFAULT_LOCK_TIMEOUT = 50.0
+
     def __init__(
         self,
         db: Database,
@@ -263,9 +271,17 @@ class TransactionManager:
         wal=None,
         obs: Optional[MetricsRegistry] = None,
         lock_table_cls: Optional[type[LockTable]] = None,
+        faults=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_subtxn_restarts: Optional[int] = None,
+        lock_timeout: Optional[float] = None,
     ) -> None:
-        if deadlock_policy not in ("detect", "wait-die", "wound-wait"):
+        if deadlock_policy not in ("detect", "wait-die", "wound-wait", "timeout"):
             raise ValueError(f"unknown deadlock policy {deadlock_policy!r}")
+        if lock_timeout is not None and lock_timeout <= 0:
+            raise ValueError("lock_timeout must be a positive virtual-time budget")
+        if lock_timeout is not None and deadlock_policy != "timeout":
+            raise ValueError('lock_timeout is only meaningful with deadlock_policy="timeout"')
         self.db = db
         # One registry per kernel: every component below records into it,
         # and ``self.obs.snapshot()`` captures the whole run.
@@ -303,12 +319,33 @@ class TransactionManager:
         # aborts the holder).  Timestamps are transaction begin
         # sequence numbers, so both schemes are starvation-free.
         self.deadlock_policy = deadlock_policy
-        # After this many subtransaction restarts a deadlock victim is
-        # aborted outright (livelock guard).  FCFS queueing makes
-        # repeated deadlocks with the *same* partner impossible, so the
-        # cap only needs to exceed the plausible number of distinct
-        # hot-spot partners.
-        self.max_subtxn_restarts = 25
+        # Under the "timeout" policy a blocked lock wait arms a
+        # virtual-time timer; when it fires the waiter is resolved
+        # through the victim/restart machinery (restart the blocked
+        # subtransaction if possible, else abort with LockTimeout).
+        self.lock_timeout = (
+            lock_timeout
+            if lock_timeout is not None
+            else (self.DEFAULT_LOCK_TIMEOUT if deadlock_policy == "timeout" else None)
+        )
+        # Restart budgeting: RetryPolicy subsumes the historical
+        # ``max_subtxn_restarts`` cap (exposed as a property kept in
+        # lockstep).  Both knobs may be passed, but must agree.
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_restarts=max_subtxn_restarts
+                if max_subtxn_restarts is not None
+                else RetryPolicy.max_restarts
+            )
+        elif (
+            max_subtxn_restarts is not None
+            and max_subtxn_restarts != retry_policy.max_restarts
+        ):
+            raise ValueError(
+                f"max_subtxn_restarts={max_subtxn_restarts} contradicts "
+                f"retry_policy.max_restarts={retry_policy.max_restarts}"
+            )
+        self.retry_policy = retry_policy
         # Optional write-ahead log (repro.recovery.wal.WriteAheadLog):
         # when set, physical updates, non-read-only subtransaction
         # commits, and transaction outcomes are logged for multi-level
@@ -331,6 +368,47 @@ class TransactionManager:
         self.probe: Optional[
             Callable[[TransactionNode, str], Optional[Awaitable[Any]]]
         ] = None
+        # Timeout / retry instrumentation (registered unconditionally so
+        # snapshots have stable shape; they stay zero when unused).
+        self._timeout_fired = self.obs.counter("timeout.fired")
+        self._timeout_restarts = self.obs.counter("timeout.restarts")
+        self._timeout_aborts = self.obs.counter("timeout.aborts")
+        self._retry_exhausted = self.obs.counter("retry.exhausted")
+        self._retry_backoffs = self.obs.counter("retry.backoff_pauses")
+        self._retry_backoff_delay = self.obs.histogram("retry.backoff_delay")
+        # Optional fault-injection plane (repro.faults.FaultInjector or a
+        # FaultPlan, which is wrapped).  Every kernel hook is guarded by
+        # ``if self.faults is not None`` so runs without a plan take the
+        # exact historical paths.
+        self.faults = self._bind_faults(faults)
+
+    def _bind_faults(self, faults):
+        if faults is None:
+            return None
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        faults.bind_metrics(self.obs)
+        if faults.wants_step_hook:
+            self.scheduler.on_step = faults.on_step
+        return faults
+
+    @property
+    def max_subtxn_restarts(self) -> int:
+        """Historical alias for ``retry_policy.max_restarts``.
+
+        A property (with a replacing setter) rather than an attribute so
+        the two knobs can never disagree.
+        """
+        return self.retry_policy.max_restarts
+
+    @max_subtxn_restarts.setter
+    def max_subtxn_restarts(self, value: int) -> None:
+        from dataclasses import replace
+
+        self.retry_policy = replace(self.retry_policy, max_restarts=value)
 
     # ------------------------------------------------------------------
     # Public API
@@ -376,14 +454,23 @@ class TransactionManager:
             handle.aborting = True
             await self._abort_transaction(handle, aborted)
             return None
-        except SubtransactionRestart as restart:  # pragma: no cover - defensive
+        except SubtransactionRestart as restart:
             # A restart signal must be handled at its subtransaction's
-            # frame; reaching the root indicates a kernel bug, but abort
-            # cleanly rather than killing the scheduler.
+            # frame; reaching the root means the restart scope was not on
+            # the current call stack (an injected root-scope restart, or
+            # a kernel bug).  Escalate through the normal abort path,
+            # keeping the victim's restart accounting and recording the
+            # originating node in the trace.
             handle.aborting = True
+            origin = getattr(restart.node, "node_id", str(restart.node))
+            if not restart.counted:
+                handle.restarts += 1
+            self._trace(root, "restart-unhandled", origin=origin)
             await self._abort_transaction(
                 handle,
-                TransactionAborted(handle.name, f"unhandled restart: {restart}"),
+                TransactionAborted(
+                    handle.name, f"unhandled subtransaction restart (origin {origin})"
+                ),
             )
             return None
         except Exception as error:
@@ -435,8 +522,13 @@ class TransactionManager:
         await Pause(cost)  # scheduling point (+ virtual CPU time)
         await self._run_probe(node, "pre")
 
+        attempts = 0
         while True:
             try:
+                if self.faults is not None:
+                    extra = self.faults.fire("pre-acquire", node)
+                    if extra:
+                        await Pause(extra)
                 await self._acquire_locks_for(node)
                 node.begin_seq = self.seq.tick()
                 result = await self._execute(node, target, operation, exec_args or args)
@@ -444,8 +536,27 @@ class TransactionManager:
             except SubtransactionRestart as restart:
                 if restart.node is not node:
                     raise  # an enclosing subtransaction is the restart scope
+                attempts += 1
+                handle = self.handles[node.top_level_name]
+                if not restart.counted:
+                    handle.restarts += 1
+                # Victim-machinery restarts pre-check the budget in
+                # _victim_resolution, so for unconfigured runs this
+                # escalation can never fire; injected restarts (which
+                # bypass that check) are capped here.  Compensating
+                # transactions must run to completion — never capped.
+                if not handle.aborting and handle.restarts > self.retry_policy.max_restarts:
+                    self._retry_exhausted.inc()
+                    raise RetryExhausted(handle.name, node.node_id, handle.restarts)
                 await self._rollback_subtransaction(node)
-                await Pause(cost)  # let the conflicting transaction run
+                # Let the conflicting transaction run; with backoff
+                # configured, also space retries out exponentially.
+                backoff = self.retry_policy.backoff_for(attempts)
+                if backoff:
+                    self._retry_backoffs.inc()
+                    self._retry_backoff_delay.observe(backoff)
+                    self._trace(node, "retry-backoff", attempt=attempts, delay=backoff)
+                await Pause(cost + backoff)
 
         node.result = result
         self._attach_inverse(node, target, operation, args, result)
@@ -491,6 +602,20 @@ class TransactionManager:
     # ------------------------------------------------------------------
     # Write-ahead logging (multi-level recovery)
     # ------------------------------------------------------------------
+    def _wal_append(self, record) -> None:
+        """Append *record* to the log, then visit the wal-append site.
+
+        A crash injected here lands just *after* the record became
+        durable — sweeping the fault's visit count over the reference
+        run's log length crashes between every adjacent pair of records.
+        """
+        self.wal.append(record)
+        if self.faults is not None:
+            kind = type(record).__name__
+            if kind.endswith("Record"):
+                kind = kind[: -len("Record")]
+            self.faults.fire("wal-append", txn=record.txn, operation=kind)
+
     def _wal_attached_address(self, obj: DatabaseObject):
         """The object's logical address, or None if not under the root.
 
@@ -518,7 +643,7 @@ class TransactionManager:
         node_path = tuple(
             n.node_id for n in reversed(list(node.ancestors(include_self=True)))
         )
-        self.wal.append(
+        self._wal_append(
             UpdateRecord(
                 lsn=self.wal.next_lsn(),
                 txn=node.top_level_name,
@@ -534,7 +659,7 @@ class TransactionManager:
             return
         from repro.recovery.wal import TxnStatusRecord
 
-        self.wal.append(TxnStatusRecord(lsn=self.wal.next_lsn(), txn=txn, status=status))
+        self._wal_append(TxnStatusRecord(lsn=self.wal.next_lsn(), txn=txn, status=status))
 
     def _wal_subtxn_commit(self, node: TransactionNode) -> None:
         if self.wal is None or node.is_top_level or node.readonly:
@@ -550,7 +675,7 @@ class TransactionManager:
         from repro.recovery.wal import SubtxnCommitRecord
 
         inverse = self.undo.inverse_for(node.node_id)
-        self.wal.append(
+        self._wal_append(
             SubtxnCommitRecord(
                 lsn=self.wal.next_lsn(),
                 txn=node.top_level_name,
@@ -765,6 +890,12 @@ class TransactionManager:
             mode=str(spec.invocation),
             waits_for=sorted(b.node_id for b in blockers),
         )
+        timer = None
+        timeout = self._lock_wait_timeout(node)
+        if timeout is not None:
+            timer = self.scheduler.call_later(
+                timeout, lambda: self._on_lock_timeout(pending, timeout)
+            )
         try:
             if self.deadlock_policy == "detect":
                 self._resolve_deadlocks(requester=node)
@@ -772,7 +903,67 @@ class TransactionManager:
         except BaseException:
             self.locks.cancel(pending)
             raise
+        finally:
+            if timer is not None:
+                timer.cancel()
         self._trace(node, "wake", target=str(spec.target), mode=str(spec.invocation))
+
+    def _lock_wait_timeout(self, node: TransactionNode) -> Optional[float]:
+        """The timeout budget for a lock wait that is about to block.
+
+        An injected lock-wait fault takes precedence (it works under any
+        deadlock policy); otherwise the ``"timeout"`` policy applies its
+        uniform budget.  None disarms the timer entirely.
+        """
+        if self.faults is not None:
+            injected = self.faults.lock_wait_timeout(node)
+            if injected is not None:
+                return injected
+        if self.deadlock_policy == "timeout":
+            return self.lock_timeout
+        return None
+
+    def _on_lock_timeout(self, pending: PendingRequest, waited: float) -> None:
+        """Timer callback: a blocked request outlived its wait budget.
+
+        Resolved exactly like a single-member deadlock cycle: restart
+        the waiter's blocked subtransaction when possible, otherwise
+        abort the waiter with :class:`LockTimeout`.  Aborting
+        transactions are never timed out — their compensations must run
+        to completion (the stall-time detection pass remains as their
+        backstop).
+        """
+        if pending.signal.done:
+            return  # granted between arming and firing
+        node = pending.node
+        victim = self.handles.get(node.top_level_name)
+        if victim is None or victim.task is None or victim.task.finished:
+            return
+        self._timeout_fired.inc()
+        resolution: Union[SubtransactionRestart, TransactionAborted] = (
+            self._victim_resolution(victim, [victim.name])
+        )
+        if isinstance(resolution, DeadlockError):
+            if victim.aborting:
+                return  # keep waiting; compensation may not be sacrificed
+            resolution = LockTimeout(victim.name, str(pending.target), waited)
+            victim.aborting = True
+            self._timeout_aborts.inc()
+        else:
+            self._timeout_restarts.inc()
+        self._trace(
+            node,
+            "timeout",
+            target=str(pending.target),
+            waited=waited,
+            resolution="restart"
+            if isinstance(resolution, SubtransactionRestart)
+            else "abort",
+        )
+        assert victim.task is not None
+        self.scheduler.interrupt(victim.task, resolution)
+        for queued in self.locks.pending_of_tree(victim.root):
+            self.locks.cancel(queued)
 
     def _apply_prevention_policy(
         self, node: TransactionNode, blockers: set[TransactionNode]
@@ -783,7 +974,10 @@ class TransactionManager:
         wait for; raises :class:`DeadlockError` when wait-die sacrifices
         the requester.  Under "detect" this is a no-op.
         """
-        if self.deadlock_policy == "detect" or not blockers:
+        if self.deadlock_policy in ("detect", "timeout") or not blockers:
+            # Detection resolves cycles after the fact; the timeout
+            # policy waits and lets the armed timer resolve. Neither
+            # applies timestamp checks before blocking.
             return blockers
         my_root = node.root()
         my_ts = my_root.begin_seq or 0
@@ -856,7 +1050,11 @@ class TransactionManager:
         granted = self.locks.reevaluate(self._tester)
         for pending in granted:
             self._trace(pending.node, "regrant", target=str(pending.target))
-        self._resolve_deadlocks()
+        if self.deadlock_policy != "timeout":
+            # Under "timeout" a cycle is not an event: every member's
+            # timer resolves it in virtual time (the stall hook stays as
+            # the backstop for all-aborting cycles, which never time out).
+            self._resolve_deadlocks()
 
     def _on_waits_changed(self, pending: PendingRequest) -> None:
         """Lock-table hook: mirror a request's blocker set into the graph.
@@ -986,7 +1184,9 @@ class TransactionManager:
         if can_restart:
             victim.restarts += 1
             assert scope is not None
-            return SubtransactionRestart(scope)
+            restart = SubtransactionRestart(scope)
+            restart.counted = True  # charged to the budget just above
+            return restart
         return DeadlockError(victim.name, tuple(cycle))
 
     def _on_stall(self, blocked_tasks: list[Task]) -> bool:
@@ -1003,6 +1203,10 @@ class TransactionManager:
         self.recorder.on_node_end(node)
         self._trace(node, "commit")
         self._wal_subtxn_commit(node)
+        if self.faults is not None and not node.is_top_level:
+            # The recovery-critical window: the subtransaction's commit
+            # record is durable, its locks not yet converted/released.
+            self.faults.fire("post-subcommit", node)
         # Flag the requests recorded as waiting on this node (case-2
         # waits relieved by its commit) and re-dirty its lock targets
         # (its writes are now visible to state-dependent conflict
@@ -1062,6 +1266,10 @@ class TransactionManager:
         inverse = self.undo.inverse_for(node.node_id)
         if node.completed and inverse is not None:
             target = self.db.resolve(inverse.inverse_target)
+            if self.faults is not None:
+                extra = self.faults.fire("pre-compensate", node)
+                if extra:
+                    await Pause(extra)
             self._trace(node, "compensate", with_=inverse.description)
             await self.invoke(
                 node.root(),
@@ -1116,6 +1324,10 @@ def run_transactions(
     script: Optional[Iterable[str]] = None,
     cost_model: Optional[CostModel] = None,
     deadlock_policy: str = "detect",
+    faults=None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_subtxn_restarts: Optional[int] = None,
+    lock_timeout: Optional[float] = None,
 ) -> TransactionManager:
     """Convenience: run a set of named transaction programs to completion.
 
@@ -1129,6 +1341,10 @@ def run_transactions(
         scheduler=scheduler,
         cost_model=cost_model,
         deadlock_policy=deadlock_policy,
+        faults=faults,
+        retry_policy=retry_policy,
+        max_subtxn_restarts=max_subtxn_restarts,
+        lock_timeout=lock_timeout,
     )
     for name, program in programs.items():
         kernel.spawn(name, program)

@@ -59,6 +59,43 @@ class DeadlockError(TransactionAborted):
         self.cycle = cycle
 
 
+class LockTimeout(TransactionAborted):
+    """A lock wait exceeded the timeout budget and the waiter was sacrificed.
+
+    Raised under the ``"timeout"`` deadlock policy (and by injected
+    lock-wait timeout faults) when the waiter's blocked request cannot be
+    resolved by restarting a subtransaction.  Semantically a timeout is
+    handled exactly like a deadlock victim abort — compensation runs,
+    the client may resubmit — but the distinct type keeps the two causes
+    apart in handles, traces, and metrics.
+    """
+
+    def __init__(self, txn_name: str, target: str, waited: float) -> None:
+        super().__init__(
+            txn_name, f"lock wait on {target} timed out after {waited:g} virtual time"
+        )
+        self.target = target
+        self.waited = waited
+
+
+class RetryExhausted(TransactionAborted):
+    """A subtransaction's bounded retry budget ran out.
+
+    The :class:`~repro.txn.retry.RetryPolicy` escalates to a top-level
+    abort once a single action has been restarted ``max_restarts`` times;
+    the node id of the exhausted action is recorded for diagnosis.
+    """
+
+    def __init__(self, txn_name: str, node_id: str, attempts: int) -> None:
+        super().__init__(
+            txn_name,
+            f"subtransaction {node_id} exhausted its retry budget "
+            f"({attempts} restarts)",
+        )
+        self.node_id = node_id
+        self.attempts = attempts
+
+
 class SubtransactionRestart(BaseException):
     """Internal control-flow signal: roll back and retry one subtransaction.
 
@@ -74,6 +111,10 @@ class SubtransactionRestart(BaseException):
     def __init__(self, node) -> None:
         super().__init__(f"restart subtransaction {getattr(node, 'node_id', node)!r}")
         self.node = node
+        # True once the victim machinery has charged this restart to the
+        # transaction's restart budget; injected restarts are charged by
+        # the kernel's retry loop instead.
+        self.counted = False
 
 
 class ProtocolViolation(ReproError):
@@ -98,3 +139,20 @@ class RuntimeEngineError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
+
+
+class CrashPoint(BaseException):
+    """Simulated process death, raised by the fault-injection plane.
+
+    Propagates out of :meth:`~repro.runtime.scheduler.Scheduler.run`
+    leaving every task suspended exactly where it was — the state a real
+    crash would leave behind.  Derives from :class:`BaseException` so no
+    ``except Exception`` handler (application or kernel) can absorb the
+    crash and keep executing; only the torture harness, which owns the
+    run, catches it.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        super().__init__(f"injected crash at {site}" + (f": {detail}" if detail else ""))
+        self.site = site
+        self.detail = detail

@@ -1,0 +1,532 @@
+"""Crash-torture: verify recovery at every reachable crash point.
+
+The happy-path recovery tests prove the WAL machinery works for a
+handful of hand-picked crashes.  This harness turns that into a sweep:
+run a deterministic workload once to measure it, then re-run it once per
+crash point — every scheduler step, and every WAL-record boundary (which
+reaches windows step-granularity cannot, e.g. *between a
+subtransaction's commit record and its lock conversion*, both sides of
+which execute inside one scheduler step) — killing the run with an
+injected :class:`~repro.errors.CrashPoint`, recovering from the pickled
+WAL, and checking, at each point:
+
+* **lock hygiene at the moment of death** — a transaction that
+  durably finished (committed or aborted) holds no locks, no queued
+  requests, and no waits-for edges;
+* **recovered-state equivalence** — recovery from the surviving log
+  prefix yields exactly the state of a serial execution of the durably
+  committed roots, in commit order, on a fresh database;
+* **committed-result equivalence** — every durably committed
+  transaction's *result* matches that serial execution (this is the
+  check that catches the paper's Section-3 bypass anomaly: a committed
+  reader that observed a state no serial execution can produce);
+* **semantic serializability of the surviving history** — the records
+  of committed roots plus *pretend-committed* in-flight roots (those
+  not already aborting could still have committed; a correct protocol
+  must keep every such extension serializable) pass the reduction
+  checker.
+
+Under :class:`~repro.core.protocol.SemanticLockingProtocol` every crash
+point must pass all four.  Pointed at the unsafe
+``OpenNestedNaiveProtocol`` with encapsulation-bypassing readers, the
+same sweep *must* find at least one crash point that fails — proving the
+harness detects real violations rather than confirming everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.kernel import TransactionManager, TransactionProgram, run_transactions
+from repro.core.protocol import SemanticLockingProtocol
+from repro.core.serializability import is_semantically_serializable
+from repro.errors import CrashPoint
+from repro.faults.plan import FaultPlan
+from repro.objects.atoms import AtomicObject
+from repro.objects.sets import SetObject
+from repro.recovery import recover
+from repro.recovery.wal import TxnStatusRecord, WriteAheadLog
+from repro.runtime.scheduler import Scheduler
+from repro.txn.history import ActionRecord, History
+from repro.txn.transaction import NodeStatus
+
+
+def state_of(db, exclude: tuple[str, ...] = ("NextOrderNo",)) -> dict[str, Any]:
+    """Comparable logical state of *db*.
+
+    Counter atoms named in *exclude* are skipped: compensation
+    deliberately does not reuse order numbers, so they differ between a
+    recovered run and the serial oracle without being a divergence.
+    """
+    state: dict[str, Any] = {}
+    for obj in db.subtree():
+        if isinstance(obj, AtomicObject) and obj.name not in exclude:
+            state[obj.path] = obj.raw_get()
+        elif isinstance(obj, SetObject):
+            state[obj.path + "/keys"] = tuple(sorted(str(k) for k, __ in obj.raw_scan()))
+    return state
+
+
+@dataclass
+class TortureScenario:
+    """A reproducible workload the crash sweep can re-instantiate at will.
+
+    ``instantiate()`` must return a *fresh* ``(db, programs)`` pair each
+    call — same database content, equivalent programs bound to the fresh
+    objects — so the reference run, every crash run, every recovery
+    target, and every serial oracle start from identical worlds.
+    """
+
+    name: str
+    instantiate: Callable[[], tuple[Any, dict[str, TransactionProgram]]]
+    protocol: Callable[[], Any] = SemanticLockingProtocol
+    type_specs: Optional[Mapping[str, Any]] = None
+    policy: str = "fifo"
+    seed: Optional[int] = None
+    compare_results: bool = True
+    exclude_paths: tuple[str, ...] = ("NextOrderNo",)
+
+
+@dataclass
+class CrashOutcome:
+    """Verdicts for one crash point."""
+
+    kind: str  # "step" | "wal"
+    at: int  # step index / WAL record count
+    crashed: bool  # False: the fault never fired (point beyond the run)
+    crash_site: str = ""
+    winners: tuple[str, ...] = ()
+    losers: tuple[str, ...] = ()
+    state_ok: bool = True
+    results_ok: bool = True
+    serializable: bool = True
+    leaks: tuple[str, ...] = ()
+    compensated: int = 0
+    physically_undone: int = 0
+    recovery_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.state_ok and self.results_ok and self.serializable and not self.leaks
+
+    @property
+    def failures(self) -> list[str]:
+        out = []
+        if not self.state_ok:
+            out.append("state-divergence")
+        if not self.results_ok:
+            out.append("result-divergence")
+        if not self.serializable:
+            out.append("non-serializable-surviving-history")
+        if self.leaks:
+            out.append("leaked-locks")
+        return out
+
+    def label(self) -> str:
+        return f"{self.kind}@{self.at}"
+
+
+@dataclass
+class TortureReport:
+    """The full sweep's verdicts, JSON-serialisable for CI artifacts."""
+
+    scenario: str
+    seed: Optional[int]
+    total_steps: int = 0
+    wal_records: int = 0
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def crash_points(self) -> int:
+        return sum(1 for o in self.outcomes if o.crashed)
+
+    @property
+    def anomalies(self) -> list[CrashOutcome]:
+        return [o for o in self.outcomes if o.crashed and not o.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.anomalies
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "total_steps": self.total_steps,
+            "wal_records": self.wal_records,
+            "crash_points": self.crash_points,
+            "anomalies": [
+                {"at": o.label(), "failures": o.failures, "losers": list(o.losers)}
+                for o in self.anomalies
+            ],
+            "all_ok": self.all_ok,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "recovery_seconds_total": round(
+                sum(o.recovery_seconds for o in self.outcomes), 6
+            ),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.all_ok else f"{len(self.anomalies)} ANOMALIES"
+        lines = [
+            f"torture[{self.scenario}]: {self.crash_points} crash points "
+            f"({self.total_steps} steps, {self.wal_records} WAL records) -> {verdict}"
+        ]
+        for outcome in self.anomalies:
+            lines.append(f"  {outcome.label()}: {', '.join(outcome.failures)}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Running one (possibly crashing) instance
+# ----------------------------------------------------------------------
+def _run_instance(
+    scenario: TortureScenario, faults: Optional[FaultPlan] = None
+) -> tuple[TransactionManager, WriteAheadLog, Optional[CrashPoint]]:
+    db, programs = scenario.instantiate()
+    wal = WriteAheadLog()
+    kernel = TransactionManager(
+        db,
+        protocol=scenario.protocol(),
+        scheduler=Scheduler(policy=scenario.policy, seed=scenario.seed),
+        wal=wal,
+        faults=faults,
+    )
+    for name, program in programs.items():
+        kernel.spawn(name, program)
+    crash: Optional[CrashPoint] = None
+    try:
+        kernel.run()
+    except CrashPoint as point:
+        crash = point
+    return kernel, wal, crash
+
+
+def _durable_winners(wal: WriteAheadLog) -> list[str]:
+    """Committed transactions, in durable commit order."""
+    return [
+        r.txn
+        for r in wal
+        if isinstance(r, TxnStatusRecord) and r.status == "commit"
+    ]
+
+
+def _leak_check(kernel: TransactionManager) -> list[str]:
+    """Finished transactions must have fully vacated the lock plane.
+
+    Inspected on the *crashed* kernel, before any shutdown — exactly the
+    state a real crash leaves behind.
+    """
+    leaks: list[str] = []
+    finished = {
+        name
+        for name, handle in kernel.handles.items()
+        if handle.committed or handle.aborted
+    }
+    for name in sorted(finished):
+        handle = kernel.handles[name]
+        held = kernel.locks.locks_held_by_tree(handle.root)
+        if held:
+            leaks.append(f"{name}: {len(held)} locks still granted")
+        queued = kernel.locks.pending_of_tree(handle.root)
+        if queued:
+            leaks.append(f"{name}: {len(queued)} requests still queued")
+    for waiter, holder in kernel.waits.edges_involving(finished):
+        leaks.append(f"waits-for edge {waiter} -> {holder} involves a finished txn")
+    return leaks
+
+
+def _surviving_history(kernel: TransactionManager) -> History:
+    """Committed records plus pretend-committed in-flight roots.
+
+    In-flight transactions that were not already aborting could still
+    have committed had the crash not happened; a correct protocol must
+    keep every such extension serializable.  The recorder only records
+    *finished* nodes, so the active interior of those trees (the root
+    and any active ancestors of recorded actions) is synthesised here:
+    status ``committed``, end sequence numbers past the real ones, and
+    children sealed before parents — the order an actual commit would
+    have produced.  In-flight transactions already aborting are left
+    out, exactly like durably aborted ones: they can never commit.
+    """
+    history = kernel.history()
+    recorded = {r.node_id for r in history.records}
+    synthesised: list[ActionRecord] = []
+    next_seq = max((r.end_seq for r in history.records), default=0) + 1
+    for name in sorted(kernel.handles):
+        handle = kernel.handles[name]
+        if handle.committed or handle.aborted or handle.aborting:
+            continue
+        # Active ancestors of recorded actions, deepest first, so every
+        # child's synthetic end_seq precedes its parent's.
+        pending = [
+            node
+            for node in handle.root.descendants(include_self=True)
+            if node.status is NodeStatus.ACTIVE
+            and any(child.node_id in recorded for child in node.children)
+        ]
+        if not pending:
+            continue  # no durably recorded effects; nothing to explain
+        closure = {node.node_id: node for node in pending}
+        for node in pending:
+            for ancestor in node.ancestors(include_self=False):
+                if ancestor.status is NodeStatus.ACTIVE:
+                    closure.setdefault(ancestor.node_id, ancestor)
+        for node in sorted(closure.values(), key=lambda n: -n.depth):
+            synthesised.append(
+                ActionRecord(
+                    node_id=node.node_id,
+                    parent_id=node.parent.node_id if node.parent is not None else None,
+                    txn=node.top_level_name,
+                    target=node.target,
+                    operation=node.invocation.operation,
+                    args=node.invocation.args,
+                    begin_seq=node.begin_seq if node.begin_seq is not None else -1,
+                    end_seq=next_seq,
+                    status="committed",
+                    depth=node.depth,
+                    is_compensation=node.is_compensation,
+                )
+            )
+            next_seq += 1
+    return History(
+        records=sorted(history.records + synthesised, key=lambda r: r.begin_seq),
+        composition_parent=dict(history.composition_parent),
+    )
+
+
+class _SerialOracle:
+    """Serial executions of winner sets, cached by (winners tuple)."""
+
+    def __init__(self, scenario: TortureScenario) -> None:
+        self._scenario = scenario
+        self._cache: dict[tuple[str, ...], tuple[dict, dict]] = {}
+
+    def run(self, winners: tuple[str, ...]) -> tuple[dict, dict]:
+        """(state, results) after running *winners* serially, in order."""
+        hit = self._cache.get(winners)
+        if hit is not None:
+            return hit
+        db, programs = self._scenario.instantiate()
+        results: dict[str, Any] = {}
+        for winner in winners:
+            kernel = run_transactions(db, {winner: programs[winner]})
+            results[winner] = kernel.handles[winner].result
+        answer = (state_of(db, self._scenario.exclude_paths), results)
+        self._cache[winners] = answer
+        return answer
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+def run_torture(
+    scenario: TortureScenario,
+    steps: Optional[int] = None,
+    step_stride: int = 1,
+    wal_sweep: bool = True,
+    wal_dir: Optional[str] = None,
+) -> TortureReport:
+    """Crash the scenario at every crash point and verify each recovery.
+
+    *steps* caps the number of step crash points (evenly strided when
+    the run is longer); *step_stride* coarsens the sweep directly.  The
+    WAL-boundary sweep (``wal_sweep``) crashes after every WAL append of
+    the reference run — the windows invisible to step granularity.
+    Every crash's log is round-tripped through a pickle file under
+    *wal_dir* (a temp dir by default): recovery reads what the disk
+    would actually hold.
+    """
+    started = time.perf_counter()
+    reference, ref_wal, ref_crash = _run_instance(scenario)
+    assert ref_crash is None, "reference run must not crash"
+    report = TortureReport(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        total_steps=reference.scheduler.steps,
+        wal_records=len(ref_wal),
+    )
+    oracle = _SerialOracle(scenario)
+
+    step_points = list(range(0, report.total_steps, max(1, step_stride)))
+    if steps is not None and len(step_points) > steps:
+        stride = max(1, len(step_points) // steps)
+        step_points = step_points[::stride][:steps]
+
+    points = [("step", k) for k in step_points]
+    if wal_sweep:
+        points += [("wal", n) for n in range(1, report.wal_records + 1)]
+
+    own_dir = None
+    if wal_dir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="repro-torture-")
+        wal_dir = own_dir.name
+    try:
+        for kind, at in points:
+            plan = (
+                FaultPlan.crash_at_step(at)
+                if kind == "step"
+                else FaultPlan.crash_at_wal_record(at)
+            )
+            report.outcomes.append(
+                _torture_point(scenario, oracle, kind, at, plan, wal_dir)
+            )
+    finally:
+        if own_dir is not None:
+            own_dir.cleanup()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _torture_point(
+    scenario: TortureScenario,
+    oracle: _SerialOracle,
+    kind: str,
+    at: int,
+    plan: FaultPlan,
+    wal_dir: str,
+) -> CrashOutcome:
+    kernel, wal, crash = _run_instance(scenario, faults=plan)
+    outcome = CrashOutcome(kind=kind, at=at, crashed=crash is not None)
+    if crash is None:
+        # The run finished before the fault could fire (e.g. a WAL point
+        # beyond a shorter-than-reference log); nothing to verify.
+        return outcome
+    outcome.crash_site = crash.site
+
+    # 1. Lock hygiene, inspected on the corpse before the coroutines are
+    # torn down (shutdown would run cleanup handlers a crash never runs).
+    outcome.leaks = tuple(_leak_check(kernel))
+
+    # 2. Serializability of the surviving (pretend-committed) history.
+    verdict = is_semantically_serializable(_surviving_history(kernel), db=kernel.db)
+    outcome.serializable = bool(verdict.serializable)
+
+    winners = tuple(_durable_winners(wal))
+    outcome.winners = winners
+    outcome.losers = tuple(
+        t for t in wal.transactions() if wal.status_of(t) == "in-flight"
+    )
+    committed_results = {
+        name: handle.result
+        for name, handle in kernel.handles.items()
+        if handle.committed
+    }
+    kernel.scheduler.shutdown()
+
+    # 3. Recover from the *pickled* WAL onto a fresh database.
+    path = os.path.join(wal_dir, f"{kind}-{at}.wal")
+    wal.save(path)
+    durable = WriteAheadLog.load(path)
+    restored_db, __ = scenario.instantiate()
+    recovery_started = time.perf_counter()
+    recovery = recover(restored_db, durable, scenario.type_specs)
+    outcome.recovery_seconds = time.perf_counter() - recovery_started
+    outcome.compensated = recovery.compensated
+    outcome.physically_undone = recovery.physically_undone
+
+    # 4. State and result equivalence against the serial oracle.
+    oracle_state, oracle_results = oracle.run(winners)
+    outcome.state_ok = state_of(restored_db, scenario.exclude_paths) == oracle_state
+    if scenario.compare_results:
+        # Only results the crashed run actually reported are comparable:
+        # a crash between a commit record and the in-memory commit flag
+        # leaves a durable winner whose client never saw a result.
+        outcome.results_ok = all(
+            committed_results[name] == oracle_results.get(name)
+            for name in winners
+            if name in committed_results
+        )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Canned scenarios
+# ----------------------------------------------------------------------
+def order_entry_scenario(
+    seed: int = 0,
+    n_transactions: int = 5,
+    n_items: int = 2,
+    orders_per_item: int = 2,
+    protocol: Callable[[], Any] = SemanticLockingProtocol,
+    policy: str = "fifo",
+    mix: Optional[dict[str, float]] = None,
+) -> TortureScenario:
+    """A seeded order-entry workload (the paper's T1–T5 mix)."""
+    from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE
+    from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+    def instantiate():
+        config = WorkloadConfig(
+            n_items=n_items,
+            orders_per_item=orders_per_item,
+            seed=seed,
+            mix=mix if mix is not None else {"T1": 1.0, "T2": 1.0, "T3": 1.0, "T5": 1.0},
+        )
+        workload = OrderEntryWorkload(config)
+        return workload.db, dict(workload.take(n_transactions))
+
+    return TortureScenario(
+        name=f"order-entry(seed={seed}, n={n_transactions})",
+        instantiate=instantiate,
+        protocol=protocol,
+        type_specs={"Item": ITEM_TYPE, "Order": ORDER_TYPE},
+        policy=policy,
+        seed=seed,
+    )
+
+
+def fig5_bypass_scenario(
+    protocol: Callable[[], Any], seed: int
+) -> TortureScenario:
+    """The Section-3 / Fig. 5 workload: T1 ships while T3 bypasses.
+
+    With the naive open-nested protocol (which releases a completed
+    subtransaction's locks) some seeds let T3 commit having observed one
+    order shipped and the other not; the sweep must flag those crash
+    points.  With the full semantic protocol every point must pass.
+    """
+    from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE, build_order_entry_database
+    from repro.orderentry.transactions import make_t1, make_t3
+
+    def instantiate():
+        built = build_order_entry_database(n_items=2, orders_per_item=1)
+        return built.db, {
+            "T1": make_t1(built.item(0), 1, built.item(1), 1),
+            "T3": make_t3(built.order(0, 0), built.order(1, 0)),
+        }
+
+    return TortureScenario(
+        name=f"fig5-bypass(seed={seed})",
+        instantiate=instantiate,
+        protocol=protocol,
+        type_specs={"Item": ITEM_TYPE, "Order": ORDER_TYPE},
+        policy="random",
+        seed=seed,
+    )
+
+
+def find_bypass_anomaly(
+    seeds=range(40), steps: Optional[int] = None
+) -> tuple[Optional[int], Optional[TortureReport]]:
+    """First seed whose crash sweep exposes the naive-protocol anomaly."""
+    from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+
+    for seed in seeds:
+        report = run_torture(
+            fig5_bypass_scenario(OpenNestedNaiveProtocol, seed),
+            steps=steps,
+            wal_sweep=False,
+        )
+        if report.anomalies:
+            return seed, report
+    return None, None

@@ -29,6 +29,7 @@ state:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -54,13 +55,22 @@ class RecoveryReport:
     redone: int = 0
     compensated: int = 0
     physically_undone: int = 0
+    # Wall-clock pass durations (seconds), for the perf trajectory.
+    analysis_seconds: float = 0.0
+    redo_seconds: float = 0.0
+    undo_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.analysis_seconds + self.redo_seconds + self.undo_seconds
 
     def __str__(self) -> str:
         return (
             f"recovery: {len(self.winners)} committed, {len(self.aborted)} cleanly "
             f"aborted, {len(self.losers)} losers; {self.redone} updates redone, "
             f"{self.compensated} subtransactions compensated, "
-            f"{self.physically_undone} updates physically undone"
+            f"{self.physically_undone} updates physically undone "
+            f"({self.total_seconds * 1e3:.2f} ms)"
         )
 
 
@@ -125,6 +135,7 @@ def recover(
     report = RecoveryReport()
 
     # ----- analysis -----
+    started = time.perf_counter()
     for txn in wal.transactions():
         status = wal.status_of(txn)
         if status == "commit":
@@ -134,14 +145,18 @@ def recover(
         else:
             report.losers.append(txn)
     losers = set(report.losers)
+    report.analysis_seconds = time.perf_counter() - started
 
     # ----- redo: repeat history -----
+    started = time.perf_counter()
     for record in wal:
         if isinstance(record, UpdateRecord):
             _apply_redo(db, record, type_specs)
             report.redone += 1
+    report.redo_seconds = time.perf_counter() - started
 
     # ----- undo losers, newest first, highest level first -----
+    started = time.perf_counter()
     covered: set[str] = set()
     for record in reversed(list(wal)):
         if isinstance(record, TxnStatusRecord) or record.txn not in losers:
@@ -169,5 +184,6 @@ def recover(
             continue
         _apply_physical_undo(db, record, type_specs)
         report.physically_undone += 1
+    report.undo_seconds = time.perf_counter() - started
 
     return report

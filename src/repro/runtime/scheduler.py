@@ -89,6 +89,32 @@ class Pause:
         return f"<Pause cost={self.cost}>"
 
 
+class TimerHandle:
+    """A cancellable virtual-time callback (see :meth:`Scheduler.call_at`).
+
+    Timers share the scheduler's timed heap with cost-pausing tasks:
+    they fire only when no task is ready — i.e. when the virtual clock
+    is allowed to advance — which is exactly the discrete-event rule.
+    The lock-wait timeout policy and injected lock-wait faults are built
+    on these.
+    """
+
+    __slots__ = ("deadline", "callback", "cancelled")
+
+    def __init__(self, deadline: float, callback: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Deactivate the timer (firing a cancelled timer is a no-op)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else f"at {self.deadline}"
+        return f"<Timer {state}>"
+
+
 class Task:
     """A spawned coroutine with its scheduling state."""
 
@@ -142,6 +168,10 @@ class Scheduler:
         # Hook: called when all tasks are blocked.  Must return True if it
         # unblocked something (e.g. resolved a deadlock), False otherwise.
         self.on_stall: Optional[Callable[[list[Task]], bool]] = None
+        # Hook: called with the cumulative step index just before each
+        # coroutine step executes.  The fault plane raises CrashPoint
+        # here to kill the run at an exact step; None means zero cost.
+        self.on_step: Optional[Callable[[int], None]] = None
         self._switch_counter = None
         self._stall_counter = None
         self._ready_gauge = None
@@ -171,6 +201,26 @@ class Scheduler:
 
     def create_signal(self, name: str = "") -> Signal:
         return Signal(self, name)
+
+    # ------------------------------------------------------------------
+    # Virtual-time timers
+    # ------------------------------------------------------------------
+    def call_at(self, deadline: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run *callback* once the virtual clock reaches *deadline*.
+
+        Discrete-event semantics: the callback fires only when no task
+        is ready (the clock never advances past runnable work), at which
+        point the clock jumps to the deadline.  Returns a handle whose
+        :meth:`~TimerHandle.cancel` deactivates the timer.
+        """
+        handle = TimerHandle(deadline, callback)
+        self._timed_seq += 1
+        heapq.heappush(self._timed, (deadline, self._timed_seq, handle))
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Like :meth:`call_at`, relative to the current clock."""
+        return self.call_at(self.clock + delay, callback)
 
     def _ready_task(self, task: Task, resume_value: Any = None) -> None:
         if task.finished:
@@ -258,12 +308,19 @@ class Scheduler:
             if max_steps is not None and executed >= max_steps:
                 return False
             if not self._ready and self._timed:
-                time, __, task = heapq.heappop(self._timed)
-                if task.state != Task.TIMED:
+                time, __, entry = heapq.heappop(self._timed)
+                if isinstance(entry, TimerHandle):
+                    if entry.cancelled:
+                        continue
+                    self.clock = max(self.clock, time)
+                    entry.cancelled = True  # one-shot
+                    entry.callback()
+                    continue
+                if entry.state != Task.TIMED:
                     continue  # was interrupted while sleeping
                 self.clock = max(self.clock, time)
-                task.state = Task.READY
-                self._ready.append(task)
+                entry.state = Task.READY
+                self._ready.append(entry)
                 self._ready_changed()
             if not self._ready:
                 blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
@@ -281,6 +338,11 @@ class Scheduler:
             self._ready_changed()
             if task.state != Task.READY:
                 continue  # stale queue entry (task finished or re-blocked)
+            if self.on_step is not None:
+                # The fault plane crashes exact steps here; raising
+                # CrashPoint leaves the picked task (and every other)
+                # suspended, which is precisely the crash semantics.
+                self.on_step(self.steps)
             self._step(task)
             self._ready_changed()
             executed += 1

@@ -97,7 +97,15 @@ class Lock:
 class PendingRequest:
     """A queued lock request awaiting its blockers' completion."""
 
-    __slots__ = ("node", "target", "invocation", "signal", "blockers", "enqueue_seq")
+    __slots__ = (
+        "node",
+        "target",
+        "invocation",
+        "signal",
+        "blockers",
+        "enqueue_seq",
+        "enqueue_clock",
+    )
 
     def __init__(
         self,
@@ -113,6 +121,7 @@ class PendingRequest:
         self.signal = signal
         self.blockers: set[TransactionNode] = set()
         self.enqueue_seq = enqueue_seq
+        self.enqueue_clock = 0.0  # virtual time of the block (wait-time metric)
 
     def __repr__(self) -> str:
         return f"<Pending {self.invocation} on {self.target} by {self.node.node_id}>"
@@ -167,6 +176,7 @@ class LockTable:
         self._held_gauge = None
         self._queue_gauge = None
         self._hold_hist = None
+        self._wait_hist = None
         self._test_counter = None
         self._test_skipped_counter = None
         self._release_counter = None
@@ -191,6 +201,7 @@ class LockTable:
         self._held_gauge = registry.gauge("lock.held")
         self._queue_gauge = registry.gauge("lock.queue_depth")
         self._hold_hist = registry.histogram("lock.hold_time", self.HOLD_TIME_BUCKETS)
+        self._wait_hist = registry.histogram("lock.wait_time", self.HOLD_TIME_BUCKETS)
         self._test_counter = registry.counter("lock.conflict_tests")
         self._test_skipped_counter = registry.counter("lock.conflict_tests_skipped")
         self._release_counter = registry.counter("lock.release_ops")
@@ -325,6 +336,7 @@ class LockTable:
         """Queue a blocked request (FCFS position = enqueue order)."""
         self._next_enqueue_seq += 1
         pending = PendingRequest(node, target, invocation, signal, self._next_enqueue_seq)
+        pending.enqueue_clock = self._clock()
         self._queues[target].append(pending)
         self._pending_by_root[pending.node.root()][pending.enqueue_seq] = pending
         # A fresh request must be re-tested on the next pass even if
@@ -470,6 +482,8 @@ class LockTable:
                 still_waiting.append(pending)
             else:
                 self.grant(pending.node, target, pending.invocation)
+                if self._wait_hist is not None:
+                    self._wait_hist.observe(self._clock() - pending.enqueue_clock)
                 self._forget_pending(pending)
                 self.set_blockers(pending, set())
                 granted_now.append(pending)

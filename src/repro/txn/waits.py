@@ -60,6 +60,19 @@ class WaitsForGraph:
     def edge_count(self) -> int:
         return sum(len(holders) for holders in self._edges.values())
 
+    def edges_involving(self, names: set[str]) -> list[tuple[str, str]]:
+        """Every edge touching one of *names*, as (waiter, holder) pairs.
+
+        The torture harness's leak check: a transaction that committed
+        or aborted must appear in no edge, in either role.
+        """
+        return sorted(
+            (waiter, holder)
+            for waiter, holders in self._edges.items()
+            for holder in holders
+            if waiter in names or holder in names
+        )
+
     def find_cycle_through(self, start: str) -> Optional[list[str]]:
         """A cycle containing *start*, as a list of names, or None.
 

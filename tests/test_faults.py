@@ -1,0 +1,266 @@
+"""The fault plane: plan validation, injector determinism, site faults.
+
+Covers the `repro.faults` subsystem itself plus the kernel paths only a
+fault plan can reach: injected aborts/restarts at named sites, the
+root-scope restart that escapes every handler (the once-`pragma: no
+cover` escalation in ``_run_top``), and the guarantee that a storm of
+injected faults leaves the lock plane spotless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import TransactionManager, run_transactions
+from repro.errors import CrashPoint, TransactionAborted
+from repro.faults import FaultInjector, FaultPlan, FaultPlanError, FaultSpec
+from repro.orderentry.transactions import make_t1, make_t2
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+from repro.runtime.scheduler import Scheduler
+
+
+def t1_t2(order_entry):
+    return {
+        "T1": make_t1(order_entry.item(0), 1, order_entry.item(1), 2),
+        "T2": make_t2(order_entry.item(0), 1, order_entry.item(1), 2),
+    }
+
+
+class TestPlanValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultSpec(site="post-commit", action="crash")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            FaultSpec(site="pre-acquire", action="explode")
+
+    def test_action_must_be_legal_at_site(self):
+        # restarting an already-committed node is meaningless
+        with pytest.raises(FaultPlanError, match="cannot be injected"):
+            FaultSpec(site="post-subcommit", action="restart")
+        # compensations must run to completion
+        with pytest.raises(FaultPlanError, match="cannot be injected"):
+            FaultSpec(site="pre-compensate", action="abort")
+
+    def test_step_faults_need_at_step(self):
+        with pytest.raises(FaultPlanError, match="at_step"):
+            FaultSpec(site="step", action="crash")
+        with pytest.raises(FaultPlanError, match="at_step"):
+            FaultSpec(site="pre-acquire", action="crash", at_step=3)
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(FaultPlanError, match="positive delay"):
+            FaultSpec(site="pre-acquire", action="delay")
+        with pytest.raises(FaultPlanError, match="positive delay"):
+            FaultSpec(site="lock-wait", action="timeout", delay=0.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="pre-acquire", action="abort", probability=1.5)
+
+    def test_plan_helpers(self):
+        plan = FaultPlan.crash_at_step(7)
+        assert plan.step_specs and plan.step_specs[0].at_step == 7
+        plan = FaultPlan.crash_at_wal_record(3)
+        assert plan.specs[0].site == "wal-append"
+        assert plan.specs[0].at_visit == 3
+        grown = plan.with_spec(FaultSpec(site="pre-acquire", action="abort"))
+        assert len(grown.specs) == 2 and grown.seed == plan.seed
+
+
+class TestInjectorDeterminism:
+    def plan(self):
+        return FaultPlan(
+            specs=(
+                FaultSpec(site="pre-acquire", action="delay", delay=1.0,
+                          probability=0.3, max_fires=0),
+            ),
+            seed=42,
+        )
+
+    def visit_pattern(self, injector, visits=50):
+        return [injector.fire("pre-acquire", txn="T", operation="Op") for _ in range(visits)]
+
+    def test_same_seed_same_fires(self):
+        a = self.visit_pattern(FaultInjector(self.plan()))
+        b = self.visit_pattern(FaultInjector(self.plan()))
+        assert a == b
+        assert any(d > 0 for d in a) and not all(d > 0 for d in a)
+
+    def test_different_seed_different_fires(self):
+        other = FaultPlan(specs=self.plan().specs, seed=43)
+        a = self.visit_pattern(FaultInjector(self.plan()))
+        b = self.visit_pattern(FaultInjector(other))
+        assert a != b
+
+    def test_at_visit_does_not_consume_rng(self):
+        # Adding an exact-visit spec must not shift another spec's draws.
+        base = self.visit_pattern(FaultInjector(self.plan()))
+        noisy_plan = FaultPlan(
+            specs=(
+                FaultSpec(site="wal-append", action="crash", at_visit=999),
+            ) + self.plan().specs,
+            seed=42,
+        )
+        assert self.visit_pattern(FaultInjector(noisy_plan)) == base
+
+    def test_max_fires_caps(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="delay", delay=2.0,
+                             probability=1.0, max_fires=3),),
+        )
+        injector = FaultInjector(plan)
+        delays = self.visit_pattern(injector, visits=10)
+        assert delays == [2.0] * 3 + [0.0] * 7
+        assert injector.total_fires == 3
+
+
+class TestSiteFaults:
+    def test_injected_abort_at_pre_acquire(self, order_entry):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="abort", txn="T1"),)
+        )
+        kernel = run_transactions(order_entry.db, t1_t2(order_entry), faults=plan)
+        assert kernel.handles["T1"].aborted
+        assert kernel.handles["T2"].committed
+        assert "fault injected at pre-acquire" in str(kernel.handles["T1"].error)
+
+    def test_injected_abort_at_post_subcommit_compensates(self, order_entry):
+        # Abort fired after the first ShipOrder committed: the abort path
+        # must compensate it (UnshipOrder), leaving T2's effects intact.
+        plan = FaultPlan(
+            specs=(FaultSpec(site="post-subcommit", action="abort",
+                             txn="T1", operation="ShipOrder"),)
+        )
+        kernel = run_transactions(order_entry.db, t1_t2(order_entry), faults=plan)
+        assert kernel.handles["T1"].aborted
+        assert kernel.handles["T2"].committed
+        compensations = kernel.trace.of_kind("compensate")
+        assert any(e.txn == "T1" for e in compensations)
+
+    def test_injected_self_restart_retries_and_commits(self, order_entry):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="restart",
+                             txn="T1", operation="ShipOrder", at_visit=1),)
+        )
+        kernel = run_transactions(order_entry.db, t1_t2(order_entry), faults=plan)
+        assert kernel.handles["T1"].committed
+        assert kernel.handles["T1"].restarts == 1
+        assert kernel.trace.of_kind("restart")
+
+    def test_root_scope_restart_escalates_through_abort_path(self, order_entry):
+        # The restart's scope is the *root* node, which no invoke frame
+        # handles: it must reach _run_top, be recorded with its origin,
+        # and abort cleanly through the normal path (satellite fix for
+        # the formerly-uncovered defensive branch).
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="restart",
+                             txn="T1", operation="ShipOrder", scope="root"),)
+        )
+        kernel = run_transactions(order_entry.db, t1_t2(order_entry), faults=plan)
+        handle = kernel.handles["T1"]
+        assert handle.aborted and not handle.committed
+        assert handle.restarts == 1
+        unhandled = kernel.trace.of_kind("restart-unhandled")
+        assert len(unhandled) == 1
+        assert unhandled[0].txn == "T1"
+        assert unhandled[0].detail["origin"] == "T1"  # the root node's id
+        # T2 is untouched and the history of survivors is intact
+        assert kernel.handles["T2"].committed
+
+    def test_crash_point_is_not_swallowed_by_programs(self, order_entry):
+        async def swallower(tx):
+            try:
+                return await tx.call(order_entry.item(0), "ShipOrder", 1)
+            except Exception:  # noqa: BLE001 - the point of the test
+                return "swallowed"
+
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="crash",
+                             operation="ShipOrder"),)
+        )
+        db = order_entry.db
+        kernel = TransactionManager(db, scheduler=Scheduler(), faults=plan)
+        kernel.spawn("T", swallower)
+        with pytest.raises(CrashPoint):
+            kernel.run()
+
+    def test_injected_delay_advances_virtual_clock(self, order_entry):
+        from repro.orderentry.schema import build_order_entry_database
+
+        baseline = run_transactions(order_entry.db, t1_t2(order_entry))
+        fresh = build_order_entry_database(n_items=2, orders_per_item=2)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="delay",
+                             delay=25.0, txn="T1", at_visit=1),)
+        )
+        kernel = run_transactions(fresh.db, t1_t2(fresh), faults=plan)
+        assert kernel.handles["T1"].committed
+        assert kernel.scheduler.clock >= baseline.scheduler.clock + 25.0
+
+    def test_wal_append_operation_filter(self, order_entry):
+        # Crash on the first *SubtxnCommit* append specifically: update
+        # records before it stay durable, no status record exists yet.
+        plan = FaultPlan(
+            specs=(FaultSpec(site="wal-append", action="crash",
+                             operation="SubtxnCommit"),)
+        )
+        from repro.recovery import WriteAheadLog
+
+        wal = WriteAheadLog()
+        kernel = TransactionManager(
+            order_entry.db, scheduler=Scheduler(), wal=wal, faults=plan
+        )
+        for name, program in t1_t2(order_entry).items():
+            kernel.spawn(name, program)
+        with pytest.raises(CrashPoint) as excinfo:
+            kernel.run()
+        assert excinfo.value.site == "wal-append"
+        from repro.recovery.wal import SubtxnCommitRecord
+
+        commits = [r for r in wal if isinstance(r, SubtxnCommitRecord)]
+        assert len(commits) == 1  # the record is durable; the crash is after
+
+
+class TestFaultStormHygiene:
+    def test_storm_of_faults_leaves_no_lock_debris(self):
+        # Aborts, restarts, and delays raining on a contended workload:
+        # after the run every transaction is decided and the lock plane
+        # is empty.
+        workload = OrderEntryWorkload(
+            WorkloadConfig(n_items=2, orders_per_item=2, seed=5)
+        )
+        programs = dict(workload.take(6))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="pre-acquire", action="restart",
+                          probability=0.15, max_fires=4),
+                FaultSpec(site="pre-acquire", action="abort",
+                          probability=0.08, max_fires=2),
+                FaultSpec(site="pre-acquire", action="delay", delay=3.0,
+                          probability=0.2, max_fires=0),
+            ),
+            seed=9,
+        )
+        kernel = run_transactions(workload.db, programs, faults=plan)
+        assert kernel.faults.total_fires > 0
+        for name, handle in kernel.handles.items():
+            assert handle.committed or handle.aborted, name
+            assert not kernel.locks.locks_held_by_tree(handle.root), name
+            assert not kernel.locks.pending_of_tree(handle.root), name
+        assert kernel.waits.edge_count == 0
+        snapshot = kernel.obs.snapshot()
+        assert snapshot.counter("fault.injected") == kernel.faults.total_fires
+
+    def test_fault_metrics_surface_in_run_metrics(self, order_entry):
+        from repro.bench.metrics import collect
+
+        plan = FaultPlan(
+            specs=(FaultSpec(site="pre-acquire", action="abort", txn="T1"),)
+        )
+        kernel = run_transactions(order_entry.db, t1_t2(order_entry), faults=plan)
+        metrics = collect(kernel, "semantic")
+        assert metrics.faults_injected == 1
+        assert metrics.timeouts_fired == 0
+        assert metrics.retries_exhausted == 0

@@ -1,0 +1,209 @@
+"""Lock-wait timeouts: the fourth deadlock policy, plus injected timers.
+
+``deadlock_policy="timeout"`` arms a virtual-clock timer on every
+blocking lock wait; expiry resolves the waiter through the existing
+victim machinery (restart the blocked subtransaction if possible, abort
+with :class:`LockTimeout` otherwise).  A `lock-wait` fault spec arms the
+same timer under any policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import TransactionManager, run_transactions
+from repro.core.serializability import is_semantically_serializable
+from repro.errors import LockTimeout
+from repro.faults import FaultPlan, FaultSpec
+from repro.objects.database import Database
+from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
+
+
+@pytest.fixture
+def two_atoms():
+    db = Database()
+    x = db.new_atom("x", 0)
+    y = db.new_atom("y", 0)
+    db.attach_child(x)
+    db.attach_child(y)
+    return db, x, y
+
+
+def opposing(x, y):
+    async def ab(tx):
+        await tx.put(x, "A")
+        await tx.pause()
+        await tx.put(y, "A")
+        return "A"
+
+    async def ba(tx):
+        await tx.put(y, "B")
+        await tx.pause()
+        await tx.put(x, "B")
+        return "B"
+
+    return {"A": ab, "B": ba}
+
+
+class TestTimeoutPolicy:
+    def test_deadlock_resolved_by_timeout(self, two_atoms):
+        """A real A<->B deadlock: no cycle detection runs, but the first
+        timer to expire restarts/aborts its waiter and both finish."""
+        db, x, y = two_atoms
+        kernel = run_transactions(
+            db, opposing(x, y), deadlock_policy="timeout", lock_timeout=10.0
+        )
+        assert all(h.committed or h.aborted for h in kernel.handles.values())
+        assert kernel.obs.snapshot().counter("timeout.fired") >= 1
+        assert kernel.trace.of_kind("timeout")
+        # serializable outcome either way
+        assert is_semantically_serializable(kernel.history(), db=db).serializable
+
+    def test_timeout_fires_at_virtual_deadline(self, two_atoms):
+        from repro.runtime.scheduler import Pause
+
+        db, x, __ = two_atoms
+
+        async def holder(tx):
+            await tx.put(x, "H")
+            for __ in range(30):
+                await Pause(5.0)  # hold x far past the budget
+            return "H"
+
+        async def waiter(tx):
+            await tx.pause()  # let H grab x
+            await tx.put(x, "W")
+            return "W"
+
+        kernel = run_transactions(
+            db, {"H": holder, "W": waiter}, deadlock_policy="timeout", lock_timeout=20.0
+        )
+        events = kernel.trace.of_kind("timeout")
+        assert events and events[0].txn == "W"
+        assert events[0].detail["waited"] == 20.0
+        # Top-level Put has no enclosing subtransaction to restart: the
+        # waiter aborts with LockTimeout.
+        assert kernel.handles["W"].aborted
+        assert isinstance(kernel.handles["W"].error, LockTimeout)
+        assert kernel.handles["H"].committed
+        assert kernel.obs.snapshot().counter("timeout.aborts") == 1
+
+    def test_granted_before_deadline_cancels_timer(self, two_atoms):
+        from repro.runtime.scheduler import Pause
+
+        db, x, __ = two_atoms
+
+        async def brief_holder(tx):
+            await tx.put(x, "H")
+            await Pause(2.0)
+            return "H"
+
+        async def waiter(tx):
+            await tx.pause()
+            await tx.put(x, "W")
+            return "W"
+
+        kernel = run_transactions(
+            db, {"H": brief_holder, "W": waiter},
+            deadlock_policy="timeout", lock_timeout=50.0,
+        )
+        assert kernel.handles["W"].committed
+        assert kernel.obs.snapshot().counter("timeout.fired") == 0
+        assert not kernel.trace.of_kind("timeout")
+
+    def test_subtransaction_waiter_restarts_not_aborts(self, order_entry):
+        # Two transactions shipping the same orders: the blocked
+        # ShipOrder subtransaction is restartable, so the timeout
+        # resolves with a restart and both eventually commit.
+        from repro.orderentry.transactions import make_t1
+
+        async def rival(tx):
+            return await tx.call(order_entry.item(0), "ShipOrder", 1)
+
+        kernel = run_transactions(
+            order_entry.db,
+            {
+                "T1": make_t1(order_entry.item(0), 1, order_entry.item(1), 2),
+                "R": rival,
+            },
+            deadlock_policy="timeout",
+            lock_timeout=5.0,
+        )
+        assert all(h.committed or h.aborted for h in kernel.handles.values())
+        snapshot = kernel.obs.snapshot()
+        if snapshot.counter("timeout.fired"):
+            assert (
+                snapshot.counter("timeout.restarts")
+                + snapshot.counter("timeout.aborts")
+                == snapshot.counter("timeout.fired")
+            )
+
+    def test_contended_workload_all_decided_and_serializable(self):
+        workload = OrderEntryWorkload(
+            WorkloadConfig(n_items=2, orders_per_item=2, seed=3)
+        )
+        programs = dict(workload.take(8))
+        kernel = run_transactions(
+            workload.db, programs,
+            deadlock_policy="timeout", lock_timeout=15.0,
+            policy="random", seed=3,
+        )
+        assert all(h.committed or h.aborted for h in kernel.handles.values())
+        assert is_semantically_serializable(
+            kernel.history(), db=workload.db
+        ).serializable
+        for handle in kernel.handles.values():
+            assert not kernel.locks.locks_held_by_tree(handle.root)
+            assert not kernel.locks.pending_of_tree(handle.root)
+
+
+class TestTimeoutConfiguration:
+    def test_default_budget_applies(self, db):
+        kernel = TransactionManager(db, deadlock_policy="timeout")
+        assert kernel.lock_timeout == TransactionManager.DEFAULT_LOCK_TIMEOUT
+
+    def test_lock_timeout_requires_timeout_policy(self, db):
+        with pytest.raises(ValueError, match="timeout"):
+            TransactionManager(db, lock_timeout=10.0)
+
+    def test_lock_timeout_must_be_positive(self, db):
+        with pytest.raises(ValueError, match="positive"):
+            TransactionManager(db, deadlock_policy="timeout", lock_timeout=0.0)
+
+    def test_counters_exist_but_zero_under_other_policies(self, two_atoms):
+        db, x, y = two_atoms
+        kernel = run_transactions(db, opposing(x, y))
+        snapshot = kernel.obs.snapshot()
+        assert snapshot.counter("timeout.fired") == 0
+        assert snapshot.counter("timeout.restarts") == 0
+        assert snapshot.counter("timeout.aborts") == 0
+
+
+class TestInjectedTimeout:
+    def test_injected_timeout_under_detect_policy(self, two_atoms):
+        """A lock-wait fault arms a timer without the timeout policy."""
+        from repro.runtime.scheduler import Pause
+
+        db, x, __ = two_atoms
+
+        async def holder(tx):
+            await tx.put(x, "H")
+            for __ in range(20):
+                await Pause(5.0)
+            return "H"
+
+        async def waiter(tx):
+            await tx.pause()
+            await tx.put(x, "W")
+            return "W"
+
+        plan = FaultPlan(
+            specs=(FaultSpec(site="lock-wait", action="timeout",
+                             txn="W", delay=7.0),)
+        )
+        kernel = run_transactions(db, {"H": holder, "W": waiter}, faults=plan)
+        events = kernel.trace.of_kind("timeout")
+        assert events and events[0].detail["waited"] == 7.0
+        assert kernel.handles["W"].aborted
+        assert isinstance(kernel.handles["W"].error, LockTimeout)
+        assert kernel.handles["H"].committed

@@ -1,0 +1,235 @@
+"""The crash-torture harness: pinned windows, properties, zero-cost-off.
+
+The sweep itself runs in ``benchmarks/bench_r2_torture.py`` and CI's
+``torture-smoke``; here we pin the windows the issue names — crash
+*during compensation* and crash *between a subtransaction's WAL commit
+record and its lock conversion* — plus a hypothesis property over crash
+steps and the bit-identity guarantee for fault-free runs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import run_transactions
+from repro.faults import FaultPlan
+from repro.faults.torture import (
+    TortureScenario,
+    _run_instance,
+    _SerialOracle,
+    _torture_point,
+    find_bypass_anomaly,
+    order_entry_scenario,
+    run_torture,
+)
+from repro.orderentry.schema import (
+    ITEM_TYPE,
+    ORDER_TYPE,
+    build_order_entry_database,
+)
+from repro.orderentry.transactions import make_t1, make_t2
+from repro.recovery.wal import SubtxnCommitRecord
+from repro.txn.retry import RetryPolicy
+
+TYPE_SPECS = {"Item": ITEM_TYPE, "Order": ORDER_TYPE}
+
+
+def aborting_scenario() -> TortureScenario:
+    """T1 ships both orders then fails: the abort compensates both
+    ShipOrders, so crash points land before, inside, and after the
+    compensation run."""
+
+    def instantiate():
+        built = build_order_entry_database(n_items=2, orders_per_item=2)
+
+        async def doomed(tx):
+            await tx.call(built.item(0), "ShipOrder", 1)
+            await tx.call(built.item(1), "ShipOrder", 2)
+            raise ValueError("business rule violated")
+
+        return built.db, {
+            "D": doomed,
+            "T2": make_t2(built.item(0), 1, built.item(1), 2),
+        }
+
+    return TortureScenario(
+        name="aborting", instantiate=instantiate, type_specs=TYPE_SPECS
+    )
+
+
+class TestCrashDuringCompensation:
+    def test_every_point_of_an_aborting_run_recovers(self):
+        report = run_torture(aborting_scenario())
+        assert report.all_ok, report.summary()
+        # the sweep actually crossed the compensation regime
+        assert any(o.compensated > 0 for o in report.outcomes if o.crashed)
+
+    def test_pinned_crash_between_compensations(self):
+        scenario = aborting_scenario()
+        __, ref_wal, __crash = _run_instance(scenario)
+        comp_positions = [
+            i + 1  # 1-based WAL visit
+            for i, record in enumerate(ref_wal)
+            if isinstance(record, SubtxnCommitRecord) and record.compensates
+        ]
+        assert len(comp_positions) == 2  # both ShipOrders compensated
+        oracle = _SerialOracle(scenario)
+        # Crash right after the FIRST compensation committed: one
+        # ShipOrder logically undone and durable, the other still live.
+        # Recovery must honour the committed compensation (cover its
+        # target) and compensate only the remaining one.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            outcome = _torture_point(
+                scenario,
+                oracle,
+                "wal",
+                comp_positions[0],
+                FaultPlan.crash_at_wal_record(comp_positions[0]),
+                tmp,
+            )
+        assert outcome.crashed and outcome.crash_site == "wal-append"
+        assert outcome.ok, outcome.failures
+        assert outcome.compensated == 1
+        assert "D" in outcome.losers
+
+
+class TestSubcommitWindow:
+    def test_crash_between_subcommit_record_and_lock_conversion(self):
+        # A wal-append crash on a SubtxnCommit record dies after the
+        # record is durable but before _complete_node converts the
+        # subtransaction's locks — the window step-granularity sweeps
+        # cannot reach.  Every such point must recover.
+        scenario = order_entry_scenario(seed=0, n_transactions=4)
+        __, ref_wal, __crash = _run_instance(scenario)
+        subcommits = [
+            i + 1
+            for i, record in enumerate(ref_wal)
+            if isinstance(record, SubtxnCommitRecord) and not record.compensates
+        ]
+        assert subcommits, "workload must commit subtransactions"
+        oracle = _SerialOracle(scenario)
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            for position in subcommits:
+                outcome = _torture_point(
+                    scenario,
+                    oracle,
+                    "wal",
+                    position,
+                    FaultPlan.crash_at_wal_record(position),
+                    tmp,
+                )
+                assert outcome.crashed, position
+                assert outcome.ok, (position, outcome.failures)
+
+    def test_subcommit_crash_leaves_unconverted_locks_held(self, order_entry):
+        # The crashed kernel itself proves the window: the committed
+        # subtransaction's WAL record exists, yet its top-level
+        # transaction is unfinished — exactly the state recovery's
+        # multi-level undo is for.
+        from repro.errors import CrashPoint
+        from repro.faults import FaultSpec
+        from repro.recovery import WriteAheadLog
+        from repro.core.kernel import TransactionManager
+        from repro.runtime.scheduler import Scheduler
+
+        import pytest
+
+        plan = FaultPlan(
+            specs=(FaultSpec(site="wal-append", action="crash",
+                             operation="SubtxnCommit"),)
+        )
+        wal = WriteAheadLog()
+        kernel = TransactionManager(
+            order_entry.db, scheduler=Scheduler(), wal=wal, faults=plan
+        )
+        kernel.spawn("T1", make_t1(order_entry.item(0), 1, order_entry.item(1), 2))
+        with pytest.raises(CrashPoint):
+            kernel.run()
+        committed = [r for r in wal if isinstance(r, SubtxnCommitRecord)]
+        assert len(committed) == 1
+        assert wal.status_of("T1") == "in-flight"
+        # the subtree's locks were never converted/released
+        assert kernel.locks.locks_held_by_tree(kernel.handles["T1"].root)
+
+
+class TestCrashStepProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(step=st.integers(min_value=0, max_value=10_000))
+    def test_any_step_crash_recovers(self, step):
+        scenario = order_entry_scenario(seed=1, n_transactions=3)
+        reference, __, __crash = _run_instance(scenario)
+        at = step % reference.scheduler.steps
+        oracle = _SerialOracle(scenario)
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            outcome = _torture_point(
+                scenario, oracle, "step", at, FaultPlan.crash_at_step(at), tmp
+            )
+        assert outcome.crashed
+        assert outcome.ok, (at, outcome.failures)
+
+
+class TestAnomalyDetection:
+    def test_naive_protocol_caught_semantic_clean(self):
+        seed, report = find_bypass_anomaly()
+        assert seed is not None
+        assert report.anomalies
+        from repro.core.protocol import SemanticLockingProtocol
+        from repro.faults.torture import fig5_bypass_scenario
+
+        clean = run_torture(
+            fig5_bypass_scenario(SemanticLockingProtocol, seed), wal_sweep=False
+        )
+        assert clean.all_ok, clean.summary()
+
+    def test_report_json_roundtrip(self):
+        import json
+
+        report = run_torture(
+            order_entry_scenario(seed=0, n_transactions=3), steps=5, wal_sweep=False
+        )
+        data = json.loads(report.to_json())
+        assert data["all_ok"] is True
+        assert data["crash_points"] == report.crash_points
+        assert "OK" in report.summary()
+
+
+class TestZeroCostWhenOff:
+    def fingerprint(self, kernel):
+        return (
+            [e.to_dict() for e in kernel.trace],
+            {n: (h.committed, h.result) for n, h in kernel.handles.items()},
+            kernel.scheduler.clock,
+            kernel.scheduler.steps,
+        )
+
+    def run_once(self, **kwargs):
+        built = build_order_entry_database(n_items=2, orders_per_item=2)
+        return run_transactions(
+            built.db,
+            {
+                "T1": make_t1(built.item(0), 1, built.item(1), 2),
+                "T2": make_t2(built.item(0), 1, built.item(1), 2),
+            },
+            policy="random",
+            seed=13,
+            **kwargs,
+        )
+
+    def test_empty_plan_and_default_policy_are_bit_identical(self):
+        bare = self.fingerprint(self.run_once())
+        # An empty plan binds an injector but can never fire; the
+        # default retry policy reproduces the historical constant; both
+        # must leave traces, results, clock, and step count untouched.
+        plumbed = self.fingerprint(
+            self.run_once(faults=FaultPlan(), retry_policy=RetryPolicy())
+        )
+        assert plumbed == bare
+        legacy_knob = self.fingerprint(self.run_once(max_subtxn_restarts=25))
+        assert legacy_knob == bare
