@@ -11,7 +11,6 @@ Expected shape (asserted): the parameter-aware matrix yields at least
 the throughput of the blind one, and strictly fewer lock waits.
 """
 
-from repro.bench import run_closed_loop
 from repro.core.protocol import SemanticLockingProtocol
 from repro.orderentry.schema import make_param_blind_item_type
 from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig

@@ -14,8 +14,7 @@ from typing import Optional
 from repro.bench import format_table, run_closed_loop
 from repro.core.kernel import TransactionManager
 from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
-from repro.core.serializability import is_semantically_serializable
-from repro.orderentry.schema import PAID, SHIPPED, build_order_entry_database
+from repro.orderentry.schema import PAID, build_order_entry_database
 from repro.orderentry.transactions import make_t1, make_t2, make_t3
 from repro.orderentry.workload import WorkloadConfig
 from repro.protocols.base import CCProtocol

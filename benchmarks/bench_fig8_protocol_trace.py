@@ -15,7 +15,6 @@ the pseudo-code on the recorded trace:
   earlier conflicting request.
 """
 
-from repro.bench import run_closed_loop
 from repro.core.kernel import run_transactions
 from repro.core.protocol import SemanticLockingProtocol
 from repro.orderentry.schema import build_order_entry_database

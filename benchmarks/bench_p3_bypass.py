@@ -14,7 +14,6 @@ Expected shape (asserted):
   once bypassing appears.
 """
 
-from repro.bench import run_closed_loop
 from repro.core.protocol import SemanticLockingProtocol
 from repro.core.serializability import is_semantically_serializable
 from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig

@@ -2,6 +2,14 @@
 
 from repro.bench.metrics import RunMetrics, aggregate
 from repro.bench.harness import DEFAULT_COST_MODEL, run_closed_loop, sweep_protocols
+from repro.bench.baseline import (
+    BASELINE_WORKLOADS,
+    BaselineComparison,
+    collect_baseline,
+    compare,
+    load_baseline,
+    write_baseline,
+)
 from repro.bench.report import (
     format_conflict_breakdown,
     format_counters,
@@ -17,6 +25,12 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "run_closed_loop",
     "sweep_protocols",
+    "BASELINE_WORKLOADS",
+    "BaselineComparison",
+    "collect_baseline",
+    "compare",
+    "load_baseline",
+    "write_baseline",
     "format_conflict_breakdown",
     "format_counters",
     "format_gauges",

@@ -10,6 +10,7 @@ conflict-case breakdown).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -41,6 +42,10 @@ class RunMetrics:
     clock: float = 0.0
     total_response: float = 0.0
     max_locks_held: int = 0
+    # Virtual response time of every committed transaction, sorted
+    # ascending — percentiles over virtual time are exactly reproducible,
+    # which is what lets the CI regression gate bound p50/p95.
+    response_times: tuple[float, ...] = ()
     snapshot: Optional[Snapshot] = field(default=None, repr=False, compare=False)
 
     @property
@@ -124,6 +129,68 @@ class RunMetrics:
         """Transactions escalated to abort after burning the retry budget."""
         return self._case("retry.exhausted")
 
+    def _percentile(self, q: float) -> float:
+        """Nearest-rank percentile of committed response times."""
+        if not self.response_times:
+            return 0.0
+        rank = math.ceil(q * len(self.response_times)) - 1
+        index = min(len(self.response_times) - 1, max(0, rank))
+        return self.response_times[index]
+
+    @property
+    def p50_response(self) -> float:
+        return self._percentile(0.50)
+
+    @property
+    def p95_response(self) -> float:
+        return self._percentile(0.95)
+
+    # ------------------------------------------------------------------
+    # Conflict-test decision caches (from the snapshot; 0 when absent)
+    # ------------------------------------------------------------------
+    @property
+    def commute_cache_hits(self) -> int:
+        """Commutativity-memo hits (``cache.commute_hits``)."""
+        return self._case("cache.commute_hits")
+
+    @property
+    def commute_cache_misses(self) -> int:
+        return self._case("cache.commute_misses")
+
+    @property
+    def commute_cache_bypasses(self) -> int:
+        """State-dependent cells that bypassed the memo."""
+        return self._case("cache.commute_bypasses")
+
+    @property
+    def commute_cache_hit_rate(self) -> float:
+        """Hits over memoisable probes (bypasses excluded)."""
+        probes = self.commute_cache_hits + self.commute_cache_misses
+        if not probes:
+            return 0.0
+        return self.commute_cache_hits / probes
+
+    @property
+    def relief_cache_hits(self) -> int:
+        """Ancestor-relief cache hits (``cache.relief_hits``)."""
+        return self._case("cache.relief_hits")
+
+    @property
+    def relief_cache_misses(self) -> int:
+        return self._case("cache.relief_misses")
+
+    @property
+    def relief_cache_hit_rate(self) -> float:
+        probes = self.relief_cache_hits + self.relief_cache_misses
+        if not probes:
+            return 0.0
+        return self.relief_cache_hits / probes
+
+    @property
+    def relief_invalidations(self) -> int:
+        """Relief-cache entries dropped (``cache.relief_invalidations``)."""
+        return self._case("cache.relief_invalidations")
+
     @property
     def conflict_tests_per_release(self) -> float:
         """Mean conflict tests paid per release operation.
@@ -150,6 +217,8 @@ class RunMetrics:
             "restarts": self.subtxn_restarts,
             "max_locks": self.max_locks_held,
             "ct_per_rel": round(self.conflict_tests_per_release, 2),
+            "memo_hit": round(self.commute_cache_hit_rate, 3),
+            "relief_hit": round(self.relief_cache_hit_rate, 3),
         }
 
 
@@ -164,12 +233,15 @@ def collect(kernel: "TransactionManager", protocol_name: str, retries: int = 0) 
     metrics.actions = snapshot.counter("kernel.actions")
     metrics.clock = kernel.scheduler.clock
     metrics.max_locks_held = int(snapshot.gauge_hwm("lock.held"))
+    response_times = []
     for handle in kernel.handles.values():
         if handle.committed:
             metrics.committed += 1
             metrics.total_response += handle.response_time
+            response_times.append(handle.response_time)
         elif handle.aborted:
             metrics.aborted += 1
+    metrics.response_times = tuple(sorted(response_times))
     return metrics
 
 
@@ -189,6 +261,9 @@ def aggregate(runs: list[RunMetrics]) -> RunMetrics:
         total.actions += run.actions
         total.clock += run.clock
         total.total_response += run.total_response
+        total.response_times = tuple(
+            sorted(total.response_times + run.response_times)
+        )
         total.max_locks_held = max(total.max_locks_held, run.max_locks_held)
         if run.snapshot is not None:
             total.snapshot = (

@@ -16,6 +16,11 @@ Commands:
   the four-way Fig. 9 conflict-case table, kernel / lock / scheduler /
   waits-for counters, and histograms; ``--jsonl`` exports the snapshot
   as JSON Lines;
+* ``bench`` — the committed-baseline workloads: ``--baseline`` writes a
+  schema-versioned ``BENCH_baseline.json``; ``--compare PATH`` re-runs
+  them and diffs against the committed baseline with per-metric
+  tolerances (the CI ``bench-regression`` gate), exiting non-zero on a
+  regression; ``--json`` saves the fresh results (the CI artifact);
 * ``torture`` — the crash-torture sweep: crash a seeded workload at
   every scheduler step and WAL-record boundary, recover each crash from
   the pickled log, and verify state equivalence, committed-result
@@ -165,6 +170,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(format_counters(snapshot, "lock.", "lock manager"))
     print()
+    print(format_counters(snapshot, "cache.", "conflict-test decision caches"))
+    print()
     print(format_counters(snapshot, "sched.", "scheduler"))
     print()
     print(format_counters(snapshot, "waits.", "waits-for graph"))
@@ -184,6 +191,42 @@ def cmd_stats(args: argparse.Namespace) -> int:
             lines = snapshot.write_jsonl(fp)
         print(f"\nwrote {lines} metric lines to {args.jsonl}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.baseline import (
+        collect_baseline,
+        compare,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.baseline:
+        doc = write_baseline(args.out, collect_baseline(progress=lambda n: print(f"running {n} ...")))
+        print(f"wrote baseline ({len(doc['workloads'])} workloads) to {args.out}")
+        return 0
+    print("running baseline workloads ...")
+    fresh = collect_baseline(progress=lambda n: print(f"running {n} ..."))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            import json as _json
+
+            _json.dump(fresh, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote fresh bench results to {args.json}")
+    if args.compare is None:
+        for name, entry in fresh["workloads"].items():
+            record = entry["metrics"]
+            print(
+                f"{name}: throughput {record['throughput']:.4f}, "
+                f"p95 {record['p95_response']:.1f}, "
+                f"memo hit rate {record['commute_cache_hit_rate']:.3f}, "
+                f"relief hit rate {record['relief_cache_hit_rate']:.3f}"
+            )
+        return 0
+    result = compare(load_baseline(args.compare), fresh)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def cmd_torture(args: argparse.Namespace) -> int:
@@ -245,6 +288,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=11)
     stats.add_argument("--jsonl", metavar="PATH", help="export the snapshot as JSON Lines")
     stats.set_defaults(fn=cmd_stats)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the baseline workloads; --baseline writes BENCH_baseline.json, "
+        "--compare diffs a fresh run against a committed baseline",
+    )
+    bench.add_argument(
+        "--baseline", action="store_true",
+        help="write the schema-versioned baseline document and exit",
+    )
+    bench.add_argument(
+        "--out", metavar="PATH", default="BENCH_baseline.json",
+        help="where --baseline writes the document (default: BENCH_baseline.json)",
+    )
+    bench.add_argument(
+        "--compare", metavar="PATH",
+        help="committed baseline to diff against; exits non-zero on regression",
+    )
+    bench.add_argument(
+        "--json", metavar="PATH",
+        help="also write the fresh results as JSON (the CI artifact)",
+    )
+    bench.set_defaults(fn=cmd_bench)
 
     torture = sub.add_parser(
         "torture", help="crash at every point and verify every recovery"

@@ -1,0 +1,206 @@
+"""Memoisation of the Fig. 9 ancestor-chain search.
+
+The expensive part of the semantic conflict test is step 2: the
+bottom-up search of both ancestor chains for a commutative ancestor
+pair.  For a given ``(holder, requester)`` node pair the *pair found* is
+a pure function of the two chains — every ancestor's target and
+invocation is fixed at node creation, and (state cells aside) the
+commutativity of each candidate pair is state-independent.  The only
+thing that moves is the *classification* of the found pair: a case-2
+wait ("wait until h' commits") becomes a case-1 relief the moment the
+holder-side ancestor commits (the paper's Fig. 8 lock conversion).
+
+:class:`AncestorReliefCache` therefore memoises the complete step-2
+outcome per ``(holder, requester)`` pair and invalidates precisely at
+the events that can change it:
+
+* **commit** of an awaited node — every entry whose verdict waits on it
+  is dropped (its next computation upgrades to case-1 relief);
+* **abort / discard** of a node (subtransaction rollback, transaction
+  abort) — every entry touching the node is dropped, so the cache never
+  pins discarded subtrees in memory nor serves verdicts about them;
+* **lock reassignment** (closed-nested inheritance) — entries touching
+  the old owner are dropped.  The semantic protocols never reassign,
+  but the hook keeps the cache sound for hybrids that do.
+
+Searches that consulted a *state-dependent* matrix cell are never
+cached (``cache.relief_bypasses``); their outcome can change with the
+object state, not just with commits.
+
+Counters: ``cache.relief_hits`` / ``cache.relief_misses`` /
+``cache.relief_bypasses`` / ``cache.relief_invalidations`` (entries
+dropped, not invalidation events); see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs.cases import CASE1_RELIEF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.txn.transaction import TransactionNode
+
+_MISS = object()
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+_NULL = _NullCounter()
+
+
+class AncestorReliefCache:
+    """Per-(holder, requester) memo of the Fig. 9 chain-search verdict."""
+
+    __slots__ = (
+        "_entries",
+        "_by_awaited",
+        "_by_member",
+        "_hits",
+        "_misses",
+        "_bypasses",
+        "_invalidations",
+    )
+
+    def __init__(self) -> None:
+        # (holder, requester) -> (case, awaited); nodes hash by identity.
+        # For case-1 relief the verdict is "no conflict" and awaited is
+        # the *relieving* (already committed) ancestor — kept only for
+        # membership hygiene; for the wait cases it is the node whose
+        # completion the requester must await (a subtransaction for
+        # case 2, a root for the top-level wait).
+        self._entries: dict[tuple, tuple[str, Optional["TransactionNode"]]] = {}
+        # Reverse indices so invalidation is O(affected entries):
+        # awaited node -> keys whose verdict waits on it (commit flips
+        # these), and member node -> every key touching it (abort /
+        # discard / reassign hygiene).
+        self._by_awaited: dict["TransactionNode", set[tuple]] = {}
+        self._by_member: dict["TransactionNode", set[tuple]] = {}
+        self._hits = _NULL
+        self._misses = _NULL
+        self._bypasses = _NULL
+        self._invalidations = _NULL
+
+    def bind_metrics(self, registry) -> None:
+        self._hits = registry.counter("cache.relief_hits")
+        self._misses = registry.counter("cache.relief_misses")
+        self._bypasses = registry.counter("cache.relief_bypasses")
+        self._invalidations = registry.counter("cache.relief_invalidations")
+
+    # ------------------------------------------------------------------
+    # Lookup / store (called from the conflict test)
+    # ------------------------------------------------------------------
+    def lookup(self, holder: "TransactionNode", requester: "TransactionNode"):
+        """The cached ``(case, awaited)`` verdict, or None on miss."""
+        cached = self._entries.get((holder, requester), _MISS)
+        if cached is _MISS:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return cached
+
+    def store(
+        self,
+        holder: "TransactionNode",
+        requester: "TransactionNode",
+        case: str,
+        awaited: Optional["TransactionNode"],
+    ) -> None:
+        key = (holder, requester)
+        self._entries[key] = (case, awaited)
+        members = {holder, requester}
+        if awaited is not None:
+            members.add(awaited)
+        for node in members:
+            self._by_member.setdefault(node, set()).add(key)
+        # Case-1 entries are stable: commits are irreversible, so the
+        # relieving ancestor stays committed and the verdict can only be
+        # recomputed identically.  They are indexed by member (hygiene)
+        # but never by awaited node.
+        if awaited is not None and case != CASE1_RELIEF:
+            self._by_awaited.setdefault(awaited, set()).add(key)
+
+    def note_bypass(self) -> None:
+        """A search consulted a state cell and was not cached."""
+        self._bypasses.inc()
+
+    # ------------------------------------------------------------------
+    # Invalidation (driven by the kernel's lifecycle events)
+    # ------------------------------------------------------------------
+    def on_commit(self, node: "TransactionNode") -> None:
+        """*node* committed: verdicts waiting on it may relax to case 1."""
+        self._drop(self._by_awaited.pop(node, ()))
+
+    def on_node_gone(self, node: "TransactionNode") -> None:
+        """*node* aborted or its subtree was discarded for a restart."""
+        self._drop(self._by_member.pop(node, ()))
+
+    def on_locks_reassigned(self, nodes: Iterable["TransactionNode"]) -> None:
+        """Locks moved away from *nodes* (closed-nested inheritance)."""
+        for node in nodes:
+            self._drop(self._by_member.pop(node, ()))
+
+    def _drop(self, keys) -> None:
+        for key in tuple(keys):
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                continue
+            self._invalidations.inc()
+            case, awaited = entry
+            members = {key[0], key[1]}
+            if awaited is not None:
+                members.add(awaited)
+            for node in members:
+                bucket = self._by_member.get(node)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._by_member[node]
+            if awaited is not None:
+                bucket = self._by_awaited.get(awaited)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._by_awaited[awaited]
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def referenced_nodes(self) -> frozenset:
+        """Every node some live entry touches (leak checks in tests)."""
+        return frozenset(self._by_member)
+
+    def clear(self) -> None:
+        """Drop everything.  Clearing must never change behaviour —
+        pinned by the cache-clearing property test."""
+        self._entries.clear()
+        self._by_awaited.clear()
+        self._by_member.clear()
+
+    def check_invariants(self) -> None:
+        """Indices and entries agree exactly (test support)."""
+        for key, (case, awaited) in self._entries.items():
+            holder, requester = key
+            for node in (holder, requester):
+                assert key in self._by_member.get(node, ()), (key, node)
+            if awaited is not None:
+                assert key in self._by_member.get(awaited, ()), key
+                if case != CASE1_RELIEF:
+                    assert key in self._by_awaited.get(awaited, ()), key
+        for node, keys in self._by_member.items():
+            for key in keys:
+                assert key in self._entries, (node, key)
+        for node, keys in self._by_awaited.items():
+            for key in keys:
+                assert key in self._entries, (node, key)
+                __, awaited = self._entries[key]
+                assert awaited is node, (key, node)

@@ -41,7 +41,7 @@ Injection sites (where the kernel consults the plan):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 SITES = ("step", "pre-acquire", "post-subcommit", "pre-compensate", "wal-append", "lock-wait")

@@ -138,5 +138,24 @@ class CCProtocol(ABC):
         needed here).
         """
 
+    def on_node_event(self, node: TransactionNode, event: str) -> None:
+        """Lifecycle notification: *node* committed, aborted, or had its
+        subtree discarded for a restart (``event`` is ``"commit"``,
+        ``"abort"``, or ``"discard"``).
+
+        The kernel fires this for every node transition so protocols
+        with decision caches (the semantic family's ancestor-relief
+        cache) can invalidate exactly the verdicts the event stales.
+        The default is a no-op.
+        """
+
+    def on_locks_reassigned(self, nodes) -> None:
+        """Locks moved away from *nodes* (closed-nested inheritance).
+
+        Fired by the lock table's ``reassign_locks_to_parent`` via the
+        kernel so decision caches can drop verdicts keyed on the old
+        owners.  The default is a no-op.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -24,6 +24,12 @@ def _freeze(value: Any) -> Any:
     return value
 
 
+# Interning table for invocation keys: the commutativity memo keys its
+# cells on (operation, args) pairs, and interning makes repeated keys
+# share one tuple so dictionary probes compare by identity first.
+_KEY_INTERN: dict[tuple[str, tuple], tuple[str, tuple]] = {}
+
+
 @dataclass(frozen=True)
 class Invocation:
     """An operation name bound to its actual parameters.
@@ -38,7 +44,40 @@ class Invocation:
     args: tuple[Any, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "args", tuple(_freeze(a) for a in self.args))
+        args = tuple(_freeze(a) for a in self.args)
+        object.__setattr__(self, "args", args)
+        # Invocations are hashed on every conflict-test memo probe;
+        # precomputing the hash once makes them cheap dict keys.
+        object.__setattr__(self, "_hash", hash((self.operation, args)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __getstate__(self) -> tuple[str, tuple]:
+        # Hashes are per-process (string hashing is randomised); never
+        # let a cached one survive pickling.
+        return (self.operation, self.args)
+
+    def __setstate__(self, state: tuple[str, tuple]) -> None:
+        operation, args = state
+        object.__setattr__(self, "operation", operation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((operation, args)))
+
+    @property
+    def key(self) -> tuple[str, tuple]:
+        """The interned ``(operation, args)`` identity of this invocation.
+
+        Equal invocations share one key tuple, so memo dictionaries keyed
+        on it hit the identity fast path before falling back to ``==``.
+        """
+        try:
+            return self._key  # type: ignore[attr-defined]
+        except AttributeError:
+            key = (self.operation, self.args)
+            key = _KEY_INTERN.setdefault(key, key)
+            object.__setattr__(self, "_key", key)
+            return key
 
     def arg(self, index: int, default: Any = None) -> Any:
         """The *index*-th actual parameter, or *default* if absent."""

@@ -1,0 +1,146 @@
+"""Commutativity memoisation for the semantic conflict test.
+
+Malta & Martinez observe that commutativity of a ``(method, params)``
+pair is *derivable and stable* for state-independent compatibility
+cells: a boolean cell never changes, and a parameter predicate is a pure
+function of the two invocations.  Only state-dependent cells (escrow
+style, [O'N86]) depend on anything that moves at run time.  The
+:class:`CommutativityMemo` exploits exactly that split:
+
+* boolean cells are memoised per *(held op, requested op)* — the
+  parameters cannot matter;
+* parameter-predicate cells are memoised per *(invocation key a,
+  invocation key b)* using the interned keys of
+  :attr:`~repro.semantics.invocation.Invocation.key`;
+* state-predicate cells **always bypass** the memo and re-evaluate
+  against a live :class:`~repro.semantics.compatibility.StateView` —
+  correctness first.
+
+Verdicts record the matrix version they were computed against
+(:attr:`CompatibilityMatrix.version`) and are discarded wholesale if the
+matrix mutates underneath them.  The memo keeps a strong reference to
+every matrix it has verdicts for, so ``id(matrix)`` stays a valid cache
+key for its lifetime.
+
+Counters (``cache.commute_hits`` / ``cache.commute_misses`` /
+``cache.commute_bypasses``) report into the kernel's shared
+:class:`~repro.obs.MetricsRegistry` once :meth:`bind_metrics` runs; see
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.semantics.compatibility import CompatibilityMatrix, StateView
+from repro.semantics.invocation import Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.objects.database import Database
+    from repro.objects.oid import Oid
+
+ViewFactory = Callable[["Oid"], Optional[StateView]]
+
+_MISS = object()
+
+
+class _NullCounter:
+    """Stand-in until a registry is bound; counting stays optional."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+_NULL = _NullCounter()
+
+
+class CommutativityMemo:
+    """Parameter-aware memo over compatibility-matrix verdicts."""
+
+    __slots__ = ("_matrix_by_oid", "_cells", "_hits", "_misses", "_bypasses")
+
+    def __init__(self) -> None:
+        # Oid -> matrix (or None for unsynchronised objects): resolving
+        # an OID and selecting its matrix never changes for a live OID,
+        # and OIDs are never reused.
+        self._matrix_by_oid: dict["Oid", Optional[CompatibilityMatrix]] = {}
+        # id(matrix) -> (matrix, version, verdicts); the matrix
+        # reference pins the id, the version invalidates on mutation.
+        self._cells: dict[int, tuple[CompatibilityMatrix, int, dict]] = {}
+        self._hits = _NULL
+        self._misses = _NULL
+        self._bypasses = _NULL
+
+    def bind_metrics(self, registry) -> None:
+        self._hits = registry.counter("cache.commute_hits")
+        self._misses = registry.counter("cache.commute_misses")
+        self._bypasses = registry.counter("cache.commute_bypasses")
+
+    # ------------------------------------------------------------------
+    # The memoised question
+    # ------------------------------------------------------------------
+    def commute(
+        self,
+        db: "Database",
+        target: "Oid",
+        invocation_a: Invocation,
+        invocation_b: Invocation,
+        view_factory: Optional[ViewFactory] = None,
+    ) -> tuple[bool, bool]:
+        """Memoised ``matrix.compatible`` for two invocations on *target*.
+
+        Returns ``(commute, state_dependent)`` — the second flag tells
+        the caller the verdict consulted a state cell and must not be
+        cached further up (the ancestor-relief cache needs this).
+        """
+        try:
+            matrix = self._matrix_by_oid[target]
+        except KeyError:
+            matrix = db.matrix_for_oid(target)
+            self._matrix_by_oid[target] = matrix
+        if matrix is None:
+            return False, False
+        cell = matrix.entry(invocation_a.operation, invocation_b.operation)
+        if cell is None:
+            # Undeclared pair: conservative conflict, constant — no need
+            # to spend a memo slot on it.
+            return False, False
+        if cell.state_predicate is not None:
+            self._bypasses.inc()
+            view = view_factory(target) if view_factory is not None else None
+            return cell.compatible(invocation_a, invocation_b, view), True
+        entry = self._cells.get(id(matrix))
+        if entry is None or entry[1] != matrix.version:
+            verdicts: dict = {}
+            self._cells[id(matrix)] = (matrix, matrix.version, verdicts)
+        else:
+            verdicts = entry[2]
+        if cell.predicate is None:
+            # Boolean cell: parameter-blind, key on the operation pair.
+            key = (invocation_a.operation, invocation_b.operation)
+        else:
+            key = (invocation_a.key, invocation_b.key)
+        cached = verdicts.get(key, _MISS)
+        if cached is not _MISS:
+            self._hits.inc()
+            return cached, False
+        self._misses.inc()
+        result = bool(cell.compatible(invocation_a, invocation_b, None))
+        verdicts[key] = result
+        return result, False
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Memoised verdicts across all matrices."""
+        return sum(len(verdicts) for __, __, verdicts in self._cells.values())
+
+    def clear(self) -> None:
+        """Drop everything.  Clearing must never change behaviour —
+        pinned by the cache-clearing property test."""
+        self._matrix_by_oid.clear()
+        self._cells.clear()

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.objects.database import Database
 from repro.orderentry.schema import OrderEntryDatabase, build_order_entry_database
+
+# Hypothesis profiles: CI and local runs use "default"; the scheduled
+# nightly workflow selects "nightly" (HYPOTHESIS_PROFILE=nightly) and
+# additionally raises per-test example budgets via the
+# REPRO_HYPOTHESIS_MULTIPLIER knob read by tests.helpers.examples —
+# explicit @settings(max_examples=...) on a test overrides any profile,
+# so the multiplier is what actually scales the heavy suites.
+hypothesis_settings.register_profile("default", deadline=None)
+hypothesis_settings.register_profile(
+    "nightly", deadline=None, max_examples=200, print_blob=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

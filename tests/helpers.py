@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional
 
 from repro.core.kernel import TransactionManager, TransactionProgram
@@ -11,6 +12,17 @@ from repro.protocols.base import CCProtocol
 from repro.runtime.scheduler import Scheduler
 from repro.txn.locks import Lock, LockTable
 from repro.txn.transaction import TransactionNode
+
+
+def examples(n: int) -> int:
+    """Hypothesis example budget, scaled for scheduled deep runs.
+
+    Explicit ``@settings(max_examples=...)`` on a test overrides any
+    hypothesis profile, so the nightly workflow raises the budget of the
+    heavy property suites through this multiplier instead
+    (``REPRO_HYPOTHESIS_MULTIPLIER=10`` turns 40 examples into 400).
+    """
+    return n * max(1, int(os.environ.get("REPRO_HYPOTHESIS_MULTIPLIER", "1")))
 
 
 class ReferenceLockTable(LockTable):

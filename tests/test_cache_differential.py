@@ -1,0 +1,151 @@
+"""Differential tests: conflict-test decision caches vs. the cold path.
+
+The commutativity memo and the ancestor-relief cache
+(:class:`~repro.semantics.memo.CommutativityMemo`,
+:class:`~repro.core.reliefcache.AncestorReliefCache`) are pure
+performance changes — the PR's contract is that a kernel running with
+``SemanticLockingProtocol(caching=True)`` is bit-identical to one
+running with ``caching=False``: same traces, same grant order, same
+outcomes, same history, same final state.  Random order-entry workloads
+under random interleavings are driven through both configurations and
+every observable compared.
+
+The non-semantic baselines carry no caches, but the PR also threads new
+lifecycle hooks (``on_node_event`` / ``on_locks_reassigned``) through
+the kernel for every protocol — a deterministic double-run per baseline
+protocol pins that those hook sites stay inert side-effect-free no-ops
+there.
+
+A fixed 25-seed sweep (no hypothesis shrinking, exact seeds) backs the
+ISSUE acceptance line "bit-identical across all protocols and >=20
+seeds" with a deterministic witness.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.kernel import TransactionManager
+from repro.core.protocol import SemanticLockingProtocol, SemanticNoReliefProtocol
+from repro.orderentry.schema import build_order_entry_database
+from repro.protocols.closed_nested import ClosedNestedProtocol
+from repro.protocols.open_nested_naive import OpenNestedNaiveProtocol
+from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+from repro.protocols.two_phase_page import PageLockingProtocol
+from repro.runtime.scheduler import Scheduler
+
+from tests.helpers import examples
+from tests.test_lock_differential import observables
+from tests.test_properties import (
+    N_ITEMS,
+    ORDERS_PER_ITEM,
+    make_program,
+    seeds,
+    workload,
+)
+
+SEMANTIC_FACTORIES = {
+    "semantic": SemanticLockingProtocol,
+    "semantic-no-relief": SemanticNoReliefProtocol,
+}
+
+BASELINE_FACTORIES = {
+    "closed": ClosedNestedProtocol,
+    "open-naive": OpenNestedNaiveProtocol,
+    "2pl-object": ObjectRW2PLProtocol,
+    "2pl-page": PageLockingProtocol,
+}
+
+#: A workload exercising every conflict case: overlapping T1/T2 pairs on
+#: shared items plus one disjoint transaction.
+FIXED_SPECS = [
+    ("T1", 0, 0, 1, 1),
+    ("T2", 0, 0, 1, 0),
+    ("T1", 1, 1, 0, 1),
+    ("T2", 1, 0, 0, 0),
+]
+
+SWEEP_SEEDS = range(25)
+
+
+def _run(specs, seed, protocol):
+    built = build_order_entry_database(
+        n_items=N_ITEMS, orders_per_item=ORDERS_PER_ITEM
+    )
+    kernel = TransactionManager(
+        built.db,
+        protocol=protocol,
+        scheduler=Scheduler(policy="random", seed=seed),
+    )
+    for i, spec in enumerate(specs):
+        kernel.spawn(f"X{i}-{spec[0]}", make_program(spec, built))
+    kernel.run()
+    return built, kernel
+
+
+def assert_cached_matches_uncached(specs, seed, factory):
+    built_c, kernel_c = _run(specs, seed, factory(caching=True))
+    built_u, kernel_u = _run(specs, seed, factory(caching=False))
+    obs_c = observables(built_c, kernel_c)
+    obs_u = observables(built_u, kernel_u)
+    for key in obs_c:
+        assert obs_c[key] == obs_u[key], f"{key} diverged (seed {seed})"
+    return kernel_c
+
+
+def assert_deterministic(specs, seed, factory):
+    built_a, kernel_a = _run(specs, seed, factory())
+    built_b, kernel_b = _run(specs, seed, factory())
+    obs_a = observables(built_a, kernel_a)
+    obs_b = observables(built_b, kernel_b)
+    for key in obs_a:
+        assert obs_a[key] == obs_b[key], f"{key} diverged (seed {seed})"
+
+
+class TestCachedMatchesUncached:
+    """caching=True vs caching=False: every observable identical."""
+
+    @settings(max_examples=examples(40), deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_semantic(self, specs, seed):
+        assert_cached_matches_uncached(specs, seed, SemanticLockingProtocol)
+
+    @settings(max_examples=examples(20), deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_semantic_no_relief(self, specs, seed):
+        assert_cached_matches_uncached(specs, seed, SemanticNoReliefProtocol)
+
+    @pytest.mark.parametrize("name", sorted(SEMANTIC_FACTORIES))
+    def test_fixed_seed_sweep(self, name):
+        """The deterministic >=20-seed acceptance witness."""
+        factory = SEMANTIC_FACTORIES[name]
+        for seed in SWEEP_SEEDS:
+            assert_cached_matches_uncached(FIXED_SPECS, seed, factory)
+
+    def test_caches_actually_engaged(self):
+        """The sweep is not vacuous: the cached runs hit both caches."""
+        hits = 0
+        relief_probes = 0
+        for seed in SWEEP_SEEDS:
+            kernel = assert_cached_matches_uncached(
+                FIXED_SPECS, seed, SemanticLockingProtocol
+            )
+            snapshot = kernel.obs.snapshot()
+            hits += snapshot.counter("cache.commute_hits")
+            relief_probes += snapshot.counter(
+                "cache.relief_hits"
+            ) + snapshot.counter("cache.relief_misses")
+        assert hits > 0
+        assert relief_probes > 0
+
+
+class TestBaselinesUnperturbed:
+    """The new kernel lifecycle hooks are no-ops for cacheless protocols:
+    a deterministic double-run of each baseline stays bit-identical."""
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_FACTORIES))
+    def test_fixed_seed_sweep(self, name):
+        factory = BASELINE_FACTORIES[name]
+        for seed in SWEEP_SEEDS:
+            assert_deterministic(FIXED_SPECS, seed, factory)

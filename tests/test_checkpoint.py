@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.kernel import TransactionManager, run_transactions
 from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE, build_order_entry_database
-from repro.orderentry.transactions import make_new_order_txn, make_t1, make_t2
+from repro.orderentry.transactions import make_t1, make_t2
 from repro.recovery import WriteAheadLog
 from repro.recovery.checkpoint import (
     CheckpointError,

@@ -1,0 +1,376 @@
+"""Unit and edge tests for the conflict-test decision caches.
+
+Covers the cache keys (boolean cells are parameter-blind, predicate
+cells key on interned invocation keys, state cells always bypass), the
+relief cache's invalidation points (commit of the awaited node,
+abort/discard of a member, lock reassignment), the leak-hygiene
+invariants, and the behavioural contract that clearing a cache mid-run
+never changes what a kernel does.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.conflict import test_conflict as fig9_conflict
+from repro.core.kernel import TransactionManager, run_transactions
+from repro.core.protocol import SemanticLockingProtocol
+from repro.core.reliefcache import AncestorReliefCache
+from repro.obs.cases import CASE1_RELIEF, CASE2_WAIT, CASE_TOPLEVEL_WAIT
+from repro.obs.registry import MetricsRegistry
+from repro.orderentry.schema import build_order_entry_database
+from repro.runtime.scheduler import Scheduler
+from repro.semantics.invocation import Invocation
+from repro.semantics.memo import CommutativityMemo
+from repro.txn.locks import LockTable
+from repro.txn.transaction import NodeStatus
+
+from tests.test_conflict import child, txn_root, world  # noqa: F401 (fixture)
+from tests.helpers import examples
+from tests.test_lock_differential import observables
+from tests.test_properties import (
+    N_ITEMS,
+    ORDERS_PER_ITEM,
+    make_program,
+    seeds,
+    workload,
+)
+from tests.test_state_dependent import build_account, withdrawers
+
+
+def bound(cache):
+    registry = MetricsRegistry()
+    cache.bind_metrics(registry)
+    return registry
+
+
+class TestCommutativityMemo:
+    def test_boolean_cell_is_parameter_blind(self, world):
+        db, box, __ = world
+        memo = CommutativityMemo()
+        registry = bound(memo)
+        # Add/Add is a boolean cell: different args share one memo slot.
+        for k in range(5):
+            commute, state = memo.commute(
+                db, box.oid, Invocation("Add", (k,)), Invocation("Add", (k + 100,))
+            )
+            assert commute and not state
+        snap = registry.snapshot()
+        assert snap.counter("cache.commute_misses") == 1
+        assert snap.counter("cache.commute_hits") == 4
+        assert memo.size == 1
+
+    def test_predicate_cell_keys_on_invocation_args(self, world):
+        db, box, __ = world
+        memo = CommutativityMemo()
+        registry = bound(memo)
+        # Add/Read is parameter-dependent: each distinct arg pair is its
+        # own verdict; repeats hit.
+        assert memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Read", (2,)))[0]
+        assert not memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Read", (1,)))[0]
+        assert memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Read", (2,)))[0]
+        snap = registry.snapshot()
+        assert snap.counter("cache.commute_misses") == 2
+        assert snap.counter("cache.commute_hits") == 1
+
+    def test_undeclared_pair_is_constant_conflict_uncached(self, world):
+        db, box, __ = world
+        memo = CommutativityMemo()
+        registry = bound(memo)
+        assert memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Nope", ())) == (
+            False,
+            False,
+        )
+        snap = registry.snapshot()
+        assert snap.counter("cache.commute_misses") == 0
+        assert memo.size == 0
+
+    def test_matrix_mutation_invalidates_verdicts(self, world):
+        db, box, __ = world
+        memo = CommutativityMemo()
+        assert memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Add", (2,)))[0]
+        box.spec.matrix.conflict("Add", "Add")
+        assert not memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Add", (2,)))[0]
+
+    def test_state_cell_always_bypasses(self):
+        db, account = build_account(100)
+        memo = CommutativityMemo()
+        registry = bound(memo)
+        held = Invocation("Withdraw", (60,))
+        requested = Invocation("Withdraw", (30,))
+
+        def view_factory(target):
+            from repro.semantics.compatibility import StateView
+
+            return StateView(obj=account, held_invocations=(held,))
+
+        commute, state = memo.commute(db, account.oid, held, requested, view_factory)
+        assert commute and state
+        # Drain the balance: the verdict must follow the live state, not
+        # a cached copy of it.
+        account.impl_component("balance").raw_put(50)
+        commute, state = memo.commute(db, account.oid, held, requested, view_factory)
+        assert not commute and state
+        snap = registry.snapshot()
+        assert snap.counter("cache.commute_bypasses") == 2
+        assert snap.counter("cache.commute_hits") == 0
+        assert memo.size == 0
+
+    def test_clear_resets_but_preserves_verdicts(self, world):
+        db, box, __ = world
+        memo = CommutativityMemo()
+        before = memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Add", (2,)))
+        memo.clear()
+        assert memo.size == 0
+        assert memo.commute(db, box.oid, Invocation("Add", (1,)), Invocation("Add", (2,))) == before
+
+
+def conflict_with_cache(db, holder_leaf, requester_leaf, relief_cache, on_outcome=None):
+    return fig9_conflict(
+        db,
+        holder_leaf, holder_leaf.invocation, holder_leaf.target,
+        requester_leaf, requester_leaf.invocation, requester_leaf.target,
+        relief_cache=relief_cache,
+        on_outcome=on_outcome,
+    )
+
+
+class TestAncestorReliefCache:
+    def make_case2_world(self, world):
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 2)  # commutes with Add(1)
+        get = child(read, atom, "Get")
+        return db, add, put, get
+
+    def test_case2_hit_then_commit_upgrades_to_case1(self, world):
+        db, add, put, get = self.make_case2_world(world)
+        cache = AncestorReliefCache()
+        registry = bound(cache)
+        outcomes = []
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is add
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is add
+        # The commit of the awaited subtransaction drops the entry; the
+        # recomputed verdict is case-1 relief (no conflict at all).
+        add.status = NodeStatus.COMMITTED
+        cache.on_commit(add)
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is None
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is None
+        assert outcomes == [CASE2_WAIT, CASE2_WAIT, CASE1_RELIEF, CASE1_RELIEF]
+        snap = registry.snapshot()
+        assert snap.counter("cache.relief_hits") == 2
+        assert snap.counter("cache.relief_misses") == 2
+        assert snap.counter("cache.relief_invalidations") == 1
+        cache.check_invariants()
+
+    def test_case1_entry_survives_unrelated_commits(self, world):
+        db, add, put, get = self.make_case2_world(world)
+        add.status = NodeStatus.COMMITTED
+        cache = AncestorReliefCache()
+        registry = bound(cache)
+        assert conflict_with_cache(db, put, get, cache) is None
+        # Commit of the relieving ancestor does not disturb a case-1
+        # entry: commits are irreversible, the verdict cannot change.
+        cache.on_commit(add)
+        assert cache.size == 1
+        assert conflict_with_cache(db, put, get, cache) is None
+        snap = registry.snapshot()
+        assert snap.counter("cache.relief_hits") == 1
+        assert snap.counter("cache.relief_invalidations") == 0
+        cache.check_invariants()
+
+    def test_abort_drops_member_entries(self, world):
+        db, add, put, get = self.make_case2_world(world)
+        cache = AncestorReliefCache()
+        assert conflict_with_cache(db, put, get, cache) is add
+        assert cache.size == 1
+        cache.on_node_gone(put)  # the holder leaf's subtree is discarded
+        assert cache.size == 0
+        assert cache.referenced_nodes() == frozenset()
+        cache.check_invariants()
+
+    def test_toplevel_fallthrough_is_cached_on_holder_root(self, world):
+        db, box, atom = world
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        add = child(t1, box, "Add", 1)
+        put = child(add, atom, "Put", "v")
+        read = child(t2, box, "Read", 1)  # conflicts with Add(1)
+        get = child(read, atom, "Get")
+        cache = AncestorReliefCache()
+        outcomes = []
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is t1
+        assert conflict_with_cache(db, put, get, cache, outcomes.append) is t1
+        assert outcomes == [CASE_TOPLEVEL_WAIT, CASE_TOPLEVEL_WAIT]
+        # top-level completion sweeps the entry out
+        cache.on_node_gone(t1)
+        assert cache.size == 0
+        cache.check_invariants()
+
+    def test_state_dependent_search_is_never_cached(self):
+        db, account = build_account(100)
+        t1, t2 = txn_root(db, "T1"), txn_root(db, "T2")
+        w1 = child(t1, account, "Withdraw", 60)
+        put = child(w1, account.impl_component("balance"), "Put", 40)
+        w2 = child(t2, account, "Withdraw", 30)
+        get = child(w2, account.impl_component("balance"), "Get")
+        cache = AncestorReliefCache()
+        registry = bound(cache)
+
+        def view_factory(target):
+            from repro.semantics.compatibility import StateView
+
+            if target == account.oid:
+                return StateView(obj=account, held_invocations=(w1.invocation,))
+            return None
+
+        def conflict():
+            return fig9_conflict(
+                db,
+                put, put.invocation, put.target,
+                get, get.invocation, get.target,
+                view_factory=view_factory,
+                relief_cache=cache,
+            )
+
+        # Funds cover both withdrawals: the chain search finds the
+        # escrow pair commutative — but via a state cell, so nothing is
+        # stored and the verdict tracks the balance.
+        assert conflict() is w1
+        assert cache.size == 0
+        account.impl_component("balance").raw_put(50)
+        assert conflict() is t1  # no longer covered: worst case
+        snap = registry.snapshot()
+        assert snap.counter("cache.relief_bypasses") == 2
+        assert snap.counter("cache.relief_hits") == 0
+
+
+class TestKernelInvalidationEdges:
+    def test_protocol_routes_lifecycle_events(self, world):
+        db, add, put, get = TestAncestorReliefCache().make_case2_world(world)
+        protocol = SemanticLockingProtocol()
+        protocol.bind(db)
+        cache = protocol.relief_cache
+        assert conflict_with_cache(db, put, get, cache) is add
+        assert cache.size == 1
+        protocol.on_node_event(put, "discard")
+        assert cache.size == 0
+        assert conflict_with_cache(db, put, get, cache) is add
+        protocol.on_node_event(add, "commit")
+        assert cache.size == 0
+        cache.check_invariants()
+
+    def test_reassign_hook_fires_with_old_owners(self, world):
+        db, box, atom = world
+        t1 = txn_root(db, "T1")
+        sub = child(t1, box, "Add", 1)
+        table = LockTable()
+        seen = []
+        table.on_locks_reassigned = lambda nodes: seen.append(set(nodes))
+        table.grant(sub, box.oid, sub.invocation)
+        moved = table.reassign_locks_to_parent(sub)
+        assert [lock.node for lock in moved] == [t1]
+        # the hook saw the *old* owner, before lock.node mutated
+        assert seen == [{sub}]
+
+    def test_reassignment_drops_relief_entries(self, world):
+        db, add, put, get = TestAncestorReliefCache().make_case2_world(world)
+        protocol = SemanticLockingProtocol()
+        protocol.bind(db)
+        cache = protocol.relief_cache
+        assert conflict_with_cache(db, put, get, cache) is add
+        assert cache.size == 1
+        table = LockTable()
+        table.on_locks_reassigned = protocol.on_locks_reassigned
+        table.grant(put, put.target, put.invocation)
+        table.reassign_locks_to_parent(put)
+        assert cache.size == 0
+        cache.check_invariants()
+
+    def test_relief_cache_empty_after_kernel_run(self):
+        """Every entry's members complete by end of run: no leaks."""
+        built = build_order_entry_database(n_items=2, orders_per_item=2)
+        protocol = SemanticLockingProtocol()
+        kernel = TransactionManager(
+            built.db, protocol=protocol, scheduler=Scheduler(policy="random", seed=7)
+        )
+        specs = [("T1", 0, 0, 1, 1), ("T2", 0, 0, 1, 0), ("T1", 1, 1, 0, 1)]
+        for i, spec in enumerate(specs):
+            kernel.spawn(f"X{i}-{spec[0]}", make_program(spec, built))
+        kernel.run()
+        cache = protocol.relief_cache
+        cache.check_invariants()
+        # Wait-case entries must be gone (their awaited nodes completed);
+        # only stable case-1 entries may remain.
+        assert not cache._by_awaited
+
+    def test_escrow_withdraw_bypasses_memo_in_kernel(self):
+        db, account = build_account(100)
+        kernel = run_transactions(
+            db, withdrawers(account, [30, 30, 30]), protocol=SemanticLockingProtocol()
+        )
+        assert account.impl_component("balance").raw_get() == 10
+        assert all(h.result == "ok" for h in kernel.handles.values())
+        snap = kernel.obs.snapshot()
+        assert snap.counter("cache.commute_bypasses") > 0
+
+
+def _run_kernel(specs, seed, protocol, probe=None):
+    built = build_order_entry_database(n_items=N_ITEMS, orders_per_item=ORDERS_PER_ITEM)
+    kernel = TransactionManager(
+        built.db, protocol=protocol, scheduler=Scheduler(policy="random", seed=seed)
+    )
+    if probe is not None:
+        kernel.probe = probe
+    for i, spec in enumerate(specs):
+        kernel.spawn(f"X{i}-{spec[0]}", make_program(spec, built))
+    kernel.run()
+    return built, kernel
+
+
+class TestCacheClearingProperty:
+    @settings(max_examples=examples(25), deadline=None)
+    @given(specs=workload, seed=seeds)
+    def test_mid_run_clear_never_changes_behaviour(self, specs, seed):
+        """Dropping both caches at every action boundary is invisible:
+        each cached answer must also be recomputable from scratch."""
+        protocol = SemanticLockingProtocol()
+
+        def clear_probe(node, phase):
+            protocol.memo.clear()
+            protocol.relief_cache.clear()
+
+        built_c, kernel_c = _run_kernel(specs, seed, protocol, probe=clear_probe)
+        built_u, kernel_u = _run_kernel(
+            specs, seed, SemanticLockingProtocol(caching=False)
+        )
+        obs_c = observables(built_c, kernel_c)
+        obs_u = observables(built_u, kernel_u)
+        for key in obs_c:
+            assert obs_c[key] == obs_u[key], f"{key} diverged"
+
+
+class TestEscrowCachedVsUncached:
+    def test_escrow_outcomes_identical(self):
+        """State-dependent workloads: the bypass keeps cached and
+        uncached escrow runs identical, balance included."""
+        for seed in range(8):
+            results = []
+            for caching in (True, False):
+                db, account = build_account(70)
+                kernel = run_transactions(
+                    db,
+                    withdrawers(account, [30, 40, 50]),
+                    protocol=SemanticLockingProtocol(caching=caching),
+                    policy="random",
+                    seed=seed,
+                )
+                results.append(
+                    (
+                        account.impl_component("balance").raw_get(),
+                        sorted(str(h.result) for h in kernel.handles.values()),
+                        [e.to_dict() for e in kernel.trace],
+                    )
+                )
+            assert results[0] == results[1], seed

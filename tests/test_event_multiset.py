@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.kernel import run_transactions
 from repro.core.serializability import is_semantically_serializable
 from repro.orderentry.schema import (
     PAID,

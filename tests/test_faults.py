@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.kernel import TransactionManager, run_transactions
-from repro.errors import CrashPoint, TransactionAborted
+from repro.errors import CrashPoint
 from repro.faults import FaultInjector, FaultPlan, FaultPlanError, FaultSpec
 from repro.orderentry.transactions import make_t1, make_t2
 from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig

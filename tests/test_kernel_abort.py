@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CompensationError, TransactionAborted
+from repro.errors import TransactionAborted
 from repro.objects.database import Database
 from repro.objects.encapsulated import TypeSpec
 from repro.orderentry.schema import PAID, SHIPPED, build_order_entry_database

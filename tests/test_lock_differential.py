@@ -26,7 +26,7 @@ from repro.protocols.two_phase_page import PageLockingProtocol
 from repro.orderentry.schema import build_order_entry_database
 from repro.txn.locks import LockTable
 
-from tests.helpers import ReferenceLockTable
+from tests.helpers import ReferenceLockTable, examples
 from tests.test_properties import (
     N_ITEMS,
     ORDERS_PER_ITEM,
@@ -102,32 +102,32 @@ def assert_equivalent(specs, seed, protocol_factory):
 
 
 class TestIndexedTableMatchesReference:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=examples(40), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_semantic(self, specs, seed):
         assert_equivalent(specs, seed, SemanticLockingProtocol)
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=examples(20), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_semantic_no_relief(self, specs, seed):
         assert_equivalent(specs, seed, SemanticNoReliefProtocol)
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=examples(20), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_closed_nested(self, specs, seed):
         assert_equivalent(specs, seed, ClosedNestedProtocol)
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=examples(15), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_object_2pl(self, specs, seed):
         assert_equivalent(specs, seed, ObjectRW2PLProtocol)
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=examples(15), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_page_2pl(self, specs, seed):
         assert_equivalent(specs, seed, PageLockingProtocol)
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=examples(15), deadline=None)
     @given(
         specs=st.lists(
             st.one_of(
@@ -160,7 +160,7 @@ class TestIndexedTableMatchesReference:
 class TestIndexInvariantsUnderLoad:
     """check_invariants holds at every action boundary of a random run."""
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=examples(25), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_semantic_invariants(self, specs, seed):
         __, kernel = _run(
@@ -169,7 +169,7 @@ class TestIndexInvariantsUnderLoad:
         assert kernel.locks.lock_count == 0
         assert kernel.locks.pending_count == 0
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=examples(15), deadline=None)
     @given(specs=workload, seed=seeds)
     def test_reference_oracle_inherits_consistent_indices(self, specs, seed):
         """The oracle shares the index bookkeeping; its invariants must

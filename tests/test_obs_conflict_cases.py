@@ -28,7 +28,7 @@ from repro.obs import (
     CONFLICT_CASES,
 )
 from repro.orderentry.schema import SHIPPED, build_order_entry_database
-from repro.orderentry.transactions import make_t1, make_t2, make_t3
+from repro.orderentry.transactions import make_t1, make_t2
 from repro.orderentry.workload import WorkloadConfig
 from repro.protocols.two_phase_object import ObjectRW2PLProtocol
 from repro.protocols.two_phase_page import PageLockingProtocol

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.objects.schema import describe_database
 from repro.orderentry.schema import (

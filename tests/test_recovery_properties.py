@@ -18,6 +18,7 @@ from repro.recovery import WriteAheadLog, recover
 from repro.recovery.wal import TxnStatusRecord
 from repro.runtime.scheduler import Scheduler
 
+from tests.helpers import examples
 from tests.test_properties import canonical_state
 
 TYPE_SPECS = {"Item": ITEM_TYPE, "Order": ORDER_TYPE}
@@ -51,7 +52,7 @@ def make_program(spec, built):
 
 
 class TestRecoveryProperties:
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=examples(50), deadline=None)
     @given(
         specs=st.lists(txn_spec, min_size=1, max_size=3),
         crash_at=st.integers(0, 120),
@@ -88,7 +89,7 @@ class TestRecoveryProperties:
             )
         assert canonical_state(restored.db) == canonical_state(oracle.db), str(report)
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=examples(25), deadline=None)
     @given(
         specs=st.lists(txn_spec, min_size=1, max_size=2),
         crash_at=st.integers(0, 80),

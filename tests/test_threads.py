@@ -7,7 +7,6 @@ rather than specific interleavings.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.kernel import TransactionManager
 from repro.core.serializability import is_semantically_serializable
