@@ -1,63 +1,73 @@
-"""Quickstart: semantic concurrency control in five minutes.
+"""Quickstart: one conflict, two runtimes, five minutes.
 
-Builds the paper's order-entry database, runs a shipping transaction and
-a payment transaction concurrently on the *same orders*, and shows that
-the semantic locking protocol lets them interleave without blocking —
-the conventional read/write view would serialize them entirely —
-while the execution remains semantically serializable.
+A tiny encapsulated counter whose ``Add`` methods commute.  Two
+transactions add to the *same* counter concurrently: their inner
+``Get``/``Put`` leaves formally conflict, but the semantic protocol
+relieves the conflict through the commuting ``Add`` ancestors — case 1
+(Fig. 6) if the holder's Add already committed, case 2 (Fig. 7) if it
+is still running.  The same programs run under the deterministic
+virtual-time scheduler and the real-thread engine.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    SemanticLockingProtocol,
-    build_order_entry_database,
-    is_semantically_serializable,
-    make_t1,
-    make_t2,
-    run_transactions,
-)
+from repro import Database, TypeSpec, is_semantically_serializable, run_transactions
+from repro.runtime.threaded import run_threaded_transactions
+
+COUNTER = TypeSpec("Counter")
+
+
+@COUNTER.method(inverse=lambda result, args: ("Add", (-args[0],)))
+async def Add(ctx, counter, amount):
+    value = counter.impl_component("value")
+    await ctx.put(value, await ctx.get(value) + amount)
+    return None
+
+
+COUNTER.matrix.allow("Add", "Add")  # increments commute
+
+
+def build() -> tuple[Database, object]:
+    db = Database()
+    counter = db.new_encapsulated(COUNTER, "hits")
+    db.attach_child(counter)
+    impl = db.new_tuple("hits-impl")
+    impl.add_component("value", db.new_atom("value", 0))
+    counter.set_implementation(impl)
+    return db, counter
+
+
+def programs(counter) -> dict:
+    def adder(amount):
+        async def program(tx):
+            for __ in range(2):
+                await tx.call(counter, "Add", amount)
+
+        return program
+
+    return {"T1": adder(1), "T2": adder(10)}
+
+
+def report(label: str, kernel, db, counter) -> None:
+    snap = kernel.obs.snapshot()
+    committed = sum(1 for h in kernel.handles.values() if h.committed)
+    verdict = is_semantically_serializable(kernel.history(), db=db)
+    print(f"[{label}] committed {committed}/2 transactions, "
+          f"final value = {counter.impl_component('value').raw_get()}")
+    print(f"[{label}] conflict cases: "
+          f"commutative={snap.counter('conflict.commutative')}, "
+          f"case1_relief={snap.counter('conflict.case1_relief')} (Fig. 6), "
+          f"case2_wait={snap.counter('conflict.case2_wait')} (Fig. 7)")
+    print(f"[{label}] semantically serializable: {verdict.serializable}\n")
 
 
 def main() -> None:
-    # A database of 2 items, each pre-populated with 2 orders (Fig. 1).
-    built = build_order_entry_database(n_items=2, orders_per_item=2)
+    db, counter = build()  # virtual-time scheduler: the deterministic oracle
+    report("virtual ", run_transactions(db, programs(counter)), db, counter)
 
-    # T1 ships order 1 of item 1 and order 2 of item 2;
-    # T2 records payment for the very same orders (Section 2.3).
-    kernel = run_transactions(
-        built.db,
-        {
-            "T1": make_t1(built.item(0), 1, built.item(1), 2),
-            "T2": make_t2(built.item(0), 1, built.item(1), 2),
-        },
-        protocol=SemanticLockingProtocol(),
-    )
-
-    print("=== Outcomes ===")
-    for name, handle in kernel.handles.items():
-        status = "committed" if handle.committed else "aborted"
-        print(f"{name}: {status}, result={handle.result}")
-
-    print("\n=== Final state ===")
-    print("item 1 QOH:", built.item(0).impl_component("QOH").raw_get())
-    print("order (1,1) status:", sorted(built.status_atom(0, 0).raw_get()))
-    print("order (2,2) status:", sorted(built.status_atom(1, 1).raw_get()))
-
-    print("\n=== Concurrency ===")
-    print("lock waits:", kernel.metrics.blocks, "(ShipOrder and PayOrder commute!)")
-
-    print("\n=== The transaction trees, as executed ===")
-    print(kernel.history().format())
-
-    print("\n=== The same execution as a Fig. 4-style timeline ===")
-    from repro.txn.timeline import render_timeline
-
-    print(render_timeline(kernel.history(), lane_width=34))
-
-    result = is_semantically_serializable(kernel.history(), db=built.db)
-    print("\nsemantically serializable:", result.serializable)
-    print("equivalent serial order:", " -> ".join(result.serial_order or []))
+    db, counter = build()  # the same programs on real worker threads
+    kernel = run_threaded_transactions(db, programs(counter), n_threads=2)
+    report("threaded", kernel, db, counter)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,14 @@
 
 from repro.bench.metrics import RunMetrics, aggregate
 from repro.bench.harness import DEFAULT_COST_MODEL, run_closed_loop, sweep_protocols
+from repro.bench.parallelism import (
+    ParallelismPoint,
+    parallelism_rows,
+    run_parallelism_grid,
+    run_parallelism_point,
+    semantic_speedup,
+    write_parallelism_jsonl,
+)
 from repro.bench.baseline import (
     BASELINE_WORKLOADS,
     BaselineComparison,
@@ -25,6 +33,12 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "run_closed_loop",
     "sweep_protocols",
+    "ParallelismPoint",
+    "parallelism_rows",
+    "run_parallelism_grid",
+    "run_parallelism_point",
+    "semantic_speedup",
+    "write_parallelism_jsonl",
     "BASELINE_WORKLOADS",
     "BaselineComparison",
     "collect_baseline",

@@ -1,0 +1,242 @@
+"""T1 wall-clock parallelism study: semantic locking vs R/W 2PL on threads.
+
+The virtual-time benchmarks isolate *blocking behaviour*; this study
+asks the complementary question — does semantic commutativity buy real
+wall-clock throughput when transactions run on OS threads?  The
+workload is the classic commuting-update shape: every transaction bumps
+a tally counter a few times with think-time between bumps.
+
+* Under the **semantic** protocol, ``Bump``/``Bump`` commute, so the
+  retained counter locks are compatible: only the short atom-level
+  subtransaction bodies serialise, and the think-time (and method
+  dispatch) of concurrent transactions overlaps on the worker pool.
+* Under **object R/W 2PL**, the first bump write-locks the counter
+  until commit: on a hot counter every transaction serialises for its
+  whole lifetime, think-time included.
+
+Each grid point replays the same fixed batch of transactions through
+:class:`~repro.runtime.threaded.ThreadedKernel` with ``time_scale`` > 0
+(operation costs become real ``time.sleep`` outside the kernel mutex —
+the parallelism the pool can actually exploit) and reports committed
+transactions per wall-clock second plus the threaded runtime's
+``thread.*``/``stripe.*``/``lock.*`` counters.
+
+Used by ``benchmarks/bench_t1_parallelism.py`` and
+``python -m repro bench --parallelism``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+from repro.bench.harness import DEFAULT_COST_MODEL
+from repro.core.kernel import CostModel
+from repro.core.protocol import SemanticLockingProtocol
+from repro.objects.database import Database
+from repro.objects.encapsulated import TypeSpec
+from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+from repro.runtime.scheduler import Pause
+from repro.runtime.threaded import ThreadedKernel
+
+TALLY = TypeSpec("BenchTally")
+
+
+# Compensation by negative bump (not state restore): increments by
+# concurrent transactions must survive an abort of this one.
+@TALLY.method(inverse=lambda result, args: ("Bump", (-args[0],)))
+async def Bump(ctx, tally, amount):
+    value = tally.impl_component("value")
+    await ctx.put(value, await ctx.get(value) + amount)
+    return None
+
+
+TALLY.matrix.allow("Bump", "Bump")
+
+#: The two protocols the study contrasts (label -> factory).
+PARALLELISM_PROTOCOLS = {
+    "semantic": SemanticLockingProtocol,
+    "object-rw-2pl": ObjectRW2PLProtocol,
+}
+
+
+def build_tally_database(n_counters: int):
+    """A database of ``n_counters`` independent tally objects."""
+    db = Database()
+    counters = []
+    for i in range(n_counters):
+        counter = db.new_encapsulated(TALLY, f"tally-{i}")
+        db.attach_child(counter)
+        impl = db.new_tuple(f"tally-{i}-impl")
+        impl.add_component("value", db.new_atom("value", 0))
+        counter.set_implementation(impl)
+        counters.append(counter)
+    return db, counters
+
+
+@dataclass(frozen=True)
+class ParallelismPoint:
+    """One (protocol, threads, contention) cell of the grid."""
+
+    protocol: str
+    n_threads: int
+    n_counters: int
+    n_transactions: int
+    bumps_per_txn: int
+    committed: int
+    aborted: int
+    elapsed_s: float
+    throughput: float  # committed transactions per wall-clock second
+    final_total: int
+    expected_total: int
+    thread_steps: int
+    stripe_ops: int
+    lock_grants: int
+    lock_blocks: int
+
+    @property
+    def consistent(self) -> bool:
+        """No lost or phantom updates: the tallies add up exactly."""
+        return (
+            self.committed + self.aborted == self.n_transactions
+            and self.final_total == self.expected_total
+        )
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["consistent"] = self.consistent
+        return record
+
+
+def run_parallelism_point(
+    protocol: str,
+    n_threads: int,
+    n_counters: int,
+    n_transactions: int = 8,
+    bumps_per_txn: int = 4,
+    think_cost: float = 4.0,
+    time_scale: float = 0.002,
+    cost_model: Optional[CostModel] = None,
+    stall_timeout: float = 30.0,
+) -> ParallelismPoint:
+    """Run one grid cell and measure wall-clock throughput.
+
+    Transaction ``i`` bumps counter ``i % n_counters`` — so
+    ``n_counters=1`` is the hottest possible contention (everyone
+    updates the same object) and ``n_counters=n_transactions`` is
+    contention-free.
+    """
+    factory = PARALLELISM_PROTOCOLS[protocol]
+    db, counters = build_tally_database(n_counters)
+    kernel = ThreadedKernel(
+        db,
+        protocol=factory(),
+        n_threads=n_threads,
+        time_scale=time_scale,
+        cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
+        stall_timeout=stall_timeout,
+    )
+
+    def make_program(counter):
+        async def program(tx):
+            for __ in range(bumps_per_txn):
+                await tx.call(counter, "Bump", 1)
+                await Pause(think_cost)  # think-time: no locks acquired
+
+        return program
+
+    for i in range(n_transactions):
+        kernel.spawn(f"B{i}", make_program(counters[i % n_counters]))
+
+    start = time.monotonic()
+    kernel.run()
+    elapsed = time.monotonic() - start
+
+    committed = sum(1 for h in kernel.handles.values() if h.committed)
+    aborted = sum(1 for h in kernel.handles.values() if h.aborted)
+    final_total = sum(c.impl_component("value").raw_get() for c in counters)
+    kernel.locks.check_invariants()
+    snap = kernel.obs.snapshot()
+    return ParallelismPoint(
+        protocol=protocol,
+        n_threads=n_threads,
+        n_counters=n_counters,
+        n_transactions=n_transactions,
+        bumps_per_txn=bumps_per_txn,
+        committed=committed,
+        aborted=aborted,
+        elapsed_s=elapsed,
+        throughput=committed / elapsed if elapsed > 0 else 0.0,
+        final_total=final_total,
+        expected_total=committed * bumps_per_txn,
+        thread_steps=snap.counters.get("thread.steps", 0),
+        stripe_ops=snap.counters.get("stripe.ops", 0),
+        lock_grants=snap.counters.get("lock.grants", 0),
+        lock_blocks=snap.counters.get("lock.blocks", 0),
+    )
+
+
+def run_parallelism_grid(
+    thread_counts: Sequence[int] = (1, 2, 4),
+    counter_counts: Sequence[int] = (1, 8),
+    n_transactions: int = 8,
+    bumps_per_txn: int = 4,
+    think_cost: float = 4.0,
+    time_scale: float = 0.002,
+    protocols: Optional[Sequence[str]] = None,
+) -> list[ParallelismPoint]:
+    """The full threads x contention x protocol grid."""
+    points = []
+    for n_counters in counter_counts:
+        for n_threads in thread_counts:
+            for protocol in protocols or PARALLELISM_PROTOCOLS:
+                points.append(
+                    run_parallelism_point(
+                        protocol,
+                        n_threads=n_threads,
+                        n_counters=n_counters,
+                        n_transactions=n_transactions,
+                        bumps_per_txn=bumps_per_txn,
+                        think_cost=think_cost,
+                        time_scale=time_scale,
+                    )
+                )
+    return points
+
+
+def parallelism_rows(points: Sequence[ParallelismPoint]) -> list[dict]:
+    """Pivot the grid into table rows: one per (counters, threads) cell."""
+    rows: dict[tuple[int, int], dict] = {}
+    for p in points:
+        key = (p.n_counters, p.n_threads)
+        row = rows.setdefault(
+            key, {"counters": p.n_counters, "threads": p.n_threads}
+        )
+        row[p.protocol] = round(p.throughput, 2)
+    return [rows[key] for key in sorted(rows)]
+
+
+def write_parallelism_jsonl(points: Sequence[ParallelismPoint], fp) -> int:
+    """One JSON object per grid point; returns the line count."""
+    import json
+
+    for point in points:
+        fp.write(json.dumps(point.to_dict(), sort_keys=True) + "\n")
+    return len(points)
+
+
+def semantic_speedup(
+    points: Sequence[ParallelismPoint], n_threads: int, n_counters: int = 1
+) -> float:
+    """Semantic over 2PL wall-clock throughput ratio at one grid cell."""
+    by_protocol = {
+        p.protocol: p
+        for p in points
+        if p.n_threads == n_threads and p.n_counters == n_counters
+    }
+    semantic = by_protocol["semantic"]
+    baseline = by_protocol["object-rw-2pl"]
+    if baseline.throughput == 0:
+        return float("inf")
+    return semantic.throughput / baseline.throughput

@@ -10,17 +10,19 @@ Commands:
 * ``compare`` — the six-protocol performance comparison table
   (``--transactions``, ``--mpl``, ``--items``, ``--seed``);
 * ``check`` — run a random workload under a chosen protocol and check
-  the admitted history for semantic serializability
-  (``--protocol``, ``--transactions``, ``--seed``);
+  the admitted history for semantic serializability (``--protocol``,
+  ``--transactions``, ``--seed``, ``--runtime virtual|threaded``);
 * ``stats`` — run a workload and print the observability breakdown:
   the four-way Fig. 9 conflict-case table, kernel / lock / scheduler /
   waits-for counters, and histograms; ``--jsonl`` exports the snapshot
-  as JSON Lines;
+  as JSON Lines, ``--from-jsonl`` prints a previously exported one;
 * ``bench`` — the committed-baseline workloads: ``--baseline`` writes a
   schema-versioned ``BENCH_baseline.json``; ``--compare PATH`` re-runs
   them and diffs against the committed baseline with per-metric
   tolerances (the CI ``bench-regression`` gate), exiting non-zero on a
   regression; ``--json`` saves the fresh results (the CI artifact);
+  ``--parallelism`` instead runs the wall-clock threads x contention
+  grid on the threaded runtime (``--jsonl`` exports the grid points);
 * ``torture`` — the crash-torture sweep: crash a seeded workload at
   every scheduler step and WAL-record boundary, recover each crash from
   the pickled log, and verify state equivalence, committed-result
@@ -125,15 +127,27 @@ def cmd_check(args: argparse.Namespace) -> int:
         WorkloadConfig(n_items=args.items, orders_per_item=2, mix=mix, seed=args.seed)
     )
     programs = dict(workload.take(args.transactions))
-    kernel = run_transactions(
-        workload.db,
-        programs,
-        protocol=PROTOCOLS[args.protocol](),
-        policy="random",
-        seed=args.seed,
-    )
+    if args.runtime == "threaded":
+        from repro.runtime.threaded import run_threaded_transactions
+
+        kernel = run_threaded_transactions(
+            workload.db,
+            programs,
+            protocol=PROTOCOLS[args.protocol](),
+            n_threads=args.threads,
+        )
+        kernel.locks.check_invariants()
+    else:
+        kernel = run_transactions(
+            workload.db,
+            programs,
+            protocol=PROTOCOLS[args.protocol](),
+            policy="random",
+            seed=args.seed,
+        )
     committed = sum(1 for h in kernel.handles.values() if h.committed)
-    print(f"protocol {args.protocol}: {committed}/{len(programs)} committed, "
+    print(f"protocol {args.protocol} ({args.runtime} runtime): "
+          f"{committed}/{len(programs)} committed, "
           f"{kernel.metrics.blocks} lock waits, "
           f"{kernel.metrics.deadlocks} deadlocks")
     verdict = is_semantically_serializable(kernel.history(), db=workload.db)
@@ -145,8 +159,63 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_snapshot(snapshot, show_fault_counters: bool) -> None:
+    print(format_conflict_breakdown(snapshot))
+    print()
+    print(format_counters(snapshot, "kernel.", "kernel counters"))
+    print()
+    print(format_counters(snapshot, "lock.", "lock manager"))
+    print()
+    print(format_counters(snapshot, "cache.", "conflict-test decision caches"))
+    print()
+    print(format_counters(snapshot, "sched.", "scheduler"))
+    print()
+    print(format_counters(snapshot, "waits.", "waits-for graph"))
+    print()
+    if show_fault_counters:
+        print(format_counters(snapshot, "fault.", "fault injection"))
+        print()
+        print(format_counters(snapshot, "timeout.", "lock-wait timeouts"))
+        print()
+        print(format_counters(snapshot, "retry.", "retry / backoff"))
+        print()
+    print(format_gauges(snapshot))
+    print()
+    print(format_histograms(snapshot))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.orderentry.workload import WorkloadConfig
+
+    if args.from_jsonl:
+        import os
+
+        from repro.obs.snapshot import Snapshot
+
+        path = args.from_jsonl
+        if not os.path.exists(path):
+            print(f"error: metrics file not found: {path}")
+            return 1
+        with open(path, "r", encoding="utf-8") as fp:
+            lines = [line for line in fp if line.strip()]
+        if not lines:
+            print(f"error: metrics file is empty: {path}")
+            return 1
+        try:
+            snapshot = Snapshot.read_jsonl(lines)
+        except (ValueError, KeyError) as exc:
+            print(f"error: {path} is not a metrics JSONL file: {exc}")
+            return 1
+        print(f"metrics snapshot from {path}:")
+        print()
+        _print_snapshot(
+            snapshot,
+            show_fault_counters=any(
+                name.startswith(("fault.", "timeout.", "retry."))
+                for name in snapshot.counters
+            ),
+        )
+        return 0
 
     metrics = run_closed_loop(
         PROTOCOLS[args.protocol],
@@ -164,28 +233,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"virtual clock {metrics.clock}"
     )
     print()
-    print(format_conflict_breakdown(snapshot))
-    print()
-    print(format_counters(snapshot, "kernel.", "kernel counters"))
-    print()
-    print(format_counters(snapshot, "lock.", "lock manager"))
-    print()
-    print(format_counters(snapshot, "cache.", "conflict-test decision caches"))
-    print()
-    print(format_counters(snapshot, "sched.", "scheduler"))
-    print()
-    print(format_counters(snapshot, "waits.", "waits-for graph"))
-    print()
-    if metrics.faults_injected or metrics.timeouts_fired or metrics.retries_exhausted:
-        print(format_counters(snapshot, "fault.", "fault injection"))
-        print()
-        print(format_counters(snapshot, "timeout.", "lock-wait timeouts"))
-        print()
-        print(format_counters(snapshot, "retry.", "retry / backoff"))
-        print()
-    print(format_gauges(snapshot))
-    print()
-    print(format_histograms(snapshot))
+    _print_snapshot(
+        snapshot,
+        show_fault_counters=bool(
+            metrics.faults_injected or metrics.timeouts_fired or metrics.retries_exhausted
+        ),
+    )
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as fp:
             lines = snapshot.write_jsonl(fp)
@@ -201,6 +254,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    if args.parallelism:
+        from repro.bench.parallelism import (
+            parallelism_rows,
+            run_parallelism_grid,
+            semantic_speedup,
+            write_parallelism_jsonl,
+        )
+
+        print("running the threads x contention grid on the threaded runtime ...")
+        points = run_parallelism_grid()
+        print(format_table(
+            parallelism_rows(points),
+            "wall-clock throughput (committed/s): semantic vs object R/W 2PL",
+        ))
+        speedup = semantic_speedup(points, n_threads=4, n_counters=1)
+        print(f"\nsemantic over 2PL at 4 threads on the hot counter: {speedup:.2f}x")
+        if args.jsonl:
+            with open(args.jsonl, "w", encoding="utf-8") as fp:
+                lines = write_parallelism_jsonl(points, fp)
+            print(f"wrote {lines} grid points to {args.jsonl}")
+        bad = [p for p in points if not p.consistent]
+        for p in bad:
+            print(f"!! inconsistent point: {p.to_dict()}")
+        return 1 if bad else 0
     if args.baseline:
         doc = write_baseline(args.out, collect_baseline(progress=lambda n: print(f"running {n} ...")))
         print(f"wrote baseline ({len(doc['workloads'])} workloads) to {args.out}")
@@ -275,6 +352,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--transactions", type=int, default=6)
     check.add_argument("--items", type=int, default=2)
     check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--runtime", choices=("virtual", "threaded"), default="virtual",
+        help="execution engine: the deterministic virtual-time scheduler "
+        "(default) or the real-thread worker pool",
+    )
+    check.add_argument(
+        "--threads", type=int, default=4,
+        help="worker threads for --runtime threaded (default: 4)",
+    )
     check.set_defaults(fn=cmd_check)
 
     stats = sub.add_parser(
@@ -287,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--orders", type=int, default=3)
     stats.add_argument("--seed", type=int, default=11)
     stats.add_argument("--jsonl", metavar="PATH", help="export the snapshot as JSON Lines")
+    stats.add_argument(
+        "--from-jsonl", metavar="PATH", dest="from_jsonl",
+        help="print the breakdown of a previously exported JSONL snapshot "
+        "instead of running a workload",
+    )
     stats.set_defaults(fn=cmd_stats)
 
     bench = sub.add_parser(
@@ -309,6 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", metavar="PATH",
         help="also write the fresh results as JSON (the CI artifact)",
+    )
+    bench.add_argument(
+        "--parallelism", action="store_true",
+        help="run the wall-clock threads x contention grid on the threaded "
+        "runtime (semantic vs object R/W 2PL) instead of the baselines",
+    )
+    bench.add_argument(
+        "--jsonl", metavar="PATH",
+        help="with --parallelism: write one JSON line per grid point",
     )
     bench.set_defaults(fn=cmd_bench)
 

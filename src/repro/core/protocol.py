@@ -77,6 +77,13 @@ class SemanticLockingProtocol(CCProtocol):
         if self.relief_cache is not None:
             self.relief_cache.bind_metrics(registry)
 
+    def make_thread_safe(self) -> None:
+        """Arm the decision caches for concurrent conflict tests."""
+        if self.memo is not None:
+            self.memo.enable_thread_safety()
+        if self.relief_cache is not None:
+            self.relief_cache.enable_thread_safety()
+
     def lock_specs(self, node: TransactionNode) -> list[LockSpec]:
         return [LockSpec(node.target, node.invocation)]
 

@@ -34,6 +34,7 @@ dropped, not invalidation events); see ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.obs.cases import CASE1_RELIEF
@@ -65,6 +66,7 @@ class AncestorReliefCache:
         "_misses",
         "_bypasses",
         "_invalidations",
+        "_lock",
     )
 
     def __init__(self) -> None:
@@ -85,6 +87,14 @@ class AncestorReliefCache:
         self._misses = _NULL
         self._bypasses = _NULL
         self._invalidations = _NULL
+        # None on the virtual-time path (single-threaded, lock-free);
+        # the threaded kernel arms it via enable_thread_safety().
+        self._lock: Optional[threading.RLock] = None
+
+    def enable_thread_safety(self) -> None:
+        """Serialise entry/index mutation for concurrent conflict tests."""
+        if self._lock is None:
+            self._lock = threading.RLock()
 
     def bind_metrics(self, registry) -> None:
         self._hits = registry.counter("cache.relief_hits")
@@ -97,6 +107,12 @@ class AncestorReliefCache:
     # ------------------------------------------------------------------
     def lookup(self, holder: "TransactionNode", requester: "TransactionNode"):
         """The cached ``(case, awaited)`` verdict, or None on miss."""
+        if self._lock is not None:
+            with self._lock:
+                return self._lookup(holder, requester)
+        return self._lookup(holder, requester)
+
+    def _lookup(self, holder: "TransactionNode", requester: "TransactionNode"):
         cached = self._entries.get((holder, requester), _MISS)
         if cached is _MISS:
             self._misses.inc()
@@ -105,6 +121,19 @@ class AncestorReliefCache:
         return cached
 
     def store(
+        self,
+        holder: "TransactionNode",
+        requester: "TransactionNode",
+        case: str,
+        awaited: Optional["TransactionNode"],
+    ) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._store(holder, requester, case, awaited)
+            return
+        self._store(holder, requester, case, awaited)
+
+    def _store(
         self,
         holder: "TransactionNode",
         requester: "TransactionNode",
@@ -134,14 +163,27 @@ class AncestorReliefCache:
     # ------------------------------------------------------------------
     def on_commit(self, node: "TransactionNode") -> None:
         """*node* committed: verdicts waiting on it may relax to case 1."""
+        if self._lock is not None:
+            with self._lock:
+                self._drop(self._by_awaited.pop(node, ()))
+            return
         self._drop(self._by_awaited.pop(node, ()))
 
     def on_node_gone(self, node: "TransactionNode") -> None:
         """*node* aborted or its subtree was discarded for a restart."""
+        if self._lock is not None:
+            with self._lock:
+                self._drop(self._by_member.pop(node, ()))
+            return
         self._drop(self._by_member.pop(node, ()))
 
     def on_locks_reassigned(self, nodes: Iterable["TransactionNode"]) -> None:
         """Locks moved away from *nodes* (closed-nested inheritance)."""
+        if self._lock is not None:
+            with self._lock:
+                for node in nodes:
+                    self._drop(self._by_member.pop(node, ()))
+            return
         for node in nodes:
             self._drop(self._by_member.pop(node, ()))
 
@@ -182,6 +224,12 @@ class AncestorReliefCache:
     def clear(self) -> None:
         """Drop everything.  Clearing must never change behaviour —
         pinned by the cache-clearing property test."""
+        if self._lock is not None:
+            with self._lock:
+                self._entries.clear()
+                self._by_awaited.clear()
+                self._by_member.clear()
+            return
         self._entries.clear()
         self._by_awaited.clear()
         self._by_member.clear()

@@ -20,6 +20,7 @@ Design constraints:
 from __future__ import annotations
 
 import bisect
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -163,6 +164,70 @@ class Timer:
         return False
 
 
+class _LockedCounter(Counter):
+    """Counter whose updates hold the registry lock (threaded runtime)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        super().__init__(name)
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+
+class _LockedGauge(Gauge):
+    """Gauge whose updates hold the registry lock (threaded runtime)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        super().__init__(name)
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            super().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            super().set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+
+class _LockedHistogram(Histogram):
+    """Histogram whose updates hold the registry lock (threaded runtime)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(
+        self, name: str, lock: threading.RLock, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        super().__init__(name, bounds)
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            super().observe(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+
 class MetricsRegistry:
     """A namespace of instruments; see module docstring.
 
@@ -170,12 +235,24 @@ class MetricsRegistry:
     hot paths fetch their instrument once and keep the reference.
     Re-declaring a histogram with different bounds is an error (the
     buckets would be ambiguous); counters and gauges are bound-free.
+
+    With ``thread_safe=True`` (used by the threaded runtime) every
+    instrument handed out guards its updates with one shared reentrant
+    lock, and creation/snapshot/reset serialise on the same lock, so
+    concurrent increments are never torn.  The default stays lock-free:
+    the virtual-time runtime is single-threaded and its hot paths keep
+    the one-attribute-store update cost.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, thread_safe: bool = False) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock: Optional[threading.RLock] = threading.RLock() if thread_safe else None
+
+    @property
+    def thread_safe(self) -> bool:
+        return self._lock is not None
 
     # ------------------------------------------------------------------
     # Instrument access
@@ -183,13 +260,25 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            if self._lock is None:
+                instrument = self._counters[name] = Counter(name)
+            else:
+                with self._lock:
+                    instrument = self._counters.get(name)
+                    if instrument is None:
+                        instrument = self._counters[name] = _LockedCounter(name, self._lock)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            if self._lock is None:
+                instrument = self._gauges[name] = Gauge(name)
+            else:
+                with self._lock:
+                    instrument = self._gauges.get(name)
+                    if instrument is None:
+                        instrument = self._gauges[name] = _LockedGauge(name, self._lock)
         return instrument
 
     def histogram(
@@ -197,10 +286,17 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(
-                name, bounds if bounds is not None else DEFAULT_BUCKETS
-            )
-        elif bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            resolved = bounds if bounds is not None else DEFAULT_BUCKETS
+            if self._lock is None:
+                instrument = self._histograms[name] = Histogram(name, resolved)
+            else:
+                with self._lock:
+                    instrument = self._histograms.get(name)
+                    if instrument is None:
+                        instrument = self._histograms[name] = _LockedHistogram(
+                            name, self._lock, resolved
+                        )
+        if bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
             raise ValueError(
                 f"histogram {name!r} already exists with bounds {instrument.bounds}"
             )
@@ -226,6 +322,12 @@ class MetricsRegistry:
 
     def snapshot(self) -> Snapshot:
         """An immutable, comparable copy of every instrument's state."""
+        if self._lock is not None:
+            with self._lock:
+                return self._snapshot()
+        return self._snapshot()
+
+    def _snapshot(self) -> Snapshot:
         return Snapshot(
             counters={n: c.value for n, c in sorted(self._counters.items())},
             gauges={

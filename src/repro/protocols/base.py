@@ -157,5 +157,14 @@ class CCProtocol(ABC):
         owners.  The default is a no-op.
         """
 
+    def make_thread_safe(self) -> None:
+        """Arm any mutable protocol state for concurrent conflict tests.
+
+        The threaded kernel calls this once at construction.  Stateless
+        protocols (the R/W baselines) need nothing; the semantic family
+        overrides it to put locks around its decision caches.  Must be
+        idempotent.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,888 @@
+"""Real-concurrency execution: the kernel on a pool of OS threads.
+
+The virtual-time :class:`~repro.runtime.scheduler.Scheduler` is the
+primary runtime — deterministic, seedable, the oracle every figure and
+property test runs against.  This module is the other half of the
+paper's claim: the *same* kernel, protocols, and lock discipline driven
+by real threads under wall-clock time, so "more parallelism from
+commutativity" becomes a measurable wall-clock fact instead of a
+simulated one (see ``benchmarks/bench_t1_parallelism.py``).
+
+Three pieces:
+
+* :class:`ConcurrentLockTable` — the indexed lock table striped by OID
+  hash.  Each stripe is a plain :class:`~repro.txn.locks.LockTable`
+  guarded by its own reentrant lock; per-object operations touch
+  exactly one stripe, tree-wide operations (release, reassignment,
+  re-evaluation) take every stripe lock in index order so they observe
+  an atomic cross-stripe view.  Lock ids and enqueue sequence numbers
+  stay globally unique via per-stripe id strides.  Cross-stripe
+  deadlocks need no new machinery: the kernel's incremental waits-for
+  graph is fed from every stripe through the same ``on_waits_changed``
+  hook, and cycle detection runs exactly as it does under virtual time.
+
+* :class:`WallClockScheduler` — a scheduler facade satisfying the
+  kernel's full scheduler surface (``spawn`` / ``create_signal`` /
+  ``call_later`` / ``interrupt`` / ``on_stall`` / ``clock`` / ``run``)
+  with a bounded worker pool.  A coroutine step (the synchronous code
+  between two awaits) runs under one *kernel step mutex*, so kernel
+  state transitions are exactly as atomic as under the cooperative
+  scheduler; awaiting a Signal blocks the worker on a condition
+  variable; awaiting a Pause sleeps ``cost * time_scale`` seconds
+  *outside* the mutex — that is where real interleaving (and the
+  measured parallelism) comes from.  Timers are wall-clock
+  ``threading.Timer``s whose callbacks run under the mutex, which is
+  how the ``timeout`` deadlock policy works under real time.
+
+* :class:`ThreadedKernel` — a :class:`TransactionManager` wired to the
+  two classes above, with the decision caches
+  (:class:`~repro.semantics.memo.CommutativityMemo`,
+  :class:`~repro.core.reliefcache.AncestorReliefCache`) and the metrics
+  registry armed for concurrent access.
+
+Determinism is *not* provided here — that is the point.  The threaded
+tests assert outcome invariants (serializability, state equivalence
+against the virtual-time oracle — see
+:mod:`repro.runtime.differential`), never specific interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.errors import RuntimeEngineError
+from repro.obs.registry import TIMER_BUCKETS, MetricsRegistry
+from repro.runtime.scheduler import Pause, Signal, Task
+from repro.txn.locks import Lock, LockTable, PendingRequest
+
+__all__ = [
+    "ConcurrentLockTable",
+    "WallClockScheduler",
+    "ThreadedKernel",
+    "run_threaded_transactions",
+]
+
+
+# ----------------------------------------------------------------------
+# Striped lock table
+# ----------------------------------------------------------------------
+class _Stripe:
+    """One shard: a plain LockTable plus its guard."""
+
+    __slots__ = ("index", "table", "lock")
+
+    def __init__(self, index: int, table: LockTable) -> None:
+        self.index = index
+        self.table = table
+        # Reentrant: a conflict test run under the stripe lock consults
+        # the protocol, whose state views call locks_on(target) on the
+        # same stripe.
+        self.lock = threading.RLock()
+
+
+class ConcurrentLockTable:
+    """The indexed lock table, striped by ``hash(oid) % n_stripes``.
+
+    API-compatible with :class:`~repro.txn.locks.LockTable` (the kernel
+    uses it through the same ``lock_table_cls`` seam as the reference
+    table).  Thread safety contract: any single call is atomic.  The
+    kernel additionally serialises all calls under its step mutex, so
+    the stripes mostly buy *fine-grained safety for direct users* (the
+    stress tests hammer the table without a kernel) and keep the design
+    honest about which operations are per-object and which are global.
+    """
+
+    HOLD_TIME_BUCKETS = LockTable.HOLD_TIME_BUCKETS
+
+    def __init__(
+        self,
+        n_stripes: int = 8,
+        metrics=None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if n_stripes < 1:
+            raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
+        self._n_stripes = n_stripes
+        self._stripes = [
+            _Stripe(
+                i,
+                LockTable(metrics=None, clock=clock, id_offset=i, id_stride=n_stripes),
+            )
+            for i in range(n_stripes)
+        ]
+        # Forward each stripe's hooks through late-binding trampolines:
+        # the kernel assigns on_waits_changed / on_locks_reassigned on
+        # *this* object after construction.
+        self.on_waits_changed: Optional[Callable[[PendingRequest], None]] = None
+        self.on_locks_reassigned = None
+        for stripe in self._stripes:
+            stripe.table.on_waits_changed = self._fire_waits_changed
+            stripe.table.on_locks_reassigned = self._fire_locks_reassigned
+        self.max_locks_held = 0
+        self._agg_lock = threading.Lock()
+        self._grant_counter = None
+        self._block_counter = None
+        self._test_counter = None
+        self._release_counter = None
+        self._held_gauge = None
+        self._queue_gauge = None
+        self._stripe_ops = None
+        self._stripe_cross_ops = None
+        # Per-stripe totals already mirrored into the registry counters
+        # (grants, blocks, conflict_tests, release_ops per stripe).
+        self._mirrored = [[0, 0, 0, 0] for __ in range(n_stripes)]
+        if metrics is not None:
+            self.bind_metrics(metrics, clock)
+
+    # ------------------------------------------------------------------
+    # Hook trampolines
+    # ------------------------------------------------------------------
+    def _fire_waits_changed(self, pending: PendingRequest) -> None:
+        hook = self.on_waits_changed
+        if hook is not None:
+            hook(pending)
+
+    def _fire_locks_reassigned(self, nodes) -> None:
+        hook = self.on_locks_reassigned
+        if hook is not None:
+            hook(nodes)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry, clock: Optional[Callable[[], float]] = None) -> None:
+        """Attach a registry; stripe totals are mirrored as deltas.
+
+        Individual stripes run metric-less (each would clobber shared
+        gauges with stripe-local values); this front-end owns the
+        ``lock.*`` aggregates plus the ``stripe.*`` instruments.
+        """
+        if clock is not None:
+            for stripe in self._stripes:
+                stripe.table._clock = clock
+        self._grant_counter = registry.counter("lock.grants")
+        self._block_counter = registry.counter("lock.blocks")
+        self._test_counter = registry.counter("lock.conflict_tests")
+        self._release_counter = registry.counter("lock.release_ops")
+        self._held_gauge = registry.gauge("lock.held")
+        self._queue_gauge = registry.gauge("lock.queue_depth")
+        self._stripe_ops = registry.counter("stripe.ops")
+        self._stripe_cross_ops = registry.counter("stripe.cross_ops")
+        registry.gauge("stripe.count").set(self._n_stripes)
+
+    def _sync_stripe_metrics(self, stripe: _Stripe) -> None:
+        """Mirror a stripe's counter growth into the shared registry.
+
+        Called while holding *stripe.lock*, so the stripe's totals are
+        stable; the aggregate gauges are refreshed under the small
+        aggregate lock.
+        """
+        if self._grant_counter is None:
+            self._update_max_locks_held()
+            return
+        table = stripe.table
+        mirrored = self._mirrored[stripe.index]
+        for slot, (counter, total) in enumerate(
+            (
+                (self._grant_counter, table.total_grants),
+                (self._block_counter, table.total_blocks),
+                (self._test_counter, table.total_conflict_tests),
+                (self._release_counter, table.total_release_ops),
+            )
+        ):
+            delta = total - mirrored[slot]
+            if delta:
+                counter.inc(delta)
+                mirrored[slot] = total
+        self._update_max_locks_held()
+        self._held_gauge.set(self.lock_count)
+        self._queue_gauge.set(self.pending_count)
+
+    def _update_max_locks_held(self) -> None:
+        total = self.lock_count
+        with self._agg_lock:
+            if total > self.max_locks_held:
+                self.max_locks_held = total
+
+    # ------------------------------------------------------------------
+    # Striping
+    # ------------------------------------------------------------------
+    def stripe_index_of(self, target) -> int:
+        return hash(target) % self._n_stripes
+
+    def _stripe_for(self, target) -> _Stripe:
+        return self._stripes[hash(target) % self._n_stripes]
+
+    class _AllStripes:
+        """Acquire every stripe lock in index order (cross-stripe ops)."""
+
+        __slots__ = ("_stripes",)
+
+        def __init__(self, stripes) -> None:
+            self._stripes = stripes
+
+        def __enter__(self) -> None:
+            for stripe in self._stripes:
+                stripe.lock.acquire()
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            for stripe in reversed(self._stripes):
+                stripe.lock.release()
+            return False
+
+    def _all_stripes(self) -> "ConcurrentLockTable._AllStripes":
+        return self._AllStripes(self._stripes)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def locks_on(self, target) -> tuple[Lock, ...]:
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            return stripe.table.locks_on(target)
+
+    def queue_on(self, target) -> tuple[PendingRequest, ...]:
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            return stripe.table.queue_on(target)
+
+    def iter_pending(self) -> list[PendingRequest]:
+        with self._all_stripes():
+            pending = [p for s in self._stripes for p in s.table.iter_pending()]
+        pending.sort(key=lambda p: p.enqueue_seq)
+        return pending
+
+    def pending_of_tree(self, root) -> list[PendingRequest]:
+        with self._all_stripes():
+            pending = [p for s in self._stripes for p in s.table.pending_of_tree(root)]
+        pending.sort(key=lambda p: p.enqueue_seq)
+        return pending
+
+    def locks_held_by_tree(self, root) -> list[Lock]:
+        with self._all_stripes():
+            return [lock for s in self._stripes for lock in s.table.locks_held_by_tree(root)]
+
+    def locks_held_by_node(self, node) -> list[Lock]:
+        with self._all_stripes():
+            return [lock for s in self._stripes for lock in s.table.locks_held_by_node(node)]
+
+    @property
+    def lock_count(self) -> int:
+        return sum(s.table.lock_count for s in self._stripes)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(s.table.pending_count for s in self._stripes)
+
+    @property
+    def total_grants(self) -> int:
+        return sum(s.table.total_grants for s in self._stripes)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(s.table.total_blocks for s in self._stripes)
+
+    @property
+    def total_conflict_tests(self) -> int:
+        return sum(s.table.total_conflict_tests for s in self._stripes)
+
+    @property
+    def total_release_ops(self) -> int:
+        return sum(s.table.total_release_ops for s in self._stripes)
+
+    @property
+    def n_stripes(self) -> int:
+        return self._n_stripes
+
+    # ------------------------------------------------------------------
+    # Acquisition (per-object: one stripe)
+    # ------------------------------------------------------------------
+    def compute_blockers(self, node, target, invocation, tester, before_seq=None):
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            blockers = stripe.table.compute_blockers(
+                node, target, invocation, tester, before_seq=before_seq
+            )
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+        return blockers
+
+    def grant(self, node, target, invocation) -> Lock:
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            lock = stripe.table.grant(node, target, invocation)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+        return lock
+
+    def enqueue(self, node, target, invocation, signal) -> PendingRequest:
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            pending = stripe.table.enqueue(node, target, invocation, signal)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+        return pending
+
+    def set_blockers(self, pending: PendingRequest, blockers) -> None:
+        stripe = self._stripe_for(pending.target)
+        with stripe.lock:
+            stripe.table.set_blockers(pending, blockers)
+            self._count_stripe_op()
+
+    def cancel(self, pending: PendingRequest) -> None:
+        stripe = self._stripe_for(pending.target)
+        with stripe.lock:
+            stripe.table.cancel(pending)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+
+    def release_lock(self, lock: Lock) -> None:
+        stripe = self._stripe_for(lock.target)
+        with stripe.lock:
+            stripe.table.release_lock(lock)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+
+    def _count_stripe_op(self) -> None:
+        if self._stripe_ops is not None:
+            self._stripe_ops.inc()
+
+    # ------------------------------------------------------------------
+    # Cross-stripe operations (all stripe locks, index order)
+    # ------------------------------------------------------------------
+    def _count_cross_op(self) -> None:
+        if self._stripe_cross_ops is not None:
+            self._stripe_cross_ops.inc()
+
+    def notify_node_completed(self, node) -> None:
+        with self._all_stripes():
+            for stripe in self._stripes:
+                stripe.table.notify_node_completed(node)
+            self._count_cross_op()
+
+    def reevaluate(self, tester) -> list[PendingRequest]:
+        granted: list[PendingRequest] = []
+        with self._all_stripes():
+            for stripe in self._stripes:
+                granted.extend(stripe.table.reevaluate(tester))
+                self._sync_stripe_metrics(stripe)
+            self._count_cross_op()
+        return granted
+
+    def release_tree(self, root) -> list[Lock]:
+        released: list[Lock] = []
+        with self._all_stripes():
+            for stripe in self._stripes:
+                released.extend(stripe.table.release_tree(root))
+                self._sync_stripe_metrics(stripe)
+            self._count_cross_op()
+        return released
+
+    def release_descendant_locks(self, node) -> list[Lock]:
+        released: list[Lock] = []
+        with self._all_stripes():
+            for stripe in self._stripes:
+                released.extend(stripe.table.release_descendant_locks(node))
+                self._sync_stripe_metrics(stripe)
+            self._count_cross_op()
+        return released
+
+    def release_subtree(self, node) -> list[Lock]:
+        released: list[Lock] = []
+        with self._all_stripes():
+            for stripe in self._stripes:
+                released.extend(stripe.table.release_subtree(node))
+                self._sync_stripe_metrics(stripe)
+            self._count_cross_op()
+        return released
+
+    def reassign_locks_to_parent(self, node) -> list[Lock]:
+        moved: list[Lock] = []
+        with self._all_stripes():
+            for stripe in self._stripes:
+                moved.extend(stripe.table.reassign_locks_to_parent(node))
+                self._sync_stripe_metrics(stripe)
+            self._count_cross_op()
+        return moved
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Every stripe's invariants, plus stripe residency: each granted
+        lock and queued request lives on the stripe its target hashes
+        to, and lock ids / enqueue seqs are globally unique."""
+        with self._all_stripes():
+            seen_lock_ids: set[int] = set()
+            seen_seqs: set[int] = set()
+            for stripe in self._stripes:
+                stripe.table.check_invariants()
+                for target, locks in stripe.table._granted.items():
+                    assert self.stripe_index_of(target) == stripe.index, (
+                        target,
+                        stripe.index,
+                    )
+                    for lock in locks:
+                        assert lock.lock_id not in seen_lock_ids, lock
+                        seen_lock_ids.add(lock.lock_id)
+                for target, queue in stripe.table._queues.items():
+                    if queue:
+                        assert self.stripe_index_of(target) == stripe.index, (
+                            target,
+                            stripe.index,
+                        )
+                    for pending in queue:
+                        assert pending.enqueue_seq not in seen_seqs, pending
+                        seen_seqs.add(pending.enqueue_seq)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock scheduler (worker pool)
+# ----------------------------------------------------------------------
+class _WallTimer:
+    """A cancellable wall-clock timer handle (``call_later``)."""
+
+    __slots__ = ("cancelled", "_timer")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._timer: Optional[threading.Timer] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+
+    def __repr__(self) -> str:
+        return f"<WallTimer {'cancelled' if self.cancelled else 'armed'}>"
+
+
+class WallClockScheduler:
+    """Kernel scheduler facade running coroutines on a worker pool.
+
+    Satisfies every part of the scheduler surface the kernel touches:
+    ``spawn``, ``create_signal``, ``call_later``/``call_at``,
+    ``interrupt``, ``on_stall``, ``on_step``, ``bind_metrics``,
+    ``clock`` (wall seconds since construction), ``tasks``, ``run``.
+
+    ``n_threads`` bounds the multiprogramming level: each worker drives
+    one transaction coroutine at a time to completion, so at most
+    ``n_threads`` transactions are in flight.  The stall backstop: a
+    worker blocked on a signal periodically re-runs the kernel's
+    ``on_stall`` hook (deadlock resolution) and raises
+    :class:`RuntimeEngineError` after ``stall_timeout`` seconds without
+    progress, so a lost wakeup can never hang the process.
+    """
+
+    def __init__(
+        self,
+        n_threads: int = 4,
+        time_scale: float = 0.0,
+        stall_timeout: float = 10.0,
+        stall_check: float = 0.05,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        self.time_scale = time_scale
+        self.stall_timeout = stall_timeout
+        self.stall_check = stall_check
+        self._mutex = threading.RLock()
+        self._wakeup = threading.Condition(self._mutex)
+        self.tasks: dict[str, Task] = {}
+        self._runnable: deque[Task] = deque()
+        self._driving = 0
+        self._errors: list[BaseException] = []
+        self._t0 = time.monotonic()
+        self.steps = 0
+        self.on_stall: Optional[Callable[[list[Task]], bool]] = None
+        self.on_step: Optional[Callable[[int], None]] = None
+        self._step_counter = None
+        self._spawn_counter = None
+        self._stall_counter = None
+        self._blocked_gauge = None
+        self._block_hist = None
+
+    @property
+    def clock(self) -> float:
+        """Wall-clock seconds since the scheduler was created."""
+        return time.monotonic() - self._t0
+
+    @property
+    def kernel_mutex(self) -> threading.RLock:
+        """The step mutex (exposed for tests that poke kernel state)."""
+        return self._mutex
+
+    def bind_metrics(self, registry) -> None:
+        """Expose ``thread.*`` instruments; see docs/OBSERVABILITY.md."""
+        self._step_counter = registry.counter("thread.steps")
+        self._spawn_counter = registry.counter("thread.spawned")
+        self._stall_counter = registry.counter("thread.stall_checks")
+        self._blocked_gauge = registry.gauge("thread.blocked")
+        self._block_hist = registry.histogram("thread.block_time", TIMER_BUCKETS)
+        registry.gauge("thread.workers").set(self.n_threads)
+
+    # ------------------------------------------------------------------
+    # Kernel-facing surface
+    # ------------------------------------------------------------------
+    def create_signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    def spawn(self, name: str, coro) -> Task:
+        with self._mutex:
+            if name in self.tasks:
+                raise RuntimeEngineError(f"task name {name!r} already in use")
+            task = Task(name, coro)
+            self.tasks[name] = task
+            self._runnable.append(task)
+            if self._spawn_counter is not None:
+                self._spawn_counter.inc()
+            self._wakeup.notify_all()
+        return task
+
+    def _ready_task(self, task: Task, resume_value: Any = None) -> None:
+        """Signal.fire lands here (caller holds the mutex): wake waiters."""
+        if task.finished:
+            return
+        task.resume_value = resume_value
+        task.blocked_on = None
+        task.state = Task.READY
+        self._wakeup.notify_all()
+
+    def interrupt(self, task: Task, exc: BaseException) -> None:
+        """Deliver an exception to a (possibly blocked) task."""
+        with self._mutex:
+            if task.finished:
+                return
+            if task.blocked_on is not None:
+                task.blocked_on.remove_waiter(task)
+                task.blocked_on = None
+            task.pending_exception = exc
+            task.state = Task.READY
+            self._wakeup.notify_all()
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> _WallTimer:
+        """Run *callback* under the kernel mutex after *delay* seconds."""
+        handle = _WallTimer()
+
+        def fire() -> None:
+            with self._mutex:
+                if handle.cancelled:
+                    return
+                handle.cancelled = True  # one-shot
+                try:
+                    callback()
+                except BaseException as error:  # noqa: BLE001 - surfaced in run()
+                    self._errors.append(error)
+                finally:
+                    self._wakeup.notify_all()
+
+        timer = threading.Timer(max(0.0, delay), fire)
+        timer.daemon = True
+        handle._timer = timer
+        timer.start()
+        return handle
+
+    def call_at(self, deadline: float, callback: Callable[[], None]) -> _WallTimer:
+        return self.call_later(deadline - self.clock, callback)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Run every spawned task to completion on the worker pool."""
+        workers = [
+            threading.Thread(target=self._worker, name=f"cc-worker-{i}", daemon=True)
+            for i in range(self.n_threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=self.stall_timeout * 4)
+            if worker.is_alive():
+                raise RuntimeEngineError(f"worker {worker.name} did not finish")
+        if self._errors:
+            raise self._errors[0]
+
+    def _worker(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._runnable and self._driving > 0 and not self._errors:
+                    self._wakeup.wait(self.stall_check)
+                if self._errors or not self._runnable:
+                    return
+                task = self._runnable.popleft()
+                if task.state not in (Task.PENDING, Task.READY):
+                    continue
+                self._driving += 1
+            try:
+                self._drive(task)
+            finally:
+                with self._mutex:
+                    self._driving -= 1
+                    self._wakeup.notify_all()
+
+    def _drive(self, task: Task) -> None:
+        """Run one coroutine to completion (the pool's unit of work)."""
+        value: Any = None
+        exc: Optional[BaseException] = None
+        try:
+            while True:
+                with self._mutex:
+                    if exc is None and task.pending_exception is not None:
+                        exc = task.pending_exception
+                        task.pending_exception = None
+                    if self.on_step is not None:
+                        self.on_step(self.steps)
+                    self.steps += 1
+                    if self._step_counter is not None:
+                        self._step_counter.inc()
+                    try:
+                        if exc is not None:
+                            yielded = task.coro.throw(exc)
+                            exc = None
+                        else:
+                            yielded = task.coro.send(value)
+                    except StopIteration as stop:
+                        task.state = Task.DONE
+                        task.result = stop.value
+                        self._wakeup.notify_all()
+                        return
+                    if isinstance(yielded, Signal):
+                        if yielded.done:
+                            value = yielded.value
+                            continue
+                        task.state = Task.BLOCKED
+                        task.blocked_on = yielded
+                        yielded.add_waiter(task)
+                        value, exc = self._await_signal(task, yielded)
+                        continue
+                    if isinstance(yielded, Pause):
+                        cost = yielded.cost
+                    else:
+                        raise RuntimeEngineError(
+                            f"thread {task.name} awaited unsupported {yielded!r}"
+                        )
+                # Pause: outside the mutex so other workers interleave.
+                if self.time_scale > 0 and cost > 0:
+                    time.sleep(cost * self.time_scale)
+                else:
+                    time.sleep(0)  # yield the GIL
+                value = None
+        except BaseException as error:  # noqa: BLE001 - surfaced in run()
+            task.state = Task.FAILED
+            task.exception = error
+            with self._mutex:
+                self._errors.append(error)
+                self._wakeup.notify_all()
+
+    def _await_signal(self, task: Task, signal: Signal):
+        """Block (mutex held) until the signal fires or stall times out.
+
+        Returns ``(resume_value, pending_exception)``.  While waiting,
+        periodically hands the kernel's stall hook the blocked task set
+        — under wall clock there is no global "all tasks blocked"
+        moment, so deadlock detection is driven by these checks (and by
+        the requester-side resolution at block time).
+        """
+        started = time.monotonic()
+        deadline = started + self.stall_timeout
+        next_check = started + self.stall_check
+        if self._blocked_gauge is not None:
+            self._blocked_gauge.inc()
+        try:
+            while task.state == Task.BLOCKED:
+                self._wakeup.wait(self.stall_check)
+                if task.state != Task.BLOCKED:
+                    break
+                if self._errors:
+                    raise RuntimeEngineError(
+                        f"runtime aborted while {task.name} waited for "
+                        f"{signal.name or 'a signal'}"
+                    ) from self._errors[0]
+                # Run the stall/deadline check at most every stall_check
+                # seconds of blocked time, but *at least* that often even
+                # when unrelated notifications keep waking us.
+                now = time.monotonic()
+                if now < next_check:
+                    continue
+                next_check = now + self.stall_check
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
+                progressed = False
+                if self.on_stall is not None:
+                    blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
+                    progressed = bool(blocked) and self.on_stall(blocked)
+                if progressed or task.state != Task.BLOCKED:
+                    deadline = time.monotonic() + self.stall_timeout
+                elif now >= deadline:
+                    raise RuntimeEngineError(
+                        f"thread {task.name} stalled waiting for "
+                        f"{signal.name or 'a signal'}"
+                    )
+        finally:
+            if self._blocked_gauge is not None:
+                self._blocked_gauge.dec()
+            if self._block_hist is not None:
+                self._block_hist.observe(time.monotonic() - started)
+        if task.pending_exception is not None:
+            exc = task.pending_exception
+            task.pending_exception = None
+            return None, exc
+        return task.resume_value, None
+
+    # ------------------------------------------------------------------
+    # Introspection (parity with Scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def blocked_tasks(self) -> list[Task]:
+        with self._mutex:
+            return [t for t in self.tasks.values() if t.state == Task.BLOCKED]
+
+    @property
+    def all_finished(self) -> bool:
+        with self._mutex:
+            return all(t.finished for t in self.tasks.values())
+
+
+# ----------------------------------------------------------------------
+# Threaded kernel front-end
+# ----------------------------------------------------------------------
+class ThreadedKernel:
+    """A :class:`TransactionManager` on real threads.
+
+    Composition, not inheritance of behaviour: this wires a
+    :class:`WallClockScheduler` and a :class:`ConcurrentLockTable` into
+    a stock kernel, arms the protocol's decision caches and the metrics
+    registry for concurrent access, and re-exposes the kernel API.
+
+    ``lock_timeout`` (policy ``"timeout"``) is in *wall-clock seconds*
+    here, with a default of :attr:`DEFAULT_WALL_LOCK_TIMEOUT` — the
+    virtual-time default of 50 units would be 50 wall seconds.
+    """
+
+    #: Wall-clock lock-wait budget under ``deadlock_policy="timeout"``.
+    DEFAULT_WALL_LOCK_TIMEOUT = 2.0
+
+    def __init__(
+        self,
+        db,
+        protocol=None,
+        n_threads: int = 4,
+        n_stripes: int = 8,
+        time_scale: float = 0.0,
+        stall_timeout: float = 10.0,
+        cost_model=None,
+        deadlock_policy: str = "detect",
+        obs: Optional[MetricsRegistry] = None,
+        retry_policy=None,
+        max_subtxn_restarts: Optional[int] = None,
+        lock_timeout: Optional[float] = None,
+    ) -> None:
+        from repro.core.kernel import TransactionManager
+
+        if deadlock_policy == "timeout" and lock_timeout is None:
+            lock_timeout = self.DEFAULT_WALL_LOCK_TIMEOUT
+        self.runtime = WallClockScheduler(
+            n_threads=n_threads, time_scale=time_scale, stall_timeout=stall_timeout
+        )
+        if obs is None:
+            obs = MetricsRegistry(thread_safe=True)
+        elif not obs.thread_safe:
+            raise ValueError("ThreadedKernel needs a thread-safe MetricsRegistry")
+
+        def make_table(metrics=None, clock=None):
+            return ConcurrentLockTable(n_stripes=n_stripes, metrics=metrics, clock=clock)
+
+        self.kernel = TransactionManager(
+            db,
+            protocol=protocol,
+            scheduler=self.runtime,
+            cost_model=cost_model,
+            deadlock_policy=deadlock_policy,
+            obs=obs,
+            lock_table_cls=make_table,
+            retry_policy=retry_policy,
+            max_subtxn_restarts=max_subtxn_restarts,
+            lock_timeout=lock_timeout,
+        )
+        # Concurrent conflict tests share the memo / relief cache.
+        self.kernel.protocol.make_thread_safe()
+
+    # Re-exposed kernel API (everything the virtual-path callers use).
+    def spawn(self, name, program):
+        return self.kernel.spawn(name, program)
+
+    def run(self) -> None:
+        self.kernel.run()
+
+    def history(self):
+        return self.kernel.history()
+
+    @property
+    def db(self):
+        return self.kernel.db
+
+    @property
+    def protocol(self):
+        return self.kernel.protocol
+
+    @property
+    def obs(self) -> MetricsRegistry:
+        return self.kernel.obs
+
+    @property
+    def locks(self) -> ConcurrentLockTable:
+        return self.kernel.locks
+
+    @property
+    def handles(self):
+        return self.kernel.handles
+
+    @property
+    def metrics(self):
+        return self.kernel.metrics
+
+    @property
+    def trace(self):
+        return self.kernel.trace
+
+    @property
+    def scheduler(self) -> WallClockScheduler:
+        return self.runtime
+
+
+def run_threaded_transactions(
+    db,
+    programs: Mapping[str, Any] | Iterable[tuple[str, Any]],
+    protocol=None,
+    n_threads: int = 4,
+    n_stripes: int = 8,
+    time_scale: float = 0.0,
+    stall_timeout: float = 10.0,
+    cost_model=None,
+    deadlock_policy: str = "detect",
+    lock_timeout: Optional[float] = None,
+) -> ThreadedKernel:
+    """Convenience mirror of :func:`repro.core.kernel.run_transactions`
+    for the threaded runtime: spawn every program, run the pool, return
+    the kernel wrapper."""
+    kernel = ThreadedKernel(
+        db,
+        protocol=protocol,
+        n_threads=n_threads,
+        n_stripes=n_stripes,
+        time_scale=time_scale,
+        stall_timeout=stall_timeout,
+        cost_model=cost_model,
+        deadlock_policy=deadlock_policy,
+        lock_timeout=lock_timeout,
+    )
+    items = programs.items() if isinstance(programs, Mapping) else programs
+    for name, program in items:
+        kernel.spawn(name, program)
+    kernel.run()
+    return kernel

@@ -30,6 +30,7 @@ Counters (``cache.commute_hits`` / ``cache.commute_misses`` /
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.semantics.compatibility import CompatibilityMatrix, StateView
@@ -59,7 +60,7 @@ _NULL = _NullCounter()
 class CommutativityMemo:
     """Parameter-aware memo over compatibility-matrix verdicts."""
 
-    __slots__ = ("_matrix_by_oid", "_cells", "_hits", "_misses", "_bypasses")
+    __slots__ = ("_matrix_by_oid", "_cells", "_hits", "_misses", "_bypasses", "_lock")
 
     def __init__(self) -> None:
         # Oid -> matrix (or None for unsynchronised objects): resolving
@@ -72,11 +73,19 @@ class CommutativityMemo:
         self._hits = _NULL
         self._misses = _NULL
         self._bypasses = _NULL
+        # None on the virtual-time path (single-threaded, lock-free);
+        # the threaded kernel arms it via enable_thread_safety().
+        self._lock: Optional[threading.RLock] = None
 
     def bind_metrics(self, registry) -> None:
         self._hits = registry.counter("cache.commute_hits")
         self._misses = registry.counter("cache.commute_misses")
         self._bypasses = registry.counter("cache.commute_bypasses")
+
+    def enable_thread_safety(self) -> None:
+        """Serialise memo reads/writes for concurrent conflict tests."""
+        if self._lock is None:
+            self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # The memoised question
@@ -95,6 +104,19 @@ class CommutativityMemo:
         the caller the verdict consulted a state cell and must not be
         cached further up (the ancestor-relief cache needs this).
         """
+        if self._lock is not None:
+            with self._lock:
+                return self._commute(db, target, invocation_a, invocation_b, view_factory)
+        return self._commute(db, target, invocation_a, invocation_b, view_factory)
+
+    def _commute(
+        self,
+        db: "Database",
+        target: "Oid",
+        invocation_a: Invocation,
+        invocation_b: Invocation,
+        view_factory: Optional[ViewFactory] = None,
+    ) -> tuple[bool, bool]:
         try:
             matrix = self._matrix_by_oid[target]
         except KeyError:
@@ -142,5 +164,10 @@ class CommutativityMemo:
     def clear(self) -> None:
         """Drop everything.  Clearing must never change behaviour —
         pinned by the cache-clearing property test."""
+        if self._lock is not None:
+            with self._lock:
+                self._matrix_by_oid.clear()
+                self._cells.clear()
+            return
         self._matrix_by_oid.clear()
         self._cells.clear()

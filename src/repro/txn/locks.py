@@ -134,7 +134,20 @@ class LockTable:
     #: to the bench cost model, where one storage op costs 1.0.
     HOLD_TIME_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500)
 
-    def __init__(self, metrics=None, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        metrics=None,
+        clock: Optional[Callable[[], float]] = None,
+        id_offset: int = 0,
+        id_stride: int = 1,
+    ) -> None:
+        # id_offset/id_stride let a striped front-end (the threaded
+        # runtime's ConcurrentLockTable) hand each stripe a disjoint
+        # residue class, keeping lock ids and enqueue seqs globally
+        # unique without cross-stripe coordination.  Defaults preserve
+        # the historic dense numbering exactly.
+        if id_stride < 1 or not 0 <= id_offset < id_stride:
+            raise ValueError(f"invalid id striping: offset={id_offset} stride={id_stride}")
         self._granted: defaultdict[Oid, list[Lock]] = defaultdict(list)
         self._queues: defaultdict[Oid, list[PendingRequest]] = defaultdict(list)
         # Owner indices: node -> {lock_id: Lock} and tree root ->
@@ -151,8 +164,9 @@ class LockTable:
         # changed, and pending requests whose recorded blocker completed.
         self._dirty_targets: set[Oid] = set()
         self._retest: set[int] = set()
-        self._next_lock_id = 0
-        self._next_enqueue_seq = 0
+        self._id_stride = id_stride
+        self._next_lock_id = id_offset
+        self._next_enqueue_seq = id_offset
         self.max_locks_held = 0  # high-water mark, a bench metric
         self.total_grants = 0
         self.total_blocks = 0
@@ -311,7 +325,7 @@ class LockTable:
 
     def grant(self, node: TransactionNode, target: Oid, invocation: Invocation) -> Lock:
         """Unconditionally add a granted lock (caller performed the test)."""
-        self._next_lock_id += 1
+        self._next_lock_id += self._id_stride
         lock = Lock(self._next_lock_id, node, target, invocation)
         self._granted[target].append(lock)
         self._locks_by_node[node][lock.lock_id] = lock
@@ -339,7 +353,7 @@ class LockTable:
         signal: "Signal",
     ) -> PendingRequest:
         """Queue a blocked request (FCFS position = enqueue order)."""
-        self._next_enqueue_seq += 1
+        self._next_enqueue_seq += self._id_stride
         pending = PendingRequest(node, target, invocation, signal, self._next_enqueue_seq)
         pending.enqueue_clock = self._clock()
         self._queues[target].append(pending)

@@ -54,6 +54,42 @@ class TestCli:
         capsys.readouterr()
         assert failures >= 1
 
+    def test_check_threaded_runtime(self, capsys):
+        assert main(["check", "--runtime", "threaded", "--transactions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "threaded runtime" in out
+        assert "serializable: True" in out
+
+    def test_stats_from_jsonl_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        assert main(["stats", "--transactions", "6", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--from-jsonl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "conflict-test outcomes" in out
+        assert "lock manager" in out
+
+    def test_stats_from_jsonl_missing_file(self, tmp_path, capsys):
+        path = tmp_path / "nope.jsonl"
+        assert main(["stats", "--from-jsonl", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.strip() == f"error: metrics file not found: {path}"
+
+    def test_stats_from_jsonl_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["stats", "--from-jsonl", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.strip() == f"error: metrics file is empty: {path}"
+
+    def test_stats_from_jsonl_garbage_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"type": "wibble", "name": "x"}\n')
+        assert main(["stats", "--from-jsonl", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,73 @@
+"""The docs link checker: passes on the repo, catches planted breakage."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs_links.py"
+
+spec = importlib.util.spec_from_file_location("check_docs_links", CHECKER)
+checker = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(checker)
+
+
+def test_repo_docs_have_no_dead_links(capsys):
+    assert checker.main([]) == 0
+    out = capsys.readouterr().out
+    assert "all intra-repo links ok" in out
+
+
+def test_checker_runs_as_a_script():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_detects_missing_file(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [the plan](no-such-file.md) for details\n")
+    assert checker.main([str(doc)]) == 1
+    assert "no-such-file.md" in capsys.readouterr().out
+
+
+def test_detects_missing_anchor(tmp_path, capsys):
+    target = tmp_path / "target.md"
+    target.write_text("# Real Heading\n\nbody\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("[jump](target.md#fake-heading)\n")
+    assert checker.main([str(doc)]) == 1
+    assert "fake-heading" in capsys.readouterr().out
+
+
+def test_accepts_valid_anchor_and_same_file_anchor(tmp_path, capsys):
+    target = tmp_path / "target.md"
+    target.write_text("## The Command Line\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# Top\n"
+        "[ok](target.md#the-command-line) and [self](#top)\n"
+    )
+    assert checker.main([str(doc)]) == 0
+
+
+def test_ignores_external_links_and_code_blocks(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ext](https://example.com/nowhere)\n"
+        "```\n"
+        "[fake](missing-inside-fence.md)\n"
+        "```\n"
+        "and `[inline](missing-inline.md)` code\n"
+    )
+    assert checker.main([str(doc)]) == 0
+
+
+def test_directory_argument_recurses(tmp_path, capsys):
+    sub = tmp_path / "docs"
+    sub.mkdir()
+    (sub / "a.md").write_text("[bad](../gone.md)\n")
+    assert checker.main([str(tmp_path)]) == 1
+    assert "gone.md" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Differential tests: threaded runtime vs. the virtual-time oracle.
+
+The acceptance bar from the runtime issue: identical serializability
+verdicts and committed-state equivalence on >= 20 seeded workloads
+across all six protocols.  4 seeds x 6 protocols = 24 workloads here,
+plus a handful of shape/diagnostic cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.differential import (
+    DIFFERENTIAL_PROTOCOLS,
+    run_differential,
+    run_differential_sweep,
+)
+
+SEEDS = (0, 1, 2, 3)
+
+# The naive open-nested protocol is deliberately unsound under the
+# encapsulation-bypassing T3/T4 status checks (the Fig. 5 anomaly the
+# torture harness documents), and whether the anomaly manifests depends
+# on the interleaving — so the full-equivalence sweep runs it on the
+# bypass-free mix, where it is sound.  The default mix is covered by
+# test_naive_protocol_anomaly_agreement below.
+NO_BYPASS_MIX = {"T1": 1.0, "T2": 1.0, "T5": 1.0}
+PROTOCOL_MIX = {"open-nested-naive": NO_BYPASS_MIX}
+
+
+@pytest.mark.parametrize("protocol", sorted(DIFFERENTIAL_PROTOCOLS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_runtimes_agree(protocol: str, seed: int) -> None:
+    report = run_differential(
+        protocol, seed=seed, n_transactions=6, mix=PROTOCOL_MIX.get(protocol)
+    )
+    assert report.verdicts_identical, report.summary()
+    assert report.virtual.serializable, report.summary()
+    assert report.threaded.serializable, report.summary()
+    assert report.virtual.state_matches_serial, report.summary()
+    assert report.threaded.state_matches_serial, report.summary()
+
+
+def test_naive_protocol_anomaly_agreement() -> None:
+    # Under the default mix (with T3/T4 bypass reads) the naive protocol
+    # may produce non-serializable histories; the differential guarantee
+    # is that both runtimes reach the *same* verdict on each workload.
+    report = run_differential("open-nested-naive", seed=0, n_transactions=6)
+    assert report.verdicts_identical, report.summary()
+
+
+def test_report_accounts_for_every_transaction() -> None:
+    report = run_differential("semantic", seed=7, n_transactions=5)
+    for outcome in (report.virtual, report.threaded):
+        assert len(outcome.committed) + len(outcome.aborted) == 5
+        # the serial order covers exactly the committed set
+        assert sorted(outcome.serial_order) == list(outcome.committed)
+
+
+def test_higher_contention_single_item() -> None:
+    # n_items=1 maximises collisions (every transaction hits the same
+    # item); the cross-check must still hold.
+    report = run_differential(
+        "semantic", seed=11, n_transactions=6, n_items=1, orders_per_item=3
+    )
+    assert report.ok, report.summary()
+
+
+def test_sweep_helper_covers_grid() -> None:
+    reports = run_differential_sweep(
+        seeds=(5,), protocols=("semantic", "object-rw-2pl"), n_transactions=4
+    )
+    assert len(reports) == 2
+    assert {r.protocol for r in reports} == {"semantic", "object-rw-2pl"}
+    assert all(r.ok for r in reports), [r.summary() for r in reports]
