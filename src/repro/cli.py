@@ -254,6 +254,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    if args.durability:
+        from repro.bench.durability import durability_rows, run_durability_bench
+
+        print("running the durability bench (memory / fsync / group commit) ...")
+        doc = run_durability_bench()
+        print(format_table(
+            durability_rows(doc),
+            "commit throughput and recovery time per WAL mode",
+        ))
+        group = next(m for m in doc["modes"] if m["mode"] == "group")
+        print(f"\ngroup commit: {group['commits_per_sync']} commits per fsync "
+              f"(window {doc['group_commit']['window_seconds'] * 1e3:.0f} ms, "
+              f"batch cap {doc['group_commit']['max_batch']})")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                import json as _json
+
+                _json.dump(doc, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            print(f"wrote durability bench results to {args.json}")
+        if not doc["consistent"]:
+            print("!! recovered states diverge across WAL modes")
+            return 1
+        return 0
     if args.parallelism:
         from repro.bench.parallelism import (
             parallelism_rows,
@@ -309,17 +333,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_torture(args: argparse.Namespace) -> int:
     from repro.faults.torture import order_entry_scenario, run_torture
 
-    scenario = order_entry_scenario(
-        seed=args.seed,
-        n_transactions=args.transactions,
-        n_items=args.items,
-        protocol=PROTOCOLS[args.protocol],
-    )
-    report = run_torture(
-        scenario,
-        steps=args.steps,
-        wal_sweep=not args.no_wal_sweep,
-    )
+    if args.durable:
+        from repro.faults.durable import run_durable_torture
+
+        report = run_durable_torture(
+            seed=args.seed,
+            n_transactions=args.transactions,
+            n_items=args.items,
+            protocol=args.protocol,
+            steps=args.steps,
+            wal_sweep=not args.no_wal_sweep,
+            workdir=args.workdir,
+            mode=args.mode,
+        )
+    else:
+        scenario = order_entry_scenario(
+            seed=args.seed,
+            n_transactions=args.transactions,
+            n_items=args.items,
+            protocol=PROTOCOLS[args.protocol],
+        )
+        report = run_torture(
+            scenario,
+            steps=args.steps,
+            wal_sweep=not args.no_wal_sweep,
+        )
     print(report.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fp:
@@ -410,6 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", metavar="PATH",
         help="with --parallelism: write one JSON line per grid point",
     )
+    bench.add_argument(
+        "--durability", action="store_true",
+        help="run the durable-WAL bench (in-memory vs fsync-per-commit vs "
+        "group commit) and recovery-from-disk timings instead of the baselines",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     torture = sub.add_parser(
@@ -428,6 +471,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the WAL-record-boundary crash points",
     )
     torture.add_argument("--json", metavar="PATH", help="write the report as JSON")
+    torture.add_argument(
+        "--durable", action="store_true",
+        help="real-process sweep: SIGKILL a child at every crash point and "
+        "recover from its surviving WAL/page files",
+    )
+    torture.add_argument(
+        "--mode", choices=("fork", "spawn"), default="fork",
+        help="with --durable: how children are launched (default: fork)",
+    )
+    torture.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="with --durable: keep each crash point's files under DIR "
+        "(default: a temp dir, removed afterwards)",
+    )
     torture.set_defaults(fn=cmd_torture)
     return parser
 

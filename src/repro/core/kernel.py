@@ -352,8 +352,11 @@ class TransactionManager:
         # Optional write-ahead log (repro.recovery.wal.WriteAheadLog):
         # when set, physical updates, non-read-only subtransaction
         # commits, and transaction outcomes are logged for multi-level
-        # crash recovery.
+        # crash recovery.  File-backed logs meter themselves (group
+        # commit syncs, bytes) into the kernel's registry.
         self.wal = wal
+        if wal is not None and hasattr(wal, "bind_metrics"):
+            wal.bind_metrics(self.obs)
         self.waits = WaitsForGraph(self.obs)
         self.recorder = HistoryRecorder(db)
         self.undo = UndoLog()

@@ -27,6 +27,16 @@ class UnknownObjectError(ReproError):
     """An OID does not resolve to a live object in the database."""
 
 
+class DuplicateRecordError(UnknownObjectError):
+    """An object that already has a storage record was allocated again.
+
+    Historically this was (mis-)reported as :class:`UnknownObjectError`;
+    the subclass keeps ``except UnknownObjectError`` handlers working
+    while letting callers distinguish "no such record" from "record
+    exists twice".
+    """
+
+
 class UnknownOperationError(ReproError):
     """An operation name is not defined for the target object's type."""
 

@@ -109,6 +109,10 @@ class CrashOutcome:
     compensated: int = 0
     physically_undone: int = 0
     recovery_seconds: float = 0.0
+    # Durable (real-process) sweeps only:
+    process_killed: bool = False  # the child really died by SIGKILL
+    torn_tail_bytes: int = 0  # WAL bytes discarded by the checksum scan
+    torn_pages: int = 0  # page-file blocks found torn (detected, not read)
 
     @property
     def ok(self) -> bool:
@@ -141,10 +145,15 @@ class TortureReport:
     wal_records: int = 0
     outcomes: list[CrashOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    durable: bool = False  # real-process SIGKILL sweep over on-disk files
 
     @property
     def crash_points(self) -> int:
         return sum(1 for o in self.outcomes if o.crashed)
+
+    @property
+    def process_kills(self) -> int:
+        return sum(1 for o in self.outcomes if o.process_killed)
 
     @property
     def anomalies(self) -> list[CrashOutcome]:
@@ -158,6 +167,10 @@ class TortureReport:
         return {
             "scenario": self.scenario,
             "seed": self.seed,
+            "durable": self.durable,
+            "process_kills": self.process_kills,
+            "torn_tails": sum(1 for o in self.outcomes if o.torn_tail_bytes),
+            "torn_pages": sum(o.torn_pages for o in self.outcomes),
             "total_steps": self.total_steps,
             "wal_records": self.wal_records,
             "crash_points": self.crash_points,
@@ -177,9 +190,10 @@ class TortureReport:
 
     def summary(self) -> str:
         verdict = "OK" if self.all_ok else f"{len(self.anomalies)} ANOMALIES"
+        mode = f", {self.process_kills} SIGKILLs" if self.durable else ""
         lines = [
             f"torture[{self.scenario}]: {self.crash_points} crash points "
-            f"({self.total_steps} steps, {self.wal_records} WAL records) -> {verdict}"
+            f"({self.total_steps} steps, {self.wal_records} WAL records{mode}) -> {verdict}"
         ]
         for outcome in self.anomalies:
             lines.append(f"  {outcome.label()}: {', '.join(outcome.failures)}")

@@ -130,8 +130,15 @@ def recover(
     db: Database,
     wal: WriteAheadLog,
     type_specs: Optional[Mapping[str, TypeSpec]] = None,
+    metrics=None,
 ) -> RecoveryReport:
-    """Recover *db* (a restored initial state) from *wal*; see module doc."""
+    """Recover *db* (a restored initial state) from *wal*; see module doc.
+
+    When *metrics* (a :class:`~repro.obs.MetricsRegistry`) is given the
+    pass counts are also recorded as ``recovery.*`` counters — two
+    recoveries of the same log must produce identical counts, which the
+    determinism regression test asserts by diffing snapshots.
+    """
     report = RecoveryReport()
 
     # ----- analysis -----
@@ -186,4 +193,12 @@ def recover(
         report.physically_undone += 1
     report.undo_seconds = time.perf_counter() - started
 
+    if metrics is not None:
+        metrics.counter("recovery.runs").inc()
+        metrics.counter("recovery.winners").inc(len(report.winners))
+        metrics.counter("recovery.aborted").inc(len(report.aborted))
+        metrics.counter("recovery.losers").inc(len(report.losers))
+        metrics.counter("recovery.redone").inc(report.redone)
+        metrics.counter("recovery.compensated").inc(report.compensated)
+        metrics.counter("recovery.physically_undone").inc(report.physically_undone)
     return report

@@ -85,6 +85,33 @@ class WriteAheadLog:
         self._next_lsn += 1
         return self._next_lsn
 
+    @property
+    def last_lsn(self) -> int:
+        """The highest LSN handed out so far (0 before the first)."""
+        return self._next_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """The highest LSN guaranteed to survive a crash.
+
+        The in-memory log *is* the durable medium of the simulation, so
+        everything appended counts; the file-backed subclass
+        (:class:`repro.storage.durable.DurableWriteAheadLog`) overrides
+        this with the last *fsynced* LSN.
+        """
+        return self._next_lsn
+
+    def sync(self) -> None:
+        """Force durability of everything appended so far (no-op here)."""
+
+    def sync_to(self, lsn: int) -> None:
+        """Force durability up to *lsn* — the WAL-before-data hook.
+
+        The buffer pool calls this before writing back a dirty page
+        whose ``page_lsn`` exceeds :attr:`durable_lsn`.  In-memory logs
+        are always durable, so this is a no-op.
+        """
+
     def append(self, record: LogRecord) -> None:
         self.records.append(record)
 
@@ -123,16 +150,44 @@ class WriteAheadLog:
         return seen
 
     # ------------------------------------------------------------------
-    # Durable-media simulation
+    # Durable media
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
+        """Pickle the whole record list (the original simulation format)."""
         with open(path, "wb") as fh:
             pickle.dump(self.records, fh)
 
+    def save_durable(self, path: str) -> None:
+        """Write the on-disk format: magic + checksummed record frames.
+
+        The same framing :class:`repro.storage.durable.DurableWriteAheadLog`
+        appends incrementally; files written either way are
+        interchangeable and :meth:`load` reads both.
+        """
+        from repro.storage.walformat import WAL_MAGIC, encode_frame
+
+        with open(path, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            for record in self.records:
+                fh.write(encode_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)))
+            fh.flush()
+
     @classmethod
     def load(cls, path: str) -> "WriteAheadLog":
+        """Read a saved log — pickled or durable format, auto-detected.
+
+        Durable files tolerate torn tails: a partial trailing record
+        (crash mid-append) is detected by its length/checksum frame and
+        discarded, never raising.
+        """
+        from repro.storage.walformat import is_wal_file, iter_frames
+
         with open(path, "rb") as fh:
-            records = pickle.load(fh)
+            data = fh.read()
+        if is_wal_file(data):
+            records = [pickle.loads(payload) for payload in iter_frames(data).payloads]
+        else:
+            records = pickle.loads(data)
         log = cls(records=records)
         log._next_lsn = max((r.lsn for r in records), default=0)
         return log

@@ -12,5 +12,33 @@ special cases".
 from repro.storage.record import RecordId
 from repro.storage.page import Page
 from repro.storage.manager import StorageManager
+from repro.storage.bufferpool import BufferPool, BufferPoolError, Frame
+from repro.storage.pagefile import PageFile, TornPageError
 
-__all__ = ["RecordId", "Page", "StorageManager"]
+#: Durable-layer names resolved lazily (PEP 562): repro.storage.durable
+#: imports the recovery WAL, which imports the object model, which
+#: imports this package — eager re-export here would close the cycle.
+_DURABLE_EXPORTS = ("DurableStorageManager", "DurableWriteAheadLog", "load_wal_file")
+
+
+def __getattr__(name: str):
+    if name in _DURABLE_EXPORTS:
+        from repro.storage import durable
+
+        return getattr(durable, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "RecordId",
+    "Page",
+    "StorageManager",
+    "BufferPool",
+    "BufferPoolError",
+    "Frame",
+    "PageFile",
+    "TornPageError",
+    "DurableStorageManager",
+    "DurableWriteAheadLog",
+    "load_wal_file",
+]

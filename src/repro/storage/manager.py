@@ -9,7 +9,7 @@ false conflicts between logically independent objects.
 
 from __future__ import annotations
 
-from repro.errors import UnknownObjectError
+from repro.errors import DuplicateRecordError, UnknownObjectError
 from repro.objects.oid import Oid
 from repro.storage.page import Page
 from repro.storage.record import RecordId
@@ -33,7 +33,7 @@ class StorageManager:
     def allocate(self, owner: Oid) -> RecordId:
         """Back *owner* with a new record; returns its RID."""
         if owner in self._record_of:
-            raise UnknownObjectError(f"{owner} already has a record")
+            raise DuplicateRecordError(f"{owner} already has a record")
         page = self._find_page_with_space()
         slot = page.allocate(owner)
         rid = RecordId(page.number, slot)

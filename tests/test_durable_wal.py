@@ -1,0 +1,257 @@
+"""The file-backed WAL: frame codec, torn tails, group commit, resume.
+
+The torn-tail property is the heart of this suite: for *every*
+byte-length prefix of a durable WAL file — as if the process died after
+the OS had persisted exactly that many bytes — the recovery scan must
+return precisely the complete, checksum-valid record prefix and never
+raise.  A partial trailing frame (short header, short payload, or
+corrupt checksum) is detected and discarded.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.wal import TxnStatusRecord, UpdateRecord, WriteAheadLog
+from repro.storage.durable import DurableWriteAheadLog, load_wal_file
+from repro.storage.walformat import (
+    FRAME_HEADER,
+    WAL_MAGIC,
+    encode_frame,
+    is_wal_file,
+    iter_frames,
+)
+from tests.helpers import examples
+
+
+def status(lsn: int, txn: str, what: str) -> TxnStatusRecord:
+    return TxnStatusRecord(lsn=lsn, txn=txn, status=what)
+
+
+def update(lsn: int, txn: str, payload: str = "x") -> UpdateRecord:
+    return UpdateRecord(
+        lsn=lsn,
+        txn=txn,
+        node_path=(f"{txn}:0",),
+        operation="Put",
+        target=(("Atom", "Root", payload),),
+        before=0,
+        after=len(payload),
+    )
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payloads = [b"a", b"bb" * 100, b"", b"\x00" * 9]
+        data = WAL_MAGIC + b"".join(encode_frame(p) for p in payloads)
+        scan = iter_frames(data)
+        assert scan.payloads == payloads
+        assert not scan.torn
+        assert scan.valid_bytes == len(data)
+
+    def test_corrupt_checksum_ends_scan(self):
+        good, bad = encode_frame(b"good"), bytearray(encode_frame(b"bad!"))
+        bad[-1] ^= 0xFF  # flip a payload bit: checksum mismatch
+        scan = iter_frames(WAL_MAGIC + good + bytes(bad))
+        assert scan.payloads == [b"good"]
+        assert scan.torn and scan.torn_reason == "bad-checksum"
+
+    def test_not_a_wal_file(self):
+        assert not is_wal_file(b"definitely not")
+        with pytest.raises(AssertionError):
+            iter_frames(b"definitely not a wal file")
+
+
+class TestTornTailProperty:
+    """Recovery succeeds from EVERY byte-length prefix of the file."""
+
+    @staticmethod
+    def _durable_file(tmp_path, records):
+        path = os.path.join(tmp_path, "wal.log")
+        with DurableWriteAheadLog(path) as wal:
+            for record in records:
+                wal.append(record)
+        return path
+
+    @settings(max_examples=examples(60), deadline=None)
+    @given(data=st.data(), n_records=st.integers(min_value=0, max_value=12))
+    def test_every_truncation_offset(self, data, n_records):
+        import tempfile
+
+        records = []
+        for i in range(n_records):
+            txn = f"T{i % 3}"
+            if i % 4 == 3:
+                records.append(status(i + 1, txn, "commit"))
+            elif i % 4 == 0:
+                records.append(status(i + 1, txn, "begin"))
+            else:
+                records.append(update(i + 1, txn, payload="p" * (i * 7 % 40)))
+        with tempfile.TemporaryDirectory(prefix="repro-torn-") as tmp:
+            path = self._durable_file(tmp, records)
+            with open(path, "rb") as fh:
+                blob = fh.read()
+
+            cut = data.draw(
+                st.integers(min_value=len(WAL_MAGIC), max_value=len(blob)), label="cut"
+            )
+            torn_path = os.path.join(tmp, "torn.log")
+            with open(torn_path, "wb") as fh:
+                fh.write(blob[:cut])
+
+            scan = load_wal_file(torn_path)  # must never raise
+        survived = list(scan.log)
+        # exactly the longest complete-frame prefix
+        assert survived == records[: len(survived)]
+        assert scan.valid_bytes + scan.torn_bytes == cut
+        if scan.torn:
+            assert scan.torn_reason in ("short-header", "short-payload", "bad-checksum")
+            assert len(survived) < len(records)
+        else:
+            # a clean cut lands exactly on a frame boundary
+            assert scan.valid_bytes == cut
+
+    def test_every_offset_exhaustively_small(self, tmp_path):
+        """Non-random belt: all offsets of a 3-record file."""
+        records = [status(1, "T1", "begin"), update(2, "T1"), status(3, "T1", "commit")]
+        path = self._durable_file(str(tmp_path), records)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        for cut in range(len(WAL_MAGIC), len(blob) + 1):
+            torn_path = str(tmp_path / "cut.log")
+            with open(torn_path, "wb") as fh:
+                fh.write(blob[:cut])
+            scan = load_wal_file(torn_path)
+            survived = list(scan.log)
+            assert survived == records[: len(survived)]
+            assert scan.valid_bytes <= cut
+
+    def test_header_only_file_is_empty_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        DurableWriteAheadLog(path).close()
+        scan = load_wal_file(path)
+        assert len(scan.log) == 0 and not scan.torn
+
+
+class TestGroupCommit:
+    def _metrics(self):
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_window_zero_syncs_every_commit(self, tmp_path):
+        registry = self._metrics()
+        with DurableWriteAheadLog(str(tmp_path / "wal.log")) as wal:
+            wal.bind_metrics(registry)
+            for i in range(5):
+                wal.append(status(i * 2 + 1, f"T{i}", "begin"))
+                wal.append(status(i * 2 + 2, f"T{i}", "commit"))
+        assert registry.counter("wal.group_commit.commits").value == 5
+        assert registry.counter("wal.group_commit.syncs").value >= 5
+        assert registry.counter("wal.group_commit.deferred").value == 0
+        assert wal.durable_lsn == 10
+
+    def test_window_batches_commits(self, tmp_path):
+        clock = [0.0]
+        registry = self._metrics()
+        wal = DurableWriteAheadLog(
+            str(tmp_path / "wal.log"),
+            group_commit_window=1.0,
+            group_commit_max=4,
+            clock=lambda: clock[0],
+        )
+        wal.bind_metrics(registry)
+        for i in range(3):  # three commits inside one window: all deferred
+            wal.append(status(i + 1, f"T{i}", "commit"))
+        assert registry.counter("wal.group_commit.syncs").value == 0
+        assert registry.counter("wal.group_commit.deferred").value == 3
+        assert wal.durable_lsn == 0  # nothing fsynced yet
+
+        wal.append(status(4, "T3", "commit"))  # 4th: batch cap forces the sync
+        assert registry.counter("wal.group_commit.syncs").value == 1
+        assert wal.durable_lsn == 4
+        histogram = registry.histogram(
+            "wal.group_commit.batch_size", (1, 2, 4, 8, 16, 32, 64)
+        )
+        assert histogram.mean == 4.0
+
+        wal.append(status(5, "T4", "commit"))  # deferred again ...
+        assert registry.counter("wal.group_commit.syncs").value == 1
+        clock[0] = 2.0  # ... until the window expires
+        wal.flush_if_due()
+        assert registry.counter("wal.group_commit.syncs").value == 2
+        assert wal.durable_lsn == 5
+        wal.close()
+
+    def test_expired_window_syncs_inline(self, tmp_path):
+        clock = [0.0]
+        wal = DurableWriteAheadLog(
+            str(tmp_path / "wal.log"), group_commit_window=1.0, clock=lambda: clock[0]
+        )
+        wal.append(status(1, "T0", "commit"))
+        assert wal.durable_lsn == 0
+        clock[0] = 1.5
+        wal.append(status(2, "T1", "commit"))  # window long gone: sync now
+        assert wal.durable_lsn == 2
+        wal.close()
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="window"):
+            DurableWriteAheadLog(str(tmp_path / "w"), group_commit_window=-1)
+        with pytest.raises(ValueError, match="max"):
+            DurableWriteAheadLog(str(tmp_path / "w"), group_commit_max=0)
+
+
+class TestResumeAndInterop:
+    def test_resume_continues_after_surviving_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with DurableWriteAheadLog(path) as wal:
+            wal.append(status(1, "T1", "begin"))
+            wal.append(status(2, "T1", "commit"))
+        resumed = DurableWriteAheadLog(path)
+        assert [r.lsn for r in resumed] == [1, 2]
+        assert resumed.durable_lsn == 2
+        resumed.append(status(resumed.next_lsn(), "T2", "begin"))
+        resumed.close()
+        assert [r.lsn for r in load_wal_file(path).log] == [1, 2, 3]
+
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with DurableWriteAheadLog(path) as wal:
+            wal.append(status(1, "T1", "commit"))
+        size = os.path.getsize(path)
+        with open(path, "ab") as fh:
+            fh.write(FRAME_HEADER.pack(1 << 20, 0) + b"partial")  # torn append
+        resumed = DurableWriteAheadLog(path)
+        assert [r.lsn for r in resumed] == [1]
+        resumed.close()
+        assert os.path.getsize(path) == size  # the torn tail is gone
+
+    def test_save_durable_interops_with_incremental_writer(self, tmp_path):
+        records = [status(1, "T1", "begin"), update(2, "T1"), status(3, "T1", "commit")]
+        saved = str(tmp_path / "saved.log")
+        WriteAheadLog(records=list(records)).save_durable(saved)
+        appended = str(tmp_path / "appended.log")
+        with DurableWriteAheadLog(appended) as wal:
+            for record in records:
+                wal.append(record)
+        with open(saved, "rb") as fh, open(appended, "rb") as gh:
+            assert fh.read() == gh.read()  # byte-identical formats
+        assert list(WriteAheadLog.load(saved)) == records
+
+    def test_load_autodetects_pickle_format(self, tmp_path):
+        records = [status(1, "T1", "commit")]
+        path = str(tmp_path / "pickled.wal")
+        WriteAheadLog(records=list(records)).save(path)
+        assert list(WriteAheadLog.load(path)) == records
+
+    def test_load_wal_file_rejects_pickles(self, tmp_path):
+        path = str(tmp_path / "pickled.wal")
+        with open(path, "wb") as fh:
+            pickle.dump([], fh)
+        with pytest.raises(ValueError, match="not a durable WAL"):
+            load_wal_file(path)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import UnknownObjectError
+from repro.errors import DuplicateRecordError, UnknownObjectError
 from repro.objects.oid import Oid
 from repro.storage.manager import StorageManager
 from repro.storage.page import Page
@@ -70,8 +70,29 @@ class TestStorageManager:
     def test_duplicate_allocation_rejected(self):
         mgr = StorageManager()
         mgr.allocate(oid(1))
-        with pytest.raises(UnknownObjectError, match="already has a record"):
+        with pytest.raises(DuplicateRecordError, match="already has a record"):
             mgr.allocate(oid(1))
+
+    def test_duplicate_allocation_error_is_distinct(self):
+        """The misfiled case gets its own type, still caught by old handlers.
+
+        Allocating twice is "this object already exists", the opposite of
+        "this object is unknown" — callers distinguishing the two (e.g. an
+        idempotent loader retrying allocations) need separate types, while
+        pre-existing ``except UnknownObjectError`` code keeps working.
+        """
+        mgr = StorageManager()
+        mgr.allocate(oid(1))
+        try:
+            mgr.allocate(oid(1))
+        except UnknownObjectError as exc:  # backwards-compatible catch
+            assert isinstance(exc, DuplicateRecordError)
+        else:
+            pytest.fail("duplicate allocation must raise")
+        # and the release path still reports unknown objects as unknown
+        with pytest.raises(UnknownObjectError) as info:
+            mgr.release(oid(99))
+        assert not isinstance(info.value, DuplicateRecordError)
 
     def test_unknown_queries(self):
         mgr = StorageManager()
