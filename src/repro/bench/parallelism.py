@@ -119,6 +119,7 @@ def run_parallelism_point(
     time_scale: float = 0.002,
     cost_model: Optional[CostModel] = None,
     stall_timeout: float = 30.0,
+    n_shards: Optional[int] = None,
 ) -> ParallelismPoint:
     """Run one grid cell and measure wall-clock throughput.
 
@@ -136,6 +137,7 @@ def run_parallelism_point(
         time_scale=time_scale,
         cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
         stall_timeout=stall_timeout,
+        n_shards=n_shards,
     )
 
     def make_program(counter):
@@ -240,3 +242,207 @@ def semantic_speedup(
     if baseline.throughput == 0:
         return float("inf")
     return semantic.throughput / baseline.throughput
+
+
+# ----------------------------------------------------------------------
+# Thread-scaling study: does sharded execution actually scale?
+# ----------------------------------------------------------------------
+
+LEDGER = TypeSpec("BenchLedger")
+
+
+@LEDGER.method(inverse=lambda result, args: ("Retract", (args[0],)))
+async def Deposit(ctx, ledger, tag):
+    entries = ledger.impl_component("entries")
+    await ctx.insert(entries, tag, ctx.create_atom(f"entry-{tag}", 1))
+    return None
+
+
+@LEDGER.method(inverse=lambda result, args: ("Deposit", (args[0],)))
+async def Retract(ctx, ledger, tag):
+    entries = ledger.impl_component("entries")
+    await ctx.remove(entries, tag)
+    return None
+
+
+# Deposits of distinct tags commute — and every bench deposit carries a
+# unique tag, so the hot ledger never blocks.  Unlike the tally's
+# ``Bump`` (whose get-then-put leaf pair upgrade-deadlocks under heavy
+# concurrency), the deposit body is a single distinct-key ``Insert``
+# leaf: the scaling sweep measures runtime overhead, not restart churn.
+LEDGER.matrix.allow_if_distinct_arg("Deposit", "Deposit")
+LEDGER.matrix.allow_if_distinct_arg("Deposit", "Retract")
+LEDGER.matrix.allow_if_distinct_arg("Retract", "Retract")
+
+
+def build_ledger_database():
+    """A database with one hot ledger object backed by a set."""
+    db = Database()
+    ledger = db.new_encapsulated(LEDGER, "ledger")
+    db.attach_child(ledger)
+    impl = db.new_tuple("ledger-impl")
+    impl.add_component("entries", db.new_set("entries"))
+    ledger.set_implementation(impl)
+    return db, ledger
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One worker-count cell of the thread-scaling sweep.
+
+    The workload is fully commuting (every transaction deposits
+    uniquely-tagged entries into the same hot ledger under the semantic
+    protocol), so with sharded execution throughput should grow with
+    the worker count until the pool covers the think-time; under the
+    old single kernel mutex every step serialised and extra workers
+    bought nothing.
+    """
+
+    n_threads: int
+    n_shards: int
+    n_transactions: int
+    bumps_per_txn: int
+    committed: int
+    aborted: int
+    elapsed_s: float
+    throughput: float  # committed transactions per wall-clock second
+    final_total: int
+    expected_total: int
+    shard_steps: int
+    shard_contended: int
+    coordinations: int
+
+    @property
+    def consistent(self) -> bool:
+        """No lost or phantom updates: the tally adds up exactly."""
+        return (
+            self.committed + self.aborted == self.n_transactions
+            and self.final_total == self.expected_total
+        )
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["consistent"] = self.consistent
+        return record
+
+
+def run_scaling_point(
+    n_threads: int,
+    n_shards: Optional[int] = None,
+    n_transactions: int = 32,
+    bumps_per_txn: int = 4,
+    think_cost: float = 4.0,
+    time_scale: float = 0.002,
+    cost_model: Optional[CostModel] = None,
+    stall_timeout: float = 60.0,
+) -> ScalingPoint:
+    """Run the hot-ledger commuting workload with one worker count.
+
+    Every transaction deposits into *the same* ledger — the worst case
+    for a global mutex and the best case for semantic commutativity.
+    The think-time (``think_cost * time_scale`` real seconds per
+    deposit) is slept outside all locks, so the sweep measures how much
+    of that sleep the worker pool can overlap; it scales with the
+    thread count even on a single core.
+    """
+    db, ledger = build_ledger_database()
+    kernel = ThreadedKernel(
+        db,
+        protocol=SemanticLockingProtocol(),
+        n_threads=n_threads,
+        time_scale=time_scale,
+        cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
+        stall_timeout=stall_timeout,
+        n_shards=n_shards,
+    )
+
+    def make_program(txn_id):
+        async def program(tx):
+            for j in range(bumps_per_txn):
+                await tx.call(ledger, "Deposit", f"{txn_id}.{j}")
+                await Pause(think_cost)  # think-time: no locks acquired
+
+        return program
+
+    for i in range(n_transactions):
+        kernel.spawn(f"S{i}", make_program(i))
+
+    start = time.monotonic()
+    kernel.run()
+    elapsed = time.monotonic() - start
+
+    committed = sum(1 for h in kernel.handles.values() if h.committed)
+    aborted = sum(1 for h in kernel.handles.values() if h.aborted)
+    final_total = ledger.impl_component("entries").raw_size()
+    kernel.locks.check_invariants()
+    snap = kernel.obs.snapshot()
+    return ScalingPoint(
+        n_threads=n_threads,
+        n_shards=int(snap.gauge("shard.count", 0)),
+        n_transactions=n_transactions,
+        bumps_per_txn=bumps_per_txn,
+        committed=committed,
+        aborted=aborted,
+        elapsed_s=elapsed,
+        throughput=committed / elapsed if elapsed > 0 else 0.0,
+        final_total=final_total,
+        expected_total=committed * bumps_per_txn,
+        shard_steps=snap.counters.get("shard.steps", 0),
+        shard_contended=snap.counters.get("shard.contended", 0),
+        coordinations=snap.counters.get("shard.coordinations", 0),
+    )
+
+
+def run_scaling_sweep(
+    thread_counts: Sequence[int] = (1, 4, 8),
+    n_shards: Optional[int] = None,
+    n_transactions: int = 32,
+    bumps_per_txn: int = 4,
+    think_cost: float = 4.0,
+    time_scale: float = 0.002,
+) -> list[ScalingPoint]:
+    """One :class:`ScalingPoint` per worker count, same workload."""
+    return [
+        run_scaling_point(
+            n_threads,
+            n_shards=n_shards,
+            n_transactions=n_transactions,
+            bumps_per_txn=bumps_per_txn,
+            think_cost=think_cost,
+            time_scale=time_scale,
+        )
+        for n_threads in thread_counts
+    ]
+
+
+def scaling_rows(points: Sequence[ScalingPoint]) -> list[dict]:
+    """Table rows for the sweep: one per worker count."""
+    return [
+        {
+            "threads": p.n_threads,
+            "shards": p.n_shards,
+            "throughput": round(p.throughput, 2),
+            "elapsed_s": round(p.elapsed_s, 3),
+            "contended": p.shard_contended,
+            "coordinations": p.coordinations,
+            "consistent": p.consistent,
+        }
+        for p in points
+    ]
+
+
+def scaling_is_monotone(points: Sequence[ScalingPoint]) -> bool:
+    """True if throughput strictly grows with the worker count."""
+    ordered = sorted(points, key=lambda p: p.n_threads)
+    return all(
+        b.throughput > a.throughput for a, b in zip(ordered, ordered[1:])
+    )
+
+
+def write_scaling_json(points: Sequence[ScalingPoint], fp) -> int:
+    """One JSON object per sweep point; returns the line count."""
+    import json
+
+    for point in points:
+        fp.write(json.dumps(point.to_dict(), sort_keys=True) + "\n")
+    return len(points)

@@ -135,6 +135,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             programs,
             protocol=PROTOCOLS[args.protocol](),
             n_threads=args.threads,
+            n_shards=args.shards,
         )
         kernel.locks.check_invariants()
     else:
@@ -278,6 +279,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("!! recovered states diverge across WAL modes")
             return 1
         return 0
+    if args.scaling:
+        from repro.bench.parallelism import (
+            run_scaling_sweep,
+            scaling_is_monotone,
+            scaling_rows,
+            write_scaling_json,
+        )
+
+        thread_counts = (1, 4, 8)
+        print("running the thread-scaling sweep on the hot-ledger workload ...")
+        points = run_scaling_sweep(thread_counts, n_shards=args.shards)
+        print(format_table(
+            scaling_rows(points),
+            "commuting-workload throughput (committed/s) by worker count",
+        ))
+        if args.jsonl:
+            with open(args.jsonl, "w", encoding="utf-8") as fp:
+                lines = write_scaling_json(points, fp)
+            print(f"wrote {lines} sweep points to {args.jsonl}")
+        failed = False
+        for p in points:
+            if not p.consistent:
+                print(f"!! inconsistent point: {p.to_dict()}")
+                failed = True
+        first, last = points[0], points[-1]
+        if last.throughput <= first.throughput:
+            print(
+                f"!! no scaling: {last.n_threads} workers "
+                f"({last.throughput:.2f}/s) did not beat "
+                f"{first.n_threads} worker ({first.throughput:.2f}/s)"
+            )
+            failed = True
+        elif not scaling_is_monotone(points):
+            print("note: throughput not strictly monotone across the sweep")
+        return 1 if failed else 0
     if args.parallelism:
         from repro.bench.parallelism import (
             parallelism_rows,
@@ -399,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=4,
         help="worker threads for --runtime threaded (default: 4)",
     )
+    check.add_argument(
+        "--shards", type=int, default=None,
+        help="execution shards for --runtime threaded "
+        "(default: match the lock-table stripe count)",
+    )
     check.set_defaults(fn=cmd_check)
 
     stats = sub.add_parser(
@@ -446,7 +487,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--jsonl", metavar="PATH",
-        help="with --parallelism: write one JSON line per grid point",
+        help="with --parallelism/--scaling: write one JSON line per point",
+    )
+    bench.add_argument(
+        "--scaling", action="store_true",
+        help="run the 1/4/8-worker thread-scaling sweep on the commuting "
+        "hot-ledger workload; exits non-zero if 8 workers do not beat 1",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None,
+        help="execution shards for --scaling "
+        "(default: match the lock-table stripe count)",
     )
     bench.add_argument(
         "--durability", action="store_true",

@@ -25,6 +25,7 @@ machinery is a discrete-event performance simulation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Iterable, Mapping, Optional, Union
 
@@ -123,6 +124,12 @@ class KernelMetrics:
 
     def as_dict(self) -> dict[str, int]:
         return {field: self._counters[field].value for field in self.FIELDS}
+
+    def inc(self, field: str, delta: int = 1) -> None:
+        """Atomic increment — the kernel uses this instead of ``+= 1``
+        on the assignable properties, whose read-then-set is a lost
+        update waiting to happen under concurrent worker threads."""
+        self._counters[field].inc(delta)
 
 
 def _kernel_counter_property(field: str) -> property:
@@ -303,6 +310,20 @@ class TransactionManager:
         # with decision caches keyed on owner nodes must hear about it.
         self.locks.on_locks_reassigned = self.protocol.on_locks_reassigned
         self.protocol.bind_lock_table(self.locks)
+        # Sharded-runtime seams.  A scheduler that steps tasks on
+        # concurrent execution shards exposes coordination(): the kernel
+        # wraps its multi-structure phases (commit/abort processing,
+        # re-evaluation, deadlock resolution, timeouts) in it so they
+        # serialise with each other.  A striped lock table exposes
+        # try_acquire/enqueue_if_blocked (test+grant/enqueue in one
+        # stripe-lock hold) and stripe_guard (per-target serialisation
+        # of physical state mutation).  Under the virtual-time scheduler
+        # all three are absent and every wrapper is a no-op, keeping the
+        # oracle path bit-identical.
+        coordination = getattr(self.scheduler, "coordination", None)
+        self._coordinated = coordination if coordination is not None else nullcontext
+        self._object_guard = getattr(self.locks, "stripe_guard", None)
+        self._atomic_acquire = hasattr(self.locks, "try_acquire")
         # Baseline protocols do not classify Fig. 9 outcomes themselves;
         # the kernel bins their conflict-test results coarsely so the
         # breakdown table is populated for every protocol.
@@ -493,7 +514,7 @@ class TransactionManager:
         self._wal_txn_status(handle.name, "commit")
         handle.committed = True
         handle.end_clock = self.scheduler.clock
-        self.metrics.commits += 1
+        self.metrics.inc("commits")
         return handle.result
 
     # ------------------------------------------------------------------
@@ -522,7 +543,7 @@ class TransactionManager:
         node.is_compensation = is_compensation or parent.is_compensation
         node.compensates = compensates
         self.recorder.snapshot_target(target.oid)
-        self.metrics.actions += 1
+        self.metrics.inc("actions")
 
         cost = self.cost_model.cost_of(operation)
         await Pause(cost)  # scheduling point (+ virtual CPU time)
@@ -579,29 +600,33 @@ class TransactionManager:
         do/undo pair nets out to nothing).
         """
         self._trace(node, "restart")
-        self.metrics.subtxn_restarts += 1
+        self.metrics.inc("subtxn_restarts")
         root = node.root()
         prior_root_children = len(root.children)
         await self._undo_children(node, in_restart=True)
-        discarded = {n.node_id for n in node.descendants(include_self=True)}
-        # Compensations spawned by the rollback attach to the root; their
-        # records net out against the discarded do-records, so drop them
-        # from the history as well (their *effects* stand, of course).
-        compensations = root.children[prior_root_children:]
-        for comp in compensations:
-            discarded.update(n.node_id for n in comp.descendants(include_self=True))
-        for node_id in discarded:
-            self.undo.discard(node_id)
-        self.recorder.discard_nodes(discarded - {node.node_id})
-        released = self.locks.release_subtree(node)
-        # The discarded subtree's nodes are dead objects: cached conflict
-        # verdicts keyed on them must not survive the restart (the
-        # retried subtransaction builds fresh child nodes).
-        for dead in node.descendants():
-            self.protocol.on_node_event(dead, "discard")
-        node.children.clear()
-        self._trace(node, "restart-released", count=len(released))
-        self._after_lock_change()
+        # Coordinated from here down: discarding records, releasing the
+        # subtree's locks, and re-evaluating the queues is one logical
+        # step against concurrent commits/aborts on other shards.
+        with self._coordinated():
+            discarded = {n.node_id for n in node.descendants(include_self=True)}
+            # Compensations spawned by the rollback attach to the root; their
+            # records net out against the discarded do-records, so drop them
+            # from the history as well (their *effects* stand, of course).
+            compensations = root.children[prior_root_children:]
+            for comp in compensations:
+                discarded.update(n.node_id for n in comp.descendants(include_self=True))
+            for node_id in discarded:
+                self.undo.discard(node_id)
+            self.recorder.discard_nodes(discarded - {node.node_id})
+            released = self.locks.release_subtree(node)
+            # The discarded subtree's nodes are dead objects: cached conflict
+            # verdicts keyed on them must not survive the restart (the
+            # retried subtransaction builds fresh child nodes).
+            for dead in node.descendants():
+                self.protocol.on_node_event(dead, "discard")
+            node.children.clear()
+            self._trace(node, "restart-released", count=len(released))
+            self._after_lock_change()
 
     async def _run_probe(self, node: TransactionNode, phase: str) -> None:
         if self.probe is None:
@@ -720,6 +745,16 @@ class TransactionManager:
         args: tuple[Any, ...],
     ) -> Any:
         if operation in _GENERIC_OPS:
+            if self._object_guard is not None:
+                # Sharded runtime: two granted-and-commuting operations
+                # on the same object may step on different shards at the
+                # same wall-clock instant; the target's stripe guard
+                # serialises the physical read-modify-write.  Generic
+                # leaves are synchronous, so the guard never spans an
+                # await (method bodies mutate state only through nested
+                # generic leaves, each guarded here).
+                with self._object_guard(target.oid):
+                    return self._execute_generic(node, target, operation, args)
             return self._execute_generic(node, target, operation, args)
         if isinstance(target, EncapsulatedObject):
             spec = target.spec.method_spec(operation)
@@ -869,31 +904,62 @@ class TransactionManager:
 
     async def _acquire(self, node: TransactionNode, spec: LockSpec) -> None:
         self._trace(node, "request", target=str(spec.target), mode=str(spec.invocation))
-        blockers = self.locks.compute_blockers(
-            node, spec.target, spec.invocation, self._tester
-        )
-        if not blockers:
-            self.locks.grant(node, spec.target, spec.invocation)
-            self._trace(node, "grant", target=str(spec.target), mode=str(spec.invocation))
-            return
-
-        blockers = self._apply_prevention_policy(node, blockers)
-        if not blockers:
-            # wound-wait may have cleared the way synchronously; retest.
+        if self._atomic_acquire:
+            # Sharded runtime: the conflict test and the grant must be
+            # one stripe-atomic step, or a competing request can be
+            # granted a conflicting lock in the window between them.
+            blockers = self.locks.try_acquire(
+                node, spec.target, spec.invocation, self._tester
+            )
+        else:
             blockers = self.locks.compute_blockers(
                 node, spec.target, spec.invocation, self._tester
             )
             if not blockers:
                 self.locks.grant(node, spec.target, spec.invocation)
+        if not blockers:
+            self._trace(node, "grant", target=str(spec.target), mode=str(spec.invocation))
+            return
+
+        with self._coordinated():
+            blockers = self._apply_prevention_policy(node, blockers)
+        if not blockers:
+            # wound-wait may have cleared the way synchronously; retest.
+            if self._atomic_acquire:
+                blockers = self.locks.try_acquire(
+                    node, spec.target, spec.invocation, self._tester
+                )
+            else:
+                blockers = self.locks.compute_blockers(
+                    node, spec.target, spec.invocation, self._tester
+                )
+                if not blockers:
+                    self.locks.grant(node, spec.target, spec.invocation)
+            if not blockers:
                 self._trace(node, "grant", target=str(spec.target), mode=str(spec.invocation))
                 return
 
         signal = self.scheduler.create_signal(f"grant-{node.node_id}")
-        pending = self.locks.enqueue(node, spec.target, spec.invocation, signal)
-        # set_blockers keeps the reverse blocker index current and fires
-        # the waits-changed hook, so the waits-for graph needs no rebuild.
-        self.locks.set_blockers(pending, blockers)
-        self.metrics.blocks += 1
+        if self._atomic_acquire:
+            # Re-test and enqueue under one stripe-lock hold: either the
+            # request is granted outright (blockers finished meanwhile),
+            # or it is queued with its blockers registered before any
+            # holder can complete unseen — a holder completing after
+            # this call re-tests the queue under notify_node_completed.
+            pending, blockers = self.locks.enqueue_if_blocked(
+                node, spec.target, spec.invocation, signal, self._tester
+            )
+            if pending is None:
+                self._trace(
+                    node, "grant", target=str(spec.target), mode=str(spec.invocation)
+                )
+                return
+        else:
+            pending = self.locks.enqueue(node, spec.target, spec.invocation, signal)
+            # set_blockers keeps the reverse blocker index current and fires
+            # the waits-changed hook, so the waits-for graph needs no rebuild.
+            self.locks.set_blockers(pending, blockers)
+        self.metrics.inc("blocks")
         self._trace(
             node,
             "block",
@@ -909,7 +975,8 @@ class TransactionManager:
             )
         try:
             if self.deadlock_policy == "detect":
-                self._resolve_deadlocks(requester=node)
+                with self._coordinated():
+                    self._resolve_deadlocks(requester=node)
             await signal
         except BaseException:
             self.locks.cancel(pending)
@@ -944,6 +1011,10 @@ class TransactionManager:
         to completion (the stall-time detection pass remains as their
         backstop).
         """
+        with self._coordinated():
+            self._on_lock_timeout_locked(pending, waited)
+
+    def _on_lock_timeout_locked(self, pending: PendingRequest, waited: float) -> None:
         if pending.signal.done:
             return  # granted between arming and firing
         node = pending.node
@@ -1006,7 +1077,7 @@ class TransactionManager:
             # Younger requesters die instead of waiting on older holders.
             older_holders = [b for b in blockers if ts(b) < my_ts]
             if older_holders:
-                self.metrics.deadlocks += 1
+                self.metrics.inc("deadlocks")
                 handle.aborting = True
                 self._trace(node, "die", holders=sorted(b.node_id for b in older_holders))
                 raise DeadlockError(
@@ -1023,7 +1094,7 @@ class TransactionManager:
             if victim is None or victim.aborting or ts(blocker) < my_ts:
                 survivors.add(blocker)  # wait for elders / the already-dying
                 continue
-            self.metrics.deadlocks += 1
+            self.metrics.inc("deadlocks")
             victim.aborting = True
             self._trace(node, "wound", victim=victim_name)
             assert victim.task is not None
@@ -1058,14 +1129,15 @@ class TransactionManager:
         return result
 
     def _after_lock_change(self) -> None:
-        granted = self.locks.reevaluate(self._tester)
-        for pending in granted:
-            self._trace(pending.node, "regrant", target=str(pending.target))
-        if self.deadlock_policy != "timeout":
-            # Under "timeout" a cycle is not an event: every member's
-            # timer resolves it in virtual time (the stall hook stays as
-            # the backstop for all-aborting cycles, which never time out).
-            self._resolve_deadlocks()
+        with self._coordinated():
+            granted = self.locks.reevaluate(self._tester)
+            for pending in granted:
+                self._trace(pending.node, "regrant", target=str(pending.target))
+            if self.deadlock_policy != "timeout":
+                # Under "timeout" a cycle is not an event: every member's
+                # timer resolves it in virtual time (the stall hook stays as
+                # the backstop for all-aborting cycles, which never time out).
+                self._resolve_deadlocks()
 
     def _on_waits_changed(self, pending: PendingRequest) -> None:
         """Lock-table hook: mirror a request's blocker set into the graph.
@@ -1096,6 +1168,10 @@ class TransactionManager:
         itself is chosen, the deadlock error is raised in its coroutine
         directly; otherwise the victim's task is interrupted.
         """
+        with self._coordinated():
+            self._resolve_deadlocks_locked(requester)
+
+    def _resolve_deadlocks_locked(self, requester: Optional[TransactionNode]) -> None:
         while True:
             cycle = None
             if requester is not None:
@@ -1104,7 +1180,7 @@ class TransactionManager:
                 cycle = self.waits.find_any_cycle()
             if cycle is None:
                 return
-            self.metrics.deadlocks += 1
+            self.metrics.inc("deadlocks")
             victim, error = self._pick_victim_and_resolution(cycle)
             victim_name = victim.name
             self._trace(
@@ -1210,6 +1286,10 @@ class TransactionManager:
     # Completion
     # ------------------------------------------------------------------
     def _complete_node(self, node: TransactionNode) -> None:
+        with self._coordinated():
+            self._complete_node_locked(node)
+
+    def _complete_node_locked(self, node: TransactionNode) -> None:
         node.mark_committed(self.seq.tick())
         # Before any re-testing below: a commit upgrades case-2 waits on
         # this node to case-1 relief, so cached verdicts must go first.
@@ -1254,18 +1334,25 @@ class TransactionManager:
             raise CompensationError(
                 f"compensation of {handle.name} was itself aborted: {nested}"
             ) from nested
-        root.mark_aborted(self.seq.tick())
-        self.protocol.on_node_event(root, "abort")
-        self.recorder.on_node_end(root)
-        released = self.locks.release_tree(root)
-        self.waits.remove_transaction(handle.name)
-        self._trace(root, "release", count=len(released))
-        handle.aborted = True
-        handle.error = reason
-        handle.end_clock = self.scheduler.clock
-        self.metrics.aborts += 1
-        self._wal_txn_status(handle.name, "abort")
-        self._after_lock_change()
+        # The synchronous completion of the abort is a coordinated
+        # phase: lock release, waits-graph removal, and re-evaluation
+        # must not interleave with commits or deadlock resolution on
+        # other shards.  (The compensations above ran as ordinary
+        # subtransactions and cannot be held under the coordinator —
+        # they await locks themselves.)
+        with self._coordinated():
+            root.mark_aborted(self.seq.tick())
+            self.protocol.on_node_event(root, "abort")
+            self.recorder.on_node_end(root)
+            released = self.locks.release_tree(root)
+            self.waits.remove_transaction(handle.name)
+            self._trace(root, "release", count=len(released))
+            handle.aborted = True
+            handle.error = reason
+            handle.end_clock = self.scheduler.clock
+            self.metrics.inc("aborts")
+            self._wal_txn_status(handle.name, "abort")
+            self._after_lock_change()
 
     async def _undo_children(self, node: TransactionNode, in_restart: bool = False) -> None:
         # Compensations spawned below append to node.children; iterate a
@@ -1294,7 +1381,7 @@ class TransactionManager:
                 is_compensation=True,
                 compensates=node.node_id,
             )
-            self.metrics.compensations += 1
+            self.metrics.inc("compensations")
             return
         # Structural / physical undo: children first (reverse order),
         # then this node's own physical entries, last-in-first-out.

@@ -78,7 +78,15 @@ class SemanticLockingProtocol(CCProtocol):
             self.relief_cache.bind_metrics(registry)
 
     def make_thread_safe(self) -> None:
-        """Arm the decision caches for concurrent conflict tests."""
+        """Arm the decision caches for concurrent conflict tests.
+
+        Under the sharded runtime conflict tests run concurrently on
+        disjoint lock-table stripes *without* any kernel-wide mutex, so
+        the memo and relief cache each take their own internal lock.
+        Idempotent: the existing lock is kept on repeated calls, so
+        arming an already-armed protocol (e.g. one reused across
+        kernels) never swaps the lock out from under a running test.
+        """
         if self.memo is not None:
             self.memo.enable_thread_safety()
         if self.relief_cache is not None:

@@ -147,6 +147,29 @@ class RuntimeEngineError(ReproError):
     """
 
 
+class AggregateWorkerError(RuntimeEngineError):
+    """Several worker threads failed (or wedged) in one threaded run.
+
+    The threaded runtimes collect every worker's error; when more than
+    one survives the drain — or when workers fail to join at all — the
+    run raises this aggregate instead of silently reporting only the
+    first error.  The individual causes are kept on :attr:`errors`
+    (first error also chained as ``__cause__``); a run with exactly one
+    error still raises that error directly, so existing handlers keep
+    working.
+    """
+
+    def __init__(self, message: str, errors: tuple[BaseException, ...] = ()) -> None:
+        errors = tuple(errors)
+        if errors:
+            summary = "; ".join(repr(e) for e in errors[:4])
+            if len(errors) > 4:
+                summary += f"; ... ({len(errors) - 4} more)"
+            message = f"{message}: {summary}"
+        super().__init__(message)
+        self.errors = errors
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
 

@@ -136,6 +136,7 @@ def run_differential(
     mix: Optional[dict] = None,
     n_threads: int = 4,
     n_stripes: int = 8,
+    n_shards: Optional[int] = None,
     time_scale: float = 0.0,
     deadlock_policy: str = "detect",
 ) -> DifferentialReport:
@@ -161,6 +162,7 @@ def run_differential(
         protocol=factory(),
         n_threads=n_threads,
         n_stripes=n_stripes,
+        n_shards=n_shards,
         time_scale=time_scale,
         deadlock_policy=deadlock_policy,
     )

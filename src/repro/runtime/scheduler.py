@@ -99,19 +99,35 @@ class TimerHandle:
     on these.
     """
 
-    __slots__ = ("deadline", "callback", "cancelled")
+    __slots__ = ("deadline", "callback", "cancelled", "fired")
 
     def __init__(self, deadline: float, callback: Callable[[], None]) -> None:
         self.deadline = deadline
         self.callback = callback
+        # Tri-state lifecycle: armed -> fired XOR cancelled.  ``fired``
+        # and ``cancelled`` are distinct so timeout bookkeeping can tell
+        # a timer that ran its callback from one the user deactivated
+        # (historically a fired timer was marked ``cancelled = True``).
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
-        """Deactivate the timer (firing a cancelled timer is a no-op)."""
-        self.cancelled = True
+        """Deactivate the timer (firing a cancelled timer is a no-op).
+
+        Cancelling after the timer already fired is a no-op too — the
+        handle keeps reporting ``fired`` rather than flipping to
+        ``cancelled``.
+        """
+        if not self.fired:
+            self.cancelled = True
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else f"at {self.deadline}"
+        if self.fired:
+            state = "fired"
+        elif self.cancelled:
+            state = "cancelled"
+        else:
+            state = f"at {self.deadline}"
         return f"<Timer {state}>"
 
 
@@ -310,10 +326,10 @@ class Scheduler:
             if not self._ready and self._timed:
                 time, __, entry = heapq.heappop(self._timed)
                 if isinstance(entry, TimerHandle):
-                    if entry.cancelled:
+                    if entry.cancelled or entry.fired:
                         continue
                     self.clock = max(self.clock, time)
-                    entry.cancelled = True  # one-shot
+                    entry.fired = True  # one-shot, but distinct from cancelled
                     entry.callback()
                     continue
                 if entry.state != Task.TIMED:

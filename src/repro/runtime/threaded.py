@@ -24,15 +24,34 @@ Three pieces:
 * :class:`WallClockScheduler` — a scheduler facade satisfying the
   kernel's full scheduler surface (``spawn`` / ``create_signal`` /
   ``call_later`` / ``interrupt`` / ``on_stall`` / ``clock`` / ``run``)
-  with a bounded worker pool.  A coroutine step (the synchronous code
-  between two awaits) runs under one *kernel step mutex*, so kernel
-  state transitions are exactly as atomic as under the cooperative
-  scheduler; awaiting a Signal blocks the worker on a condition
-  variable; awaiting a Pause sleeps ``cost * time_scale`` seconds
-  *outside* the mutex — that is where real interleaving (and the
-  measured parallelism) comes from.  Timers are wall-clock
-  ``threading.Timer``s whose callbacks run under the mutex, which is
-  how the ``timeout`` deadlock policy works under real time.
+  with a bounded worker pool.  Coroutine steps (the synchronous code
+  between two awaits) run under per-task *execution shard* locks
+  (``hash(task.name) % n_shards``) rather than one global step mutex,
+  so steps of different-shard transactions proceed truly concurrently;
+  the shared kernel structures they touch protect themselves (the
+  striped lock table, the locked waits-for graph / sequence counter /
+  id generator / history recorder / undo log, the armed decision
+  caches), and object-state mutation is serialised per target by the
+  lock table's stripe guard.  Cross-shard kernel phases — commit and
+  abort processing, lock re-evaluation, deadlock detection, lock-wait
+  timeouts — run under a small *coordinator* lock
+  (:meth:`WallClockScheduler.coordination`), taken after any shard
+  lock and before stripe locks, so the lock order
+
+      shard lock  ->  coordinator  ->  stripe locks  ->  scheduler lock
+
+  is acyclic.  Awaiting a Signal blocks the worker on a condition
+  variable guarded by the scheduler lock; awaiting a Pause sleeps
+  ``cost * time_scale`` seconds *outside every lock* — that is where
+  real interleaving (and the measured parallelism) comes from.  Timers
+  are wall-clock ``threading.Timer``s whose callbacks run under the
+  coordinator; their handles have the same tri-state lifecycle as
+  virtual-time :class:`~repro.runtime.scheduler.TimerHandle` (armed,
+  then fired XOR cancelled).  Worker failures are aggregated: when
+  several workers fail in one run, ``run()`` raises
+  :class:`~repro.errors.AggregateWorkerError` carrying every primary
+  error, and wedged workers are asked to drain (blocked waits re-check
+  a shutdown flag) before the error surfaces.
 
 * :class:`ThreadedKernel` — a :class:`TransactionManager` wired to the
   two classes above, with the decision caches
@@ -53,7 +72,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Iterable, Mapping, Optional
 
-from repro.errors import RuntimeEngineError
+from repro.errors import AggregateWorkerError, RuntimeEngineError
 from repro.obs.registry import TIMER_BUCKETS, MetricsRegistry
 from repro.runtime.scheduler import Pause, Signal, Task
 from repro.txn.locks import Lock, LockTable, PendingRequest
@@ -351,6 +370,63 @@ class ConcurrentLockTable:
             self._stripe_ops.inc()
 
     # ------------------------------------------------------------------
+    # Atomic acquisition (test + grant/enqueue in one stripe-lock hold)
+    # ------------------------------------------------------------------
+    def try_acquire(self, node, target, invocation, tester) -> set:
+        """Conflict-test and, if clear, grant — atomically on the stripe.
+
+        Returns the blocker set; empty means the lock was granted before
+        the stripe lock was released, so no competing request can slip
+        between the test and the grant.  Without a global step mutex the
+        two-call ``compute_blockers`` + ``grant`` sequence would leave
+        exactly that window open.
+        """
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            blockers = stripe.table.compute_blockers(node, target, invocation, tester)
+            if not blockers:
+                stripe.table.grant(node, target, invocation)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+        return blockers
+
+    def enqueue_if_blocked(self, node, target, invocation, signal, tester):
+        """Re-test and either grant or enqueue, atomically on the stripe.
+
+        Returns ``(pending, blockers)``: ``(None, set())`` when the
+        request was granted outright (the earlier blockers completed in
+        the meantime), otherwise the enqueued request with its blockers
+        already registered — so the waits-for hook has fired before any
+        blocker can complete unseen, and a holder completing right after
+        this call re-tests the queue under :meth:`notify_node_completed`.
+        """
+        stripe = self._stripe_for(target)
+        with stripe.lock:
+            blockers = stripe.table.compute_blockers(node, target, invocation, tester)
+            if not blockers:
+                stripe.table.grant(node, target, invocation)
+                self._count_stripe_op()
+                self._sync_stripe_metrics(stripe)
+                return None, set()
+            pending = stripe.table.enqueue(node, target, invocation, signal)
+            stripe.table.set_blockers(pending, blockers)
+            self._count_stripe_op()
+            self._sync_stripe_metrics(stripe)
+        return pending, blockers
+
+    def stripe_guard(self, target) -> threading.RLock:
+        """The reentrant stripe lock guarding *target* (as a context
+        manager).
+
+        The threaded kernel runs an operation's body under its target's
+        stripe guard: two granted-and-commuting operations on the same
+        object (different execution shards) must still serialise their
+        physical state mutation, while operations on different stripes
+        proceed in parallel.
+        """
+        return self._stripe_for(target).lock
+
+    # ------------------------------------------------------------------
     # Cross-stripe operations (all stripe locks, index order)
     # ------------------------------------------------------------------
     def _count_cross_op(self) -> None:
@@ -443,21 +519,101 @@ class ConcurrentLockTable:
 # Wall-clock scheduler (worker pool)
 # ----------------------------------------------------------------------
 class _WallTimer:
-    """A cancellable wall-clock timer handle (``call_later``)."""
+    """A wall-clock timer handle with a tri-state lifecycle.
 
-    __slots__ = ("cancelled", "_timer")
+    Armed, then *fired* XOR *cancelled* — mirroring the virtual-time
+    :class:`~repro.runtime.scheduler.TimerHandle`.  ``fired`` and
+    ``cancelled`` are distinct so callers can tell a timer that ran its
+    callback from one they deactivated (historically a fired wall timer
+    was marked ``cancelled = True``, making the two indistinguishable).
+    The fire/cancel race is arbitrated by *guard* (the scheduler's
+    coordinator lock, which the fire path holds while deciding).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("cancelled", "fired", "_guard", "_timer")
+
+    def __init__(self, guard: threading.RLock) -> None:
         self.cancelled = False
+        self.fired = False
+        self._guard = guard
         self._timer: Optional[threading.Timer] = None
 
     def cancel(self) -> None:
-        self.cancelled = True
-        if self._timer is not None:
-            self._timer.cancel()
+        """Deactivate the timer; a no-op once the callback has run."""
+        with self._guard:
+            if self.fired:
+                return
+            self.cancelled = True
+            timer = self._timer
+        if timer is not None:
+            timer.cancel()
 
     def __repr__(self) -> str:
-        return f"<WallTimer {'cancelled' if self.cancelled else 'armed'}>"
+        if self.fired:
+            state = "fired"
+        elif self.cancelled:
+            state = "cancelled"
+        else:
+            state = "armed"
+        return f"<WallTimer {state}>"
+
+
+class _Coordinator:
+    """Serialises cross-shard kernel phases (commit, abort, deadlock
+    resolution, lock-wait timeouts, lock re-evaluation).
+
+    A reentrant lock plus an epoch counter; used as a context manager.
+    In the lock order it sits between the execution-shard locks and the
+    stripe locks: a worker may enter coordination while holding its own
+    shard lock, and coordinated phases then take stripe locks and the
+    scheduler lock — never another shard lock.
+    """
+
+    __slots__ = ("lock", "epoch", "_counter")
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.epoch = 0
+        self._counter = None  # shard.coordinations, once metrics bind
+
+    def __enter__(self) -> "_Coordinator":
+        self.lock.acquire()
+        self.epoch += 1
+        if self._counter is not None:
+            self._counter.inc()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.lock.release()
+        return False
+
+
+class _LockedSignal(Signal):
+    """A :class:`Signal` whose transitions run under the scheduler lock.
+
+    ``fire`` / ``add_waiter`` / ``remove_waiter`` race between workers
+    (a grant fired from a completing holder's thread vs. the requester
+    registering as a waiter), so the done flag, the value, and the
+    waiter list flip atomically with task-state changes — a signal
+    observed not-done under the scheduler lock cannot have readied its
+    waiters yet, which is the lost-wakeup-freedom argument.
+    """
+
+    __slots__ = ()
+
+    def fire(self, value: Any = None) -> None:
+        scheduler = self._scheduler
+        with scheduler._sched_lock:
+            super().fire(value)
+            scheduler._wakeup.notify_all()
+
+    def add_waiter(self, task: Task) -> None:
+        with self._scheduler._sched_lock:
+            super().add_waiter(task)
+
+    def remove_waiter(self, task: Task) -> None:
+        with self._scheduler._sched_lock:
+            super().remove_waiter(task)
 
 
 class WallClockScheduler:
@@ -483,19 +639,33 @@ class WallClockScheduler:
         time_scale: float = 0.0,
         stall_timeout: float = 10.0,
         stall_check: float = 0.05,
+        n_shards: int = 8,
     ) -> None:
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.n_threads = n_threads
+        self.n_shards = n_shards
         self.time_scale = time_scale
         self.stall_timeout = stall_timeout
         self.stall_check = stall_check
-        self._mutex = threading.RLock()
-        self._wakeup = threading.Condition(self._mutex)
+        # Scheduler lock: task states, the runnable queue, errors, the
+        # shutdown flag, and signal done/waiter transitions.  Taken
+        # last in the lock order, so it may be acquired from any path.
+        self._sched_lock = threading.RLock()
+        self._wakeup = threading.Condition(self._sched_lock)
+        # Execution shards: a coroutine step runs under its task's
+        # shard lock only, so same-shard steps serialise and
+        # different-shard steps run concurrently.
+        self._shard_locks = [threading.RLock() for __ in range(n_shards)]
+        self._coordinator = _Coordinator()
+        self._step_lock = threading.Lock()  # guards the steps counter
         self.tasks: dict[str, Task] = {}
         self._runnable: deque[Task] = deque()
         self._driving = 0
         self._errors: list[BaseException] = []
+        self._shutdown = False
         self._t0 = time.monotonic()
         self.steps = 0
         self.on_stall: Optional[Callable[[list[Task]], bool]] = None
@@ -505,6 +675,8 @@ class WallClockScheduler:
         self._stall_counter = None
         self._blocked_gauge = None
         self._block_hist = None
+        self._shard_step_counter = None
+        self._shard_contended = None
 
     @property
     def clock(self) -> float:
@@ -513,29 +685,50 @@ class WallClockScheduler:
 
     @property
     def kernel_mutex(self) -> threading.RLock:
-        """The step mutex (exposed for tests that poke kernel state)."""
-        return self._mutex
+        """The scheduler lock (exposed for tests that poke task state).
+
+        Historically this was the one big step mutex; with sharded
+        execution it only guards scheduler state — holding it no longer
+        excludes coroutine steps on other shards.
+        """
+        return self._sched_lock
+
+    def coordination(self) -> _Coordinator:
+        """The cross-shard coordinator, as a reusable context manager.
+
+        The kernel wraps its multi-structure phases (commit, abort,
+        re-evaluation, deadlock resolution, timeouts) in
+        ``with scheduler.coordination():`` so they serialise with each
+        other while per-shard stepping continues elsewhere.
+        """
+        return self._coordinator
 
     def bind_metrics(self, registry) -> None:
-        """Expose ``thread.*`` instruments; see docs/OBSERVABILITY.md."""
+        """Expose ``thread.*`` / ``shard.*`` instruments; see
+        docs/OBSERVABILITY.md."""
         self._step_counter = registry.counter("thread.steps")
         self._spawn_counter = registry.counter("thread.spawned")
         self._stall_counter = registry.counter("thread.stall_checks")
         self._blocked_gauge = registry.gauge("thread.blocked")
         self._block_hist = registry.histogram("thread.block_time", TIMER_BUCKETS)
         registry.gauge("thread.workers").set(self.n_threads)
+        self._shard_step_counter = registry.counter("shard.steps")
+        self._shard_contended = registry.counter("shard.contended")
+        self._coordinator._counter = registry.counter("shard.coordinations")
+        registry.gauge("shard.count").set(self.n_shards)
 
     # ------------------------------------------------------------------
     # Kernel-facing surface
     # ------------------------------------------------------------------
     def create_signal(self, name: str = "") -> Signal:
-        return Signal(self, name)
+        return _LockedSignal(self, name)
 
     def spawn(self, name: str, coro) -> Task:
-        with self._mutex:
+        with self._sched_lock:
             if name in self.tasks:
                 raise RuntimeEngineError(f"task name {name!r} already in use")
             task = Task(name, coro)
+            task.shard = hash(name) % self.n_shards
             self.tasks[name] = task
             self._runnable.append(task)
             if self._spawn_counter is not None:
@@ -544,7 +737,7 @@ class WallClockScheduler:
         return task
 
     def _ready_task(self, task: Task, resume_value: Any = None) -> None:
-        """Signal.fire lands here (caller holds the mutex): wake waiters."""
+        """Signal.fire lands here (caller holds the scheduler lock)."""
         if task.finished:
             return
         task.resume_value = resume_value
@@ -553,8 +746,15 @@ class WallClockScheduler:
         self._wakeup.notify_all()
 
     def interrupt(self, task: Task, exc: BaseException) -> None:
-        """Deliver an exception to a (possibly blocked) task."""
-        with self._mutex:
+        """Deliver an exception to a (possibly blocked) task.
+
+        Safe against every phase of the task's lifecycle: PENDING tasks
+        keep their single runnable-queue entry and raise on their first
+        step; RUNNING tasks pick the exception up at their next await;
+        BLOCKED tasks are woken exactly once (their driving worker owns
+        them, so the task is never re-enqueued or driven twice).
+        """
+        with self._sched_lock:
             if task.finished:
                 return
             if task.blocked_on is not None:
@@ -565,20 +765,22 @@ class WallClockScheduler:
             self._wakeup.notify_all()
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> _WallTimer:
-        """Run *callback* under the kernel mutex after *delay* seconds."""
-        handle = _WallTimer()
+        """Run *callback* under the coordinator after *delay* seconds."""
+        handle = _WallTimer(self._coordinator.lock)
 
         def fire() -> None:
-            with self._mutex:
-                if handle.cancelled:
+            with self._coordinator.lock:
+                if handle.cancelled or handle.fired:
                     return
-                handle.cancelled = True  # one-shot
+                handle.fired = True
                 try:
                     callback()
                 except BaseException as error:  # noqa: BLE001 - surfaced in run()
-                    self._errors.append(error)
+                    with self._sched_lock:
+                        self._errors.append(error)
                 finally:
-                    self._wakeup.notify_all()
+                    with self._sched_lock:
+                        self._wakeup.notify_all()
 
         timer = threading.Timer(max(0.0, delay), fire)
         timer.daemon = True
@@ -593,7 +795,17 @@ class WallClockScheduler:
     # Worker pool
     # ------------------------------------------------------------------
     def run(self) -> None:
-        """Run every spawned task to completion on the worker pool."""
+        """Run every spawned task to completion on the worker pool.
+
+        Error semantics: exactly one worker failure re-raises that
+        error; several concurrent failures raise
+        :class:`~repro.errors.AggregateWorkerError` carrying all of
+        them (chained from the first), so no worker's error is silently
+        dropped.  Workers that miss the join budget are asked to drain
+        — the shutdown flag makes blocked waits raise instead of
+        sleeping on — before the wedge is reported, so the process is
+        not left with live daemon threads still mutating kernel state.
+        """
         workers = [
             threading.Thread(target=self._worker, name=f"cc-worker-{i}", daemon=True)
             for i in range(self.n_threads)
@@ -602,17 +814,47 @@ class WallClockScheduler:
             worker.start()
         for worker in workers:
             worker.join(timeout=self.stall_timeout * 4)
-            if worker.is_alive():
-                raise RuntimeEngineError(f"worker {worker.name} did not finish")
+        wedged = [worker for worker in workers if worker.is_alive()]
+        if wedged:
+            with self._sched_lock:
+                self._shutdown = True
+                self._wakeup.notify_all()
+            for worker in wedged:
+                worker.join(timeout=max(1.0, self.stall_check * 20))
+            survivors = [worker.name for worker in wedged if worker.is_alive()]
+            errors = tuple(self._errors)
+            detail = (
+                f"; still alive after drain: {', '.join(survivors)}"
+                if survivors
+                else " (all drained after shutdown)"
+            )
+            wedge = AggregateWorkerError(
+                f"{len(wedged)} worker(s) missed the join budget{detail}", errors
+            )
+            if errors:
+                wedge.__cause__ = errors[0]
+            raise wedge
         if self._errors:
-            raise self._errors[0]
+            if len(self._errors) == 1:
+                raise self._errors[0]
+            failure = AggregateWorkerError(
+                f"{len(self._errors)} workers failed concurrently",
+                tuple(self._errors),
+            )
+            failure.__cause__ = self._errors[0]
+            raise failure
 
     def _worker(self) -> None:
         while True:
             with self._wakeup:
-                while not self._runnable and self._driving > 0 and not self._errors:
+                while (
+                    not self._runnable
+                    and self._driving > 0
+                    and not self._errors
+                    and not self._shutdown
+                ):
                     self._wakeup.wait(self.stall_check)
-                if self._errors or not self._runnable:
+                if self._shutdown or self._errors or not self._runnable:
                     return
                 task = self._runnable.popleft()
                 if task.state not in (Task.PENDING, Task.READY):
@@ -621,25 +863,41 @@ class WallClockScheduler:
             try:
                 self._drive(task)
             finally:
-                with self._mutex:
+                with self._sched_lock:
                     self._driving -= 1
                     self._wakeup.notify_all()
 
     def _drive(self, task: Task) -> None:
-        """Run one coroutine to completion (the pool's unit of work)."""
+        """Run one coroutine to completion (the pool's unit of work).
+
+        One worker owns the task for its whole life — the task is never
+        re-enqueued, so ``coro.send`` is single-threaded per task.  Each
+        step runs under the task's shard lock only; awaitable dispatch
+        runs under the scheduler lock (atomically with concurrent
+        ``fire``/``interrupt``); Pause sleeps happen outside every lock.
+        """
+        shard = self._shard_locks[task.shard]
         value: Any = None
         exc: Optional[BaseException] = None
         try:
             while True:
-                with self._mutex:
+                with self._sched_lock:
                     if exc is None and task.pending_exception is not None:
                         exc = task.pending_exception
                         task.pending_exception = None
+                if not shard.acquire(blocking=False):
+                    if self._shard_contended is not None:
+                        self._shard_contended.inc()
+                    shard.acquire()
+                try:
                     if self.on_step is not None:
                         self.on_step(self.steps)
-                    self.steps += 1
+                    with self._step_lock:
+                        self.steps += 1
                     if self._step_counter is not None:
                         self._step_counter.inc()
+                    if self._shard_step_counter is not None:
+                        self._shard_step_counter.inc()
                     try:
                         if exc is not None:
                             yielded = task.coro.throw(exc)
@@ -647,46 +905,66 @@ class WallClockScheduler:
                         else:
                             yielded = task.coro.send(value)
                     except StopIteration as stop:
-                        task.state = Task.DONE
-                        task.result = stop.value
-                        self._wakeup.notify_all()
+                        with self._sched_lock:
+                            task.state = Task.DONE
+                            task.result = stop.value
+                            self._wakeup.notify_all()
                         return
-                    if isinstance(yielded, Signal):
+                finally:
+                    shard.release()
+                if isinstance(yielded, Signal):
+                    registered = False
+                    with self._sched_lock:
+                        if task.pending_exception is not None:
+                            # An interrupt raced the await: loop around
+                            # and throw it instead of blocking.
+                            value = None
+                            continue
                         if yielded.done:
                             value = yielded.value
                             continue
                         task.state = Task.BLOCKED
                         task.blocked_on = yielded
                         yielded.add_waiter(task)
+                        registered = True
+                    if registered:
                         value, exc = self._await_signal(task, yielded)
-                        continue
-                    if isinstance(yielded, Pause):
-                        cost = yielded.cost
-                    else:
-                        raise RuntimeEngineError(
-                            f"thread {task.name} awaited unsupported {yielded!r}"
-                        )
-                # Pause: outside the mutex so other workers interleave.
+                    continue
+                if isinstance(yielded, Pause):
+                    cost = yielded.cost
+                else:
+                    raise RuntimeEngineError(
+                        f"thread {task.name} awaited unsupported {yielded!r}"
+                    )
+                # Pause: outside every lock so other workers interleave.
                 if self.time_scale > 0 and cost > 0:
                     time.sleep(cost * self.time_scale)
                 else:
                     time.sleep(0)  # yield the GIL
                 value = None
         except BaseException as error:  # noqa: BLE001 - surfaced in run()
-            task.state = Task.FAILED
-            task.exception = error
-            with self._mutex:
-                self._errors.append(error)
+            with self._sched_lock:
+                task.state = Task.FAILED
+                task.exception = error
+                # Drain errors (raised because *another* worker already
+                # failed or the run is shutting down) are secondary; the
+                # error list keeps primary causes only.
+                if not getattr(error, "_secondary_drain", False):
+                    self._errors.append(error)
                 self._wakeup.notify_all()
 
     def _await_signal(self, task: Task, signal: Signal):
-        """Block (mutex held) until the signal fires or stall times out.
+        """Block until the signal fires, an interrupt lands, or the
+        stall backstop gives up.  Caller holds **no** locks.
 
         Returns ``(resume_value, pending_exception)``.  While waiting,
         periodically hands the kernel's stall hook the blocked task set
         — under wall clock there is no global "all tasks blocked"
         moment, so deadlock detection is driven by these checks (and by
-        the requester-side resolution at block time).
+        the requester-side resolution at block time).  The hook runs
+        with no scheduler lock held: it enters the coordinator and the
+        stripe locks, which workers holding those locks need the
+        scheduler lock *after* — holding it here would deadlock.
         """
         started = time.monotonic()
         deadline = started + self.stall_timeout
@@ -694,15 +972,27 @@ class WallClockScheduler:
         if self._blocked_gauge is not None:
             self._blocked_gauge.inc()
         try:
-            while task.state == Task.BLOCKED:
-                self._wakeup.wait(self.stall_check)
-                if task.state != Task.BLOCKED:
-                    break
-                if self._errors:
-                    raise RuntimeEngineError(
-                        f"runtime aborted while {task.name} waited for "
-                        f"{signal.name or 'a signal'}"
-                    ) from self._errors[0]
+            while True:
+                with self._wakeup:
+                    if task.state != Task.BLOCKED:
+                        break
+                    if self._shutdown:
+                        drain = RuntimeEngineError(
+                            f"runtime shut down while {task.name} waited for "
+                            f"{signal.name or 'a signal'}"
+                        )
+                        drain._secondary_drain = True
+                        raise drain
+                    if self._errors:
+                        drain = RuntimeEngineError(
+                            f"runtime aborted while {task.name} waited for "
+                            f"{signal.name or 'a signal'}"
+                        )
+                        drain._secondary_drain = True
+                        raise drain from self._errors[0]
+                    self._wakeup.wait(self.stall_check)
+                    if task.state != Task.BLOCKED:
+                        break
                 # Run the stall/deadline check at most every stall_check
                 # seconds of blocked time, but *at least* that often even
                 # when unrelated notifications keep waking us.
@@ -714,9 +1004,14 @@ class WallClockScheduler:
                     self._stall_counter.inc()
                 progressed = False
                 if self.on_stall is not None:
-                    blocked = [t for t in self.tasks.values() if t.state == Task.BLOCKED]
+                    with self._sched_lock:
+                        blocked = [
+                            t for t in self.tasks.values() if t.state == Task.BLOCKED
+                        ]
                     progressed = bool(blocked) and self.on_stall(blocked)
-                if progressed or task.state != Task.BLOCKED:
+                with self._sched_lock:
+                    still_blocked = task.state == Task.BLOCKED
+                if progressed or not still_blocked:
                     deadline = time.monotonic() + self.stall_timeout
                 elif now >= deadline:
                     raise RuntimeEngineError(
@@ -728,23 +1023,24 @@ class WallClockScheduler:
                 self._blocked_gauge.dec()
             if self._block_hist is not None:
                 self._block_hist.observe(time.monotonic() - started)
-        if task.pending_exception is not None:
-            exc = task.pending_exception
-            task.pending_exception = None
-            return None, exc
-        return task.resume_value, None
+        with self._sched_lock:
+            if task.pending_exception is not None:
+                exc = task.pending_exception
+                task.pending_exception = None
+                return None, exc
+            return task.resume_value, None
 
     # ------------------------------------------------------------------
     # Introspection (parity with Scheduler)
     # ------------------------------------------------------------------
     @property
     def blocked_tasks(self) -> list[Task]:
-        with self._mutex:
+        with self._sched_lock:
             return [t for t in self.tasks.values() if t.state == Task.BLOCKED]
 
     @property
     def all_finished(self) -> bool:
-        with self._mutex:
+        with self._sched_lock:
             return all(t.finished for t in self.tasks.values())
 
 
@@ -781,13 +1077,21 @@ class ThreadedKernel:
         retry_policy=None,
         max_subtxn_restarts: Optional[int] = None,
         lock_timeout: Optional[float] = None,
+        n_shards: Optional[int] = None,
     ) -> None:
         from repro.core.kernel import TransactionManager
 
         if deadlock_policy == "timeout" and lock_timeout is None:
             lock_timeout = self.DEFAULT_WALL_LOCK_TIMEOUT
+        # Execution shards default to the lock-table stripe count, so
+        # the step-level and lock-level partitions are equally fine.
+        if n_shards is None:
+            n_shards = n_stripes
         self.runtime = WallClockScheduler(
-            n_threads=n_threads, time_scale=time_scale, stall_timeout=stall_timeout
+            n_threads=n_threads,
+            time_scale=time_scale,
+            stall_timeout=stall_timeout,
+            n_shards=n_shards,
         )
         if obs is None:
             obs = MetricsRegistry(thread_safe=True)
@@ -866,6 +1170,7 @@ def run_threaded_transactions(
     cost_model=None,
     deadlock_policy: str = "detect",
     lock_timeout: Optional[float] = None,
+    n_shards: Optional[int] = None,
 ) -> ThreadedKernel:
     """Convenience mirror of :func:`repro.core.kernel.run_transactions`
     for the threaded runtime: spawn every program, run the pool, return
@@ -880,6 +1185,7 @@ def run_threaded_transactions(
         cost_model=cost_model,
         deadlock_policy=deadlock_policy,
         lock_timeout=lock_timeout,
+        n_shards=n_shards,
     )
     items = programs.items() if isinstance(programs, Mapping) else programs
     for name, program in items:

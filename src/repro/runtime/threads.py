@@ -27,7 +27,7 @@ import threading
 import time
 from typing import Any, Optional
 
-from repro.errors import RuntimeEngineError
+from repro.errors import AggregateWorkerError, RuntimeEngineError
 from repro.runtime.scheduler import Pause, Scheduler, Signal, Task
 
 
@@ -56,6 +56,7 @@ class ThreadedRuntime:
         self._errors: list[BaseException] = []
         self._blocked_count = 0
         self._active_count = 0
+        self._shutdown = False
         # Replace the scheduler's spawn with thread creation; Signal.fire
         # goes through _ready_task, which must wake threads instead; and
         # interrupt (deadlock victims) must notify the blocked thread.
@@ -125,9 +126,19 @@ class ThreadedRuntime:
                         self._blocked_count += 1
                         deadline = time.monotonic() + self.stall_timeout
                         while task.state == Task.BLOCKED:
+                            if self._shutdown:
+                                self._blocked_count -= 1
+                                drain = RuntimeEngineError(
+                                    f"runtime shut down while {task.name} waited "
+                                    f"for {yielded.name or 'a signal'}"
+                                )
+                                drain._secondary_drain = True
+                                raise drain
                             remaining = deadline - time.monotonic()
-                            if remaining <= 0 or not self._wakeup.wait(remaining):
-                                if task.state == Task.BLOCKED:
+                            if remaining <= 0 or not self._wakeup.wait(
+                                min(remaining, 0.1)
+                            ):
+                                if remaining <= 0 and task.state == Task.BLOCKED:
                                     self._blocked_count -= 1
                                     raise RuntimeEngineError(
                                         f"thread {task.name} stalled waiting for "
@@ -157,7 +168,10 @@ class ThreadedRuntime:
             task.state = Task.FAILED
             task.exception = error
             with self._mutex:
-                self._errors.append(error)
+                # Drain errors (raised because the run is shutting down)
+                # are secondary; keep the error list to primary causes.
+                if not getattr(error, "_secondary_drain", False):
+                    self._errors.append(error)
         finally:
             with self._mutex:
                 self._active_count -= 1
@@ -167,12 +181,46 @@ class ThreadedRuntime:
     # Entry point
     # ------------------------------------------------------------------
     def run(self) -> None:
-        """Start every registered thread and join them all."""
+        """Start every registered thread and join them all.
+
+        One failed thread re-raises its error; several concurrent
+        failures raise :class:`~repro.errors.AggregateWorkerError`
+        carrying all of them, so no thread's error is silently dropped.
+        Threads that miss the join budget are asked to drain (blocked
+        waits re-check the shutdown flag and exit) before the wedge is
+        reported, rather than raising while live daemon threads keep
+        mutating kernel state.
+        """
         for thread in self._threads:
             thread.start()
         for thread in self._threads:
             thread.join(timeout=self.stall_timeout * 4)
-            if thread.is_alive():
-                raise RuntimeEngineError(f"thread {thread.name} did not finish")
+        wedged = [thread for thread in self._threads if thread.is_alive()]
+        if wedged:
+            with self._mutex:
+                self._shutdown = True
+                self._wakeup.notify_all()
+            for thread in wedged:
+                thread.join(timeout=1.0)
+            survivors = [thread.name for thread in wedged if thread.is_alive()]
+            errors = tuple(self._errors)
+            detail = (
+                f"; still alive after drain: {', '.join(survivors)}"
+                if survivors
+                else " (all drained after shutdown)"
+            )
+            wedge = AggregateWorkerError(
+                f"{len(wedged)} thread(s) missed the join budget{detail}", errors
+            )
+            if errors:
+                wedge.__cause__ = errors[0]
+            raise wedge
         if self._errors:
-            raise self._errors[0]
+            if len(self._errors) == 1:
+                raise self._errors[0]
+            failure = AggregateWorkerError(
+                f"{len(self._errors)} threads failed concurrently",
+                tuple(self._errors),
+            )
+            failure.__cause__ = self._errors[0]
+            raise failure

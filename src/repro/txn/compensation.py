@@ -25,6 +25,7 @@ registered inverse).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -60,30 +61,42 @@ class UndoEntry:
 
 
 class UndoLog:
-    """Per-node undo entries, kept in attachment (execution) order."""
+    """Per-node undo entries, kept in attachment (execution) order.
+
+    Thread-safe: concurrent workers attach entries while abort paths
+    read and discard them; ``setdefault`` + ``append`` and the length
+    sum are compound operations, so all access goes through one lock.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, list[UndoEntry]] = {}
+        self._lock = threading.Lock()
 
     def attach(self, node_id: str, entry: UndoEntry) -> None:
-        self._entries.setdefault(node_id, []).append(entry)
+        with self._lock:
+            self._entries.setdefault(node_id, []).append(entry)
 
     def entries_for(self, node_id: str) -> list[UndoEntry]:
-        return list(self._entries.get(node_id, ()))
+        with self._lock:
+            return list(self._entries.get(node_id, ()))
 
     def inverse_for(self, node_id: str) -> Optional[UndoEntry]:
         """The logical inverse attached to the node, if any."""
-        for entry in self._entries.get(node_id, ()):
-            if entry.kind == "inverse":
-                return entry
-        return None
+        with self._lock:
+            for entry in self._entries.get(node_id, ()):
+                if entry.kind == "inverse":
+                    return entry
+            return None
 
     def physical_for(self, node_id: str) -> list[UndoEntry]:
         """Physical entries for the node, in attachment order."""
-        return [e for e in self._entries.get(node_id, ()) if e.kind == "physical"]
+        with self._lock:
+            return [e for e in self._entries.get(node_id, ()) if e.kind == "physical"]
 
     def discard(self, node_id: str) -> None:
-        self._entries.pop(node_id, None)
+        with self._lock:
+            self._entries.pop(node_id, None)
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._entries.values())
+        with self._lock:
+            return sum(len(entries) for entries in self._entries.values())

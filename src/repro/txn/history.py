@@ -9,6 +9,7 @@ the semantic-serializability checker needs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -130,12 +131,18 @@ def record_title(record: ActionRecord) -> str:
 
 
 class HistoryRecorder:
-    """Accumulates action records during a kernel run."""
+    """Accumulates action records during a kernel run.
+
+    Thread-safe: concurrent workers record actions simultaneously under
+    the threaded runtime, and both ``snapshot_target`` (check-then-set)
+    and ``discard_nodes`` (list rebuild) are compound mutations.
+    """
 
     def __init__(self, db: Database) -> None:
         self._db = db
         self._records: list[ActionRecord] = []
         self._composition: dict[Oid, Optional[Oid]] = {}
+        self._lock = threading.Lock()
 
     def snapshot_target(self, target: Oid) -> None:
         """Capture the composition chain of *target* at touch time.
@@ -143,12 +150,15 @@ class HistoryRecorder:
         Objects can be destroyed later (aborted creations), so the chain
         is recorded while the object is alive.
         """
-        if target in self._composition:
-            return
-        obj = self._db.resolve(target)
-        for node in obj.composition_ancestors(include_self=True):
-            parent = node.parent
-            self._composition.setdefault(node.oid, parent.oid if parent is not None else None)
+        with self._lock:
+            if target in self._composition:
+                return
+            obj = self._db.resolve(target)
+            for node in obj.composition_ancestors(include_self=True):
+                parent = node.parent
+                self._composition.setdefault(
+                    node.oid, parent.oid if parent is not None else None
+                )
 
     def on_node_end(self, node: TransactionNode) -> None:
         """Record a finished (committed or aborted) action."""
@@ -157,21 +167,21 @@ class HistoryRecorder:
             NodeStatus.ABORTED: "aborted",
             NodeStatus.ACTIVE: "active",
         }[node.status]
-        self._records.append(
-            ActionRecord(
-                node_id=node.node_id,
-                parent_id=node.parent.node_id if node.parent is not None else None,
-                txn=node.top_level_name,
-                target=node.target,
-                operation=node.invocation.operation,
-                args=node.invocation.args,
-                begin_seq=node.begin_seq if node.begin_seq is not None else -1,
-                end_seq=node.end_seq if node.end_seq is not None else -1,
-                status=status,
-                depth=node.depth,
-                is_compensation=node.is_compensation,
-            )
+        record = ActionRecord(
+            node_id=node.node_id,
+            parent_id=node.parent.node_id if node.parent is not None else None,
+            txn=node.top_level_name,
+            target=node.target,
+            operation=node.invocation.operation,
+            args=node.invocation.args,
+            begin_seq=node.begin_seq if node.begin_seq is not None else -1,
+            end_seq=node.end_seq if node.end_seq is not None else -1,
+            status=status,
+            depth=node.depth,
+            is_compensation=node.is_compensation,
         )
+        with self._lock:
+            self._records.append(record)
 
     def discard_nodes(self, node_ids: set[str]) -> None:
         """Forget records of a rolled-back (restarted) subtree.
@@ -180,13 +190,15 @@ class HistoryRecorder:
         the history treats it as never having executed, exactly like
         standard multilevel-transaction restart semantics.
         """
-        self._records = [r for r in self._records if r.node_id not in node_ids]
+        with self._lock:
+            self._records = [r for r in self._records if r.node_id not in node_ids]
 
     def history(self) -> History:
-        return History(
-            records=sorted(self._records, key=lambda r: r.begin_seq),
-            composition_parent=dict(self._composition),
-        )
+        with self._lock:
+            records = sorted(self._records, key=lambda r: r.begin_seq)
+            composition = dict(self._composition)
+        return History(records=records, composition_parent=composition)
 
     def extend(self, records: Iterable[ActionRecord]) -> None:
-        self._records.extend(records)
+        with self._lock:
+            self._records.extend(records)

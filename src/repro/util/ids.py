@@ -7,6 +7,7 @@ its inputs alone: no wall-clock time, no process-global randomness.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 
 
@@ -16,15 +17,20 @@ class IdGenerator:
     One generator instance is owned by each :class:`~repro.objects.database.
     Database` and each kernel, so two independent databases produce
     identical id streams for identical construction sequences.
+
+    Thread-safe: the threaded kernel mints node ids from concurrent
+    workers, and the per-prefix increment is a compound operation.
     """
 
     def __init__(self) -> None:
         self._counters: defaultdict[str, int] = defaultdict(int)
+        self._lock = threading.Lock()
 
     def next_number(self, prefix: str) -> int:
         """Return the next integer for *prefix*, starting at 1."""
-        self._counters[prefix] += 1
-        return self._counters[prefix]
+        with self._lock:
+            self._counters[prefix] += 1
+            return self._counters[prefix]
 
     def next_id(self, prefix: str) -> str:
         """Return a human-readable id such as ``"txn-3"``."""

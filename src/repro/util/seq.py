@@ -6,17 +6,27 @@ timestamps; one :class:`SequenceCounter` per kernel provides them.
 
 from __future__ import annotations
 
+import threading
+
 
 class SequenceCounter:
-    """Monotonically increasing logical clock."""
+    """Monotonically increasing logical clock.
+
+    Thread-safe: the threaded runtime ticks it from concurrent worker
+    threads, and ``self._value += 1`` is a compound read-modify-write
+    that the GIL does not make atomic.  The lock is uncontended on the
+    virtual-time path and costs nothing measurable there.
+    """
 
     def __init__(self, start: int = 0) -> None:
         self._value = start
+        self._lock = threading.Lock()
 
     def tick(self) -> int:
         """Advance the clock and return the new value."""
-        self._value += 1
-        return self._value
+        with self._lock:
+            self._value += 1
+            return self._value
 
     @property
     def value(self) -> int:

@@ -1,0 +1,262 @@
+"""Tests for the sharded wall-clock scheduler: error aggregation,
+shutdown drain, interrupt races, timer tri-state, and shard metrics.
+
+These pin the two historical bugs — ``run()`` dropping all but
+``_errors[0]`` and fired timers masquerading as cancelled — plus the
+spawn/interrupt/ready races the sharded rewrite must keep closed.  Task
+names hash to shards nondeterministically across interpreter runs
+(``PYTHONHASHSEED``), so the concurrency tests are written to pass
+under both same-shard and different-shard placements.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.parallelism import run_scaling_point
+from repro.core.protocol import SemanticLockingProtocol
+from repro.errors import AggregateWorkerError, RuntimeEngineError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.scheduler import Scheduler, Task
+from repro.runtime.threaded import ThreadedKernel, WallClockScheduler
+from repro.runtime.threads import ThreadedRuntime
+
+from tests.test_threaded_runtime import make_counter_db
+
+
+class TestErrorAggregation:
+    def test_single_error_raised_directly(self):
+        sched = WallClockScheduler(n_threads=2)
+
+        async def boom():
+            raise ValueError("lone failure")
+
+        sched.spawn("solo", boom())
+        with pytest.raises(ValueError, match="lone failure"):
+            sched.run()
+
+    def test_concurrent_errors_all_surface(self):
+        # Both tasks are mid-flight before either raises.  If they land
+        # on the same shard, the barrier times out and both raise
+        # BrokenBarrierError; on different shards both pass the barrier
+        # and raise RuntimeError.  Either way run() must surface BOTH
+        # errors, not just _errors[0].
+        sched = WallClockScheduler(n_threads=2)
+        barrier = threading.Barrier(2)
+
+        def make_boom(tag):
+            async def boom():
+                try:
+                    barrier.wait(timeout=1.5)
+                except threading.BrokenBarrierError:
+                    pass
+                raise RuntimeError(f"boom-{tag}")
+
+            return boom
+
+        sched.spawn("boom-a", make_boom("a")())
+        sched.spawn("boom-b", make_boom("b")())
+        with pytest.raises(AggregateWorkerError) as excinfo:
+            sched.run()
+        assert len(excinfo.value.errors) == 2
+        assert excinfo.value.__cause__ is excinfo.value.errors[0]
+        messages = sorted(str(e) for e in excinfo.value.errors)
+        assert messages == ["boom-a", "boom-b"]
+
+    def test_threaded_runtime_concurrent_errors_all_surface(self):
+        # Same pinning for the one-thread-per-transaction runtime.
+        runtime = ThreadedRuntime(stall_timeout=5.0)
+        barrier = threading.Barrier(2)
+
+        def make_boom(tag):
+            async def boom():
+                try:
+                    barrier.wait(timeout=1.5)
+                except threading.BrokenBarrierError:
+                    pass
+                raise RuntimeError(f"boom-{tag}")
+
+            return boom
+
+        runtime.scheduler.spawn("a", make_boom("a")())
+        runtime.scheduler.spawn("b", make_boom("b")())
+        with pytest.raises(AggregateWorkerError) as excinfo:
+            runtime.run()
+        assert len(excinfo.value.errors) == 2
+        messages = sorted(str(e) for e in excinfo.value.errors)
+        assert messages == ["boom-a", "boom-b"]
+
+    def test_blocked_task_drains_when_peer_fails(self):
+        # A task parked on a never-fired signal must not wedge run()
+        # after another worker fails: the waiter drains, and its
+        # secondary drain error is NOT added to the aggregate.
+        sched = WallClockScheduler(n_threads=2, stall_timeout=5.0)
+        signal = sched.create_signal("never")
+
+        async def waiter():
+            await signal
+
+        async def boom():
+            time.sleep(0.1)  # let the waiter park first
+            raise RuntimeError("primary failure")
+
+        sched.spawn("waiter", waiter())
+        sched.spawn("boom", boom())
+        with pytest.raises(RuntimeError, match="primary failure"):
+            sched.run()
+
+
+class TestInterruptRaces:
+    def test_interrupt_pending_task_not_dropped(self):
+        # Interrupt delivered before run(): the task is still PENDING in
+        # the runnable queue.  It must be driven exactly once and raise.
+        sched = WallClockScheduler(n_threads=2)
+        steps = []
+
+        async def victim():
+            steps.append("stepped")
+
+        task = sched.spawn("victim", victim())
+        sched.interrupt(task, RuntimeEngineError("interrupted while pending"))
+        with pytest.raises(RuntimeEngineError, match="interrupted while pending"):
+            sched.run()
+        assert steps == []  # exception thrown in before the first step
+        assert task.state == Task.FAILED
+
+    def test_interrupt_blocked_task_wakes_it(self):
+        sched = WallClockScheduler(n_threads=2, stall_timeout=5.0)
+        signal = sched.create_signal("never")
+
+        async def waiter():
+            await signal
+
+        task = sched.spawn("waiter", waiter())
+        timer = threading.Timer(
+            0.2, lambda: sched.interrupt(task, RuntimeEngineError("victimised"))
+        )
+        timer.daemon = True
+        timer.start()
+        with pytest.raises(RuntimeEngineError, match="victimised"):
+            sched.run()
+
+    def test_interrupt_finished_task_is_noop(self):
+        sched = WallClockScheduler(n_threads=1)
+
+        async def quick():
+            return 42
+
+        task = sched.spawn("quick", quick())
+        sched.run()
+        sched.interrupt(task, RuntimeEngineError("too late"))
+        assert task.state == Task.DONE
+        assert task.result == 42
+
+
+class TestTimerTriState:
+    def test_wall_timer_fired_is_not_cancelled(self):
+        sched = WallClockScheduler(n_threads=1)
+        fired = threading.Event()
+        handle = sched.call_later(0.05, fired.set)
+        assert fired.wait(timeout=2.0)
+        time.sleep(0.01)  # let fire() finish flipping the state
+        assert handle.fired
+        assert not handle.cancelled
+
+    def test_wall_timer_cancel_after_fire_is_noop(self):
+        sched = WallClockScheduler(n_threads=1)
+        fired = threading.Event()
+        handle = sched.call_later(0.05, fired.set)
+        assert fired.wait(timeout=2.0)
+        time.sleep(0.01)
+        handle.cancel()
+        assert handle.fired
+        assert not handle.cancelled  # cancel() after firing must not lie
+
+    def test_wall_timer_cancel_before_deadline(self):
+        sched = WallClockScheduler(n_threads=1)
+        handle = sched.call_later(30.0, lambda: None)
+        handle.cancel()
+        assert handle.cancelled
+        assert not handle.fired
+
+    def test_virtual_timer_fired_is_not_cancelled(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_later(5.0, lambda: fired.append(True))
+
+        async def idle():
+            return None
+
+        sched.spawn("idle", idle())
+        sched.run()
+        assert fired == [True]
+        assert handle.fired
+        assert not handle.cancelled
+        handle.cancel()  # must stay a no-op after firing
+        assert not handle.cancelled
+
+    def test_virtual_timer_cancel_before_deadline(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_later(5.0, lambda: fired.append(True))
+        handle.cancel()
+
+        async def idle():
+            return None
+
+        sched.spawn("idle", idle())
+        sched.run()
+        assert fired == []
+        assert handle.cancelled
+        assert not handle.fired
+
+
+class TestShardMetrics:
+    def test_shard_counters_populated(self):
+        db, counters = make_counter_db(2)
+        registry = MetricsRegistry(thread_safe=True)
+        kernel = ThreadedKernel(
+            db, protocol=SemanticLockingProtocol(), n_threads=4, n_shards=4,
+            obs=registry,
+        )
+
+        def make_program(counter):
+            async def program(tx):
+                await tx.call(counter, "Add", 1)
+
+            return program
+
+        for i in range(8):
+            kernel.spawn(f"T{i}", make_program(counters[i % 2]))
+        kernel.run()
+        snap = registry.snapshot()
+        assert snap.counter("shard.steps") > 0
+        assert snap.counter("shard.coordinations") > 0
+        assert snap.gauge("shard.count") == 4
+        # shard.steps mirrors thread.steps: both count coroutine steps.
+        assert snap.counter("shard.steps") == snap.counter("thread.steps")
+
+    def test_scaling_point_is_consistent(self):
+        point = run_scaling_point(4, n_transactions=8)
+        assert point.consistent
+        assert point.committed == 8
+        assert point.n_shards > 0
+
+
+class TestShardValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            WallClockScheduler(n_shards=0)
+
+    def test_shard_assignment_in_range(self):
+        sched = WallClockScheduler(n_threads=1, n_shards=3)
+
+        async def idle():
+            return None
+
+        tasks = [sched.spawn(f"t{i}", idle()) for i in range(16)]
+        assert all(0 <= t.shard < 3 for t in tasks)
+        sched.run()
