@@ -18,6 +18,16 @@ from repro.bench.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.bench.openloop import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    collect_server_baseline,
+    compare_server,
+    generate_arrivals,
+    run_open_loop,
+    sweep_rates,
+    write_server_baseline,
+)
 from repro.bench.report import (
     format_conflict_breakdown,
     format_counters,
@@ -45,6 +55,14 @@ __all__ = [
     "compare",
     "load_baseline",
     "write_baseline",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "generate_arrivals",
+    "run_open_loop",
+    "sweep_rates",
+    "collect_server_baseline",
+    "compare_server",
+    "write_server_baseline",
     "format_conflict_breakdown",
     "format_counters",
     "format_gauges",

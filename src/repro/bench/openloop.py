@@ -1,0 +1,456 @@
+"""Open-loop load generation against the transaction server.
+
+Unlike the closed-loop harness (``run_closed_loop``: MPL clients that
+wait for each response before issuing the next), the open-loop
+generator fires requests on a **seeded Poisson arrival schedule** that
+does not slow down when the server does — the regime where overload is
+real and admission control earns its keep.  Keys follow a Zipf
+distribution so a hot item concentrates conflicts; the op mix blends
+writes (place/pay/ship/restock) with read-only stock checks.
+
+``generate_arrivals`` is pure and deterministic: the same
+:class:`OpenLoopConfig` always produces the same arrival times, items,
+and op sequence (tests pin this).  ``run_open_loop`` replays a schedule
+against a live :class:`~repro.server.core.TransactionServer` in wall
+time and reports goodput, shed rate, and latency percentiles;
+``sweep_rates`` builds the saturation curve across arrival rates and
+protocols, and the ``repro-bench-server`` document it emits feeds the
+same :class:`~repro.bench.baseline.Tolerance` comparison machinery as
+the closed-loop baseline (``BENCH_server.json``, CI ``server-smoke``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.bench.baseline import BaselineComparison, ComparisonRow, Tolerance
+from repro.server.admission import AdmissionConfig
+from repro.server.core import TransactionServer
+from repro.server.requests import Request, Response
+
+SERVER_SCHEMA = "repro-bench-server"
+SERVER_SCHEMA_VERSION = 1
+
+#: Default op mix: write-heavy order entry with a read-only fifth.
+DEFAULT_OP_MIX: dict[str, float] = {
+    "place": 0.30,
+    "pay": 0.20,
+    "ship": 0.15,
+    "restock": 0.10,
+    "stock-check": 0.25,
+}
+
+__all__ = [
+    "SERVER_SCHEMA",
+    "SERVER_SCHEMA_VERSION",
+    "DEFAULT_OP_MIX",
+    "OpenLoopConfig",
+    "Arrival",
+    "OpenLoopResult",
+    "generate_arrivals",
+    "percentile",
+    "run_open_loop",
+    "sweep_rates",
+    "collect_server_baseline",
+    "write_server_baseline",
+    "compare_server",
+    "SERVER_TOLERANCES",
+    "BASELINE_SERVER_POINTS",
+]
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """One open-loop run: arrival process, key skew, op mix, deadlines.
+
+    ``rate`` is the offered load in requests/second; ``duration`` the
+    schedule length in seconds (expected ``rate * duration`` arrivals).
+    ``zipf_s`` skews item selection (0 = uniform; higher = hotter hot
+    key).  ``think_cost`` and ``time_scale`` set the per-request service
+    time (a Pause of ``think_cost`` cost units inside the transaction
+    sleeps ``think_cost * time_scale`` wall seconds while holding its
+    locks), which is what gives the server a finite saturation point.
+    """
+
+    rate: float = 80.0
+    duration: float = 1.0
+    seed: int = 42
+    n_items: int = 4
+    orders_per_item: int = 8
+    zipf_s: float = 1.1
+    op_mix: tuple[tuple[str, float], ...] = tuple(sorted(DEFAULT_OP_MIX.items()))
+    deadline: float = 0.25
+    think_cost: float = 25.0
+    time_scale: float = 0.002
+    n_threads: int = 4
+    max_inflight: int = 4
+    queue_cap: int = 16
+
+    def validate(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        if self.n_items <= 0:
+            raise ValueError("need at least one item")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if not self.op_mix or any(w < 0 for _, w in self.op_mix):
+            raise ValueError("op_mix must be non-empty with non-negative weights")
+
+    def to_dict(self) -> dict[str, Any]:
+        doc = {
+            "rate": self.rate,
+            "duration": self.duration,
+            "seed": self.seed,
+            "n_items": self.n_items,
+            "orders_per_item": self.orders_per_item,
+            "zipf_s": self.zipf_s,
+            "op_mix": {op: weight for op, weight in self.op_mix},
+            "deadline": self.deadline,
+            "think_cost": self.think_cost,
+            "time_scale": self.time_scale,
+            "n_threads": self.n_threads,
+            "max_inflight": self.max_inflight,
+            "queue_cap": self.queue_cap,
+        }
+        return doc
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire ``request`` at offset ``at`` seconds."""
+
+    at: float
+    request: Request
+
+
+def _zipf_weights(n: int, s: float) -> list[float]:
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def generate_arrivals(config: OpenLoopConfig) -> list[Arrival]:
+    """Deterministically expand a config into its arrival schedule.
+
+    Pure function of the config: Poisson arrival gaps
+    (``rng.expovariate(rate)`` accumulated until ``duration``), Zipf
+    item choice, weighted op choice, and uniform order numbers all come
+    from one ``random.Random(seed)`` stream, so the same config always
+    yields the identical schedule.
+    """
+    config.validate()
+    rng = random.Random(config.seed)
+    items = list(range(config.n_items))
+    item_weights = _zipf_weights(config.n_items, config.zipf_s)
+    ops = [op for op, _ in config.op_mix]
+    op_weights = [weight for _, weight in config.op_mix]
+    arrivals: list[Arrival] = []
+    at = 0.0
+    index = 0
+    while True:
+        at += rng.expovariate(config.rate)
+        if at >= config.duration:
+            break
+        op = rng.choices(ops, weights=op_weights, k=1)[0]
+        item = rng.choices(items, weights=item_weights, k=1)[0]
+        order_no = rng.randint(1, config.orders_per_item)
+        customer_no = 100 + rng.randint(0, config.orders_per_item - 1)
+        quantity = rng.randint(1, 5)
+        arrivals.append(
+            Arrival(
+                at=at,
+                request=Request(
+                    op=op,
+                    item=item,
+                    order_no=order_no,
+                    customer_no=customer_no,
+                    quantity=quantity,
+                    deadline=config.deadline,
+                    request_id=f"ol-{index}",
+                ),
+            )
+        )
+        index += 1
+    return arrivals
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class OpenLoopResult:
+    """What one open-loop run measured."""
+
+    protocol: str
+    config: OpenLoopConfig
+    offered: int = 0
+    ok: int = 0
+    aborted: int = 0
+    failed: int = 0
+    shed: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    degraded_entries: int = 0
+    drain_clean: bool = True
+    unanswered: int = 0
+
+    @property
+    def goodput(self) -> float:
+        return self.ok / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def ok_rate(self) -> float:
+        return self.ok / self.offered if self.offered else 0.0
+
+    def metrics_record(self) -> dict[str, float]:
+        """Flat JSON-friendly slice for the server baseline document."""
+        return {
+            "offered": float(self.offered),
+            "ok": float(self.ok),
+            "aborted": float(self.aborted),
+            "failed": float(self.failed),
+            "shed": float(self.shed),
+            "unanswered": float(self.unanswered),
+            "goodput": round(self.goodput, 6),
+            "shed_rate": round(self.shed_rate, 6),
+            "ok_rate": round(self.ok_rate, 6),
+            "p50_latency": round(percentile(self.latencies, 50), 6),
+            "p95_latency": round(percentile(self.latencies, 95), 6),
+            "p99_latency": round(percentile(self.latencies, 99), 6),
+            "degraded_entries": float(self.degraded_entries),
+            "drain_clean": 1.0 if self.drain_clean else 0.0,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        doc = {"protocol": self.protocol, "config": self.config.to_dict()}
+        doc.update(self.metrics_record())
+        doc["shed_reasons"] = dict(self.shed_reasons)
+        return doc
+
+
+def _protocol_factory(name: str) -> Optional[Callable[[], Any]]:
+    if name == "semantic":
+        return None
+    if name == "object-rw-2pl":
+        from repro.protocols.two_phase_object import ObjectRW2PLProtocol
+
+        return ObjectRW2PLProtocol
+    raise ValueError(f"unknown open-loop protocol {name!r} (semantic, object-rw-2pl)")
+
+
+def run_open_loop(
+    config: OpenLoopConfig,
+    protocol: str = "semantic",
+    server: Optional[TransactionServer] = None,
+    settle_timeout: float = 10.0,
+) -> OpenLoopResult:
+    """Replay a schedule against a live server; measure the outcome.
+
+    Open-loop semantics: arrivals fire at their scheduled wall-clock
+    offsets whether or not earlier requests have completed — when the
+    generator falls behind it submits immediately rather than stretching
+    the schedule.  Pass ``server`` to reuse a running server (its
+    admission/deadline settings then override the config's); otherwise a
+    fresh one is built from the config, drained, and torn down, and the
+    drain report's cleanliness lands in the result.
+    """
+    arrivals = generate_arrivals(config)
+    owns_server = server is None
+    if server is None:
+        from repro.orderentry.schema import build_order_entry_database
+
+        server = TransactionServer(
+            built=build_order_entry_database(
+                n_items=config.n_items, orders_per_item=config.orders_per_item
+            ),
+            protocol_factory=_protocol_factory(protocol),
+            n_threads=config.n_threads,
+            time_scale=config.time_scale,
+            think_cost=config.think_cost,
+            admission=AdmissionConfig(
+                max_inflight=config.max_inflight, queue_cap=config.queue_cap
+            ),
+            default_deadline=config.deadline,
+        ).start()
+    result = OpenLoopResult(protocol=protocol, config=config, offered=len(arrivals))
+    record_lock = threading.Lock()
+    done = threading.Event()
+    remaining = [len(arrivals)]
+    started_at: dict[str, float] = {}
+
+    def on_response(response: Response) -> None:
+        finished = time.monotonic()
+        with record_lock:
+            if response.status == "ok":
+                result.ok += 1
+                submit_at = started_at.get(response.request_id or "")
+                latency = response.total_time
+                if latency is None and submit_at is not None:
+                    latency = finished - submit_at
+                if latency is not None:
+                    result.latencies.append(latency)
+            elif response.status == "aborted":
+                result.aborted += 1
+            elif response.status == "shed":
+                result.shed += 1
+                code = (response.error or {}).get("reason_code", "unknown")
+                result.shed_reasons[code] = result.shed_reasons.get(code, 0) + 1
+            else:
+                result.failed += 1
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set()
+
+    start = time.monotonic()
+    if not arrivals:
+        done.set()
+    for arrival in arrivals:
+        delay = start + arrival.at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        started_at[arrival.request.request_id or ""] = time.monotonic()
+        server.submit_async(arrival.request, on_response)
+    done.wait(settle_timeout)
+    result.elapsed = time.monotonic() - start
+    with record_lock:
+        result.unanswered = remaining[0]
+    result.degraded_entries = server.degrade.entered_count
+    if owns_server:
+        report = server.shutdown()
+        result.drain_clean = report.clean and result.unanswered == 0
+    return result
+
+
+# ----------------------------------------------------------------------
+# Saturation sweep and the committed server baseline
+# ----------------------------------------------------------------------
+
+#: The committed sweep (BENCH_server.json): below / at / past saturation
+#: for both protocols.  With think_cost=25 at time_scale=0.002 each
+#: request holds its locks ~50 ms; max_inflight=4 puts the semantic
+#: capacity near 80 req/s, so 160 req/s is ~2x saturation.
+BASELINE_SERVER_POINTS: tuple[float, ...] = (40.0, 80.0, 160.0)
+BASELINE_SERVER_PROTOCOLS: tuple[str, ...] = ("semantic", "object-rw-2pl")
+
+#: Wall-clock runs are noisy (CI machines vary), so only goodput gates,
+#: and loosely; everything else is informational context in the diff.
+SERVER_TOLERANCES: dict[str, Tolerance] = {
+    "goodput": Tolerance("higher_is_better", rel=0.6, abs_=2.0),
+    "drain_clean": Tolerance("higher_is_better"),
+}
+
+
+def sweep_rates(
+    rates: tuple[float, ...] = BASELINE_SERVER_POINTS,
+    protocols: tuple[str, ...] = BASELINE_SERVER_PROTOCOLS,
+    base: Optional[OpenLoopConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[OpenLoopResult]:
+    """Run the rate x protocol grid; the saturation curve raw data."""
+    base = base if base is not None else OpenLoopConfig()
+    results = []
+    for protocol in protocols:
+        for rate in rates:
+            config = OpenLoopConfig(**{**base.to_dict(), "rate": rate, "op_mix": base.op_mix})
+            if progress is not None:
+                progress(f"{protocol} @ {rate:g} req/s")
+            results.append(run_open_loop(config, protocol=protocol))
+    return results
+
+
+def collect_server_baseline(
+    rates: tuple[float, ...] = BASELINE_SERVER_POINTS,
+    protocols: tuple[str, ...] = BASELINE_SERVER_PROTOCOLS,
+    base: Optional[OpenLoopConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the sweep and assemble the ``repro-bench-server`` document."""
+    base = base if base is not None else OpenLoopConfig()
+    doc: dict = {
+        "schema": SERVER_SCHEMA,
+        "schema_version": SERVER_SCHEMA_VERSION,
+        "base_config": base.to_dict(),
+        "workloads": {},
+    }
+    for result in sweep_rates(rates, protocols, base, progress):
+        name = f"{result.protocol}_r{result.config.rate:g}"
+        doc["workloads"][name] = {
+            "config": {"protocol": result.protocol, "rate": result.config.rate},
+            "metrics": result.metrics_record(),
+        }
+    return doc
+
+
+def write_server_baseline(path: str, doc: Optional[dict] = None) -> dict:
+    doc = doc if doc is not None else collect_server_baseline()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def compare_server(
+    baseline: dict,
+    fresh: dict,
+    tolerances: Optional[dict[str, Tolerance]] = None,
+) -> BaselineComparison:
+    """Diff a fresh sweep against the committed ``BENCH_server.json``.
+
+    Same shape as :func:`repro.bench.baseline.compare` but for the
+    server schema, with wall-clock-sized tolerances: goodput may not
+    collapse, drains must stay clean, the rest is informational.
+    """
+    tolerances = tolerances if tolerances is not None else SERVER_TOLERANCES
+    result = BaselineComparison()
+    for doc, label in ((baseline, "baseline"), (fresh, "fresh")):
+        if doc.get("schema") != SERVER_SCHEMA:
+            result.errors.append(f"{label}: not a {SERVER_SCHEMA!r} document")
+        elif doc.get("schema_version") != SERVER_SCHEMA_VERSION:
+            result.errors.append(
+                f"{label}: schema_version {doc.get('schema_version')!r} != "
+                f"{SERVER_SCHEMA_VERSION} — regenerate with "
+                "'repro bench --openloop --baseline'"
+            )
+    if result.errors:
+        return result
+    for name, entry in baseline["workloads"].items():
+        fresh_entry = fresh["workloads"].get(name)
+        if fresh_entry is None:
+            result.errors.append(f"fresh sweep is missing workload {name!r}")
+            continue
+        if fresh_entry.get("config") != entry.get("config"):
+            result.errors.append(
+                f"workload {name!r} config drifted: baseline "
+                f"{entry.get('config')} != fresh {fresh_entry.get('config')}"
+            )
+            continue
+        for metric, base_value in entry["metrics"].items():
+            fresh_value = fresh_entry["metrics"].get(metric)
+            if fresh_value is None:
+                result.errors.append(f"{name}: fresh sweep lacks metric {metric!r}")
+                continue
+            tolerance = tolerances.get(metric)
+            if tolerance is None:
+                result.rows.append(
+                    ComparisonRow(name, metric, base_value, fresh_value, False, True)
+                )
+                continue
+            ok, bound = tolerance.check(base_value, fresh_value)
+            result.rows.append(
+                ComparisonRow(name, metric, base_value, fresh_value, True, ok, bound)
+            )
+    return result

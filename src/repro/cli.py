@@ -23,12 +23,21 @@ Commands:
   regression; ``--json`` saves the fresh results (the CI artifact);
   ``--parallelism`` instead runs the wall-clock threads x contention
   grid on the threaded runtime (``--jsonl`` exports the grid points);
+  ``--openloop`` runs the open-loop saturation sweep against the
+  transaction server (``BENCH_server.json`` via ``--baseline`` /
+  ``--compare``);
 * ``torture`` — the crash-torture sweep: crash a seeded workload at
   every scheduler step and WAL-record boundary, recover each crash from
   the pickled log, and verify state equivalence, committed-result
   equivalence, serializability of the surviving history, and lock
   hygiene (``--protocol``, ``--seed``, ``--transactions``, ``--steps``,
-  ``--json``); exits non-zero when any crash point fails.
+  ``--json``); ``--max-seconds`` bounds the sweep by wall clock with a
+  partial-but-honest report; exits non-zero when any crash point fails;
+* ``serve`` — run the overload-robust transaction server: order-entry
+  operations over newline-delimited JSON-over-TCP with admission
+  control, deadlines, graceful degradation, and a clean drain on ^C
+  (``--host``, ``--port``, ``--protocol``, ``--max-inflight``,
+  ``--queue-cap``; docs/SERVER.md).
 """
 
 from __future__ import annotations
@@ -255,6 +264,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    if args.openloop:
+        return cmd_bench_openloop(args)
     if args.durability:
         from repro.bench.durability import durability_rows, run_durability_bench
 
@@ -381,6 +392,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
             wal_sweep=not args.no_wal_sweep,
             workdir=args.workdir,
             mode=args.mode,
+            max_seconds=args.max_seconds,
         )
     else:
         scenario = order_entry_scenario(
@@ -393,6 +405,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
             scenario,
             steps=args.steps,
             wal_sweep=not args.no_wal_sweep,
+            max_seconds=args.max_seconds,
         )
     print(report.summary())
     if args.json:
@@ -400,6 +413,90 @@ def cmd_torture(args: argparse.Namespace) -> int:
             fp.write(report.to_json() + "\n")
         print(f"wrote torture report to {args.json}")
     return 0 if report.all_ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.openloop import _protocol_factory
+    from repro.server import AdmissionConfig, TransactionServer, WireServer
+
+    server = TransactionServer(
+        built=build_order_entry_database(
+            n_items=args.items, orders_per_item=args.orders
+        ),
+        protocol_factory=_protocol_factory(args.protocol),
+        n_threads=args.threads,
+        time_scale=args.time_scale,
+        think_cost=args.think_cost,
+        admission=AdmissionConfig(
+            max_inflight=args.max_inflight, queue_cap=args.queue_cap
+        ),
+        default_deadline=args.default_deadline,
+    ).start()
+    wire = WireServer(server, host=args.host, port=args.port).start()
+    host, port = wire.address
+    print(f"serving order entry on {host}:{port} "
+          f"({args.protocol}, {args.threads} workers, "
+          f"max_inflight={args.max_inflight}, queue_cap={args.queue_cap})",
+          flush=True)
+    print("newline-delimited JSON; try: "
+          '{"op": "ping"} | {"op": "stats"} | {"op": "place", "item": 0}',
+          flush=True)
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\ndraining ...")
+    finally:
+        wire.stop()
+        report = server.shutdown()
+        print(f"drain: {report.to_dict()}")
+    return 0 if report.clean else 1
+
+
+def cmd_bench_openloop(args: argparse.Namespace) -> int:
+    from repro.bench.openloop import (
+        collect_server_baseline,
+        compare_server,
+        write_server_baseline,
+    )
+
+    out = args.out if args.out != "BENCH_baseline.json" else "BENCH_server.json"
+    if args.baseline:
+        doc = write_server_baseline(
+            out,
+            collect_server_baseline(progress=lambda n: print(f"running {n} ...")),
+        )
+        print(f"wrote server baseline ({len(doc['workloads'])} points) to {out}")
+        return 0
+    print("running the open-loop saturation sweep ...")
+    fresh = collect_server_baseline(progress=lambda n: print(f"running {n} ..."))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            import json as _json
+
+            _json.dump(fresh, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote fresh open-loop results to {args.json}")
+    rows = []
+    for name, entry in sorted(fresh["workloads"].items()):
+        record = entry["metrics"]
+        rows.append({
+            "point": name,
+            "goodput/s": f"{record['goodput']:.1f}",
+            "shed rate": f"{record['shed_rate']:.3f}",
+            "p95 (s)": f"{record['p95_latency']:.3f}",
+            "drain": "clean" if record["drain_clean"] else "DIRTY",
+        })
+    print(format_table(rows, "open-loop saturation sweep (semantic vs object R/W 2PL)"))
+    if args.compare is None:
+        return 0
+    from repro.bench.baseline import load_baseline
+
+    result = compare_server(load_baseline(args.compare), fresh)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -504,6 +601,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the durable-WAL bench (in-memory vs fsync-per-commit vs "
         "group commit) and recovery-from-disk timings instead of the baselines",
     )
+    bench.add_argument(
+        "--openloop", action="store_true",
+        help="run the open-loop saturation sweep against the transaction "
+        "server (semantic vs object R/W 2PL); --baseline writes "
+        "BENCH_server.json, --compare diffs against a committed one",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     torture = sub.add_parser(
@@ -536,7 +639,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --durable: keep each crash point's files under DIR "
         "(default: a temp dir, removed afterwards)",
     )
+    torture.add_argument(
+        "--max-seconds", type=float, default=None, dest="max_seconds",
+        help="wall-clock budget for the sweep: stop after the current "
+        "point when it runs out and report partial-but-honest coverage",
+    )
     torture.set_defaults(fn=cmd_torture)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the overload-robust transaction server over TCP "
+        "(newline-delimited JSON; see docs/SERVER.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7477)
+    serve.add_argument("--threads", type=int, default=4, help="kernel worker threads")
+    serve.add_argument("--items", type=int, default=4)
+    serve.add_argument("--orders", type=int, default=8)
+    serve.add_argument(
+        "--protocol", choices=("semantic", "object-rw-2pl"), default="semantic"
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="admission concurrency limit (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-cap", type=int, default=64, dest="queue_cap",
+        help="bounded queue depth per request class (default: 64)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=1.0, dest="default_deadline",
+        help="deadline for requests that do not carry one (default: 1.0s)",
+    )
+    serve.add_argument(
+        "--time-scale", type=float, default=0.0, dest="time_scale",
+        help="seconds of real sleep per cost unit of Pause (default: 0)",
+    )
+    serve.add_argument(
+        "--think-cost", type=float, default=0.0, dest="think_cost",
+        help="extra Pause cost inside each transaction (default: 0)",
+    )
+    serve.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -352,6 +352,13 @@ class TransactionManager:
             if lock_timeout is not None
             else (self.DEFAULT_LOCK_TIMEOUT if deadlock_policy == "timeout" else None)
         )
+        # Per-transaction override of the uniform timeout budget.  The
+        # transaction server uses this seam for deadline propagation: a
+        # request's remaining deadline bounds its lock waits, so a
+        # nearly-expired request is sacrificed quickly instead of
+        # waiting out the full uniform budget.  Returning None falls
+        # back to ``lock_timeout``.
+        self.lock_timeout_fn: Optional[Callable[[TransactionNode], Optional[float]]] = None
         # Restart budgeting: RetryPolicy subsumes the historical
         # ``max_subtxn_restarts`` cap (exposed as a property kept in
         # lockstep).  Both knobs may be passed, but must agree.
@@ -998,6 +1005,10 @@ class TransactionManager:
             if injected is not None:
                 return injected
         if self.deadlock_policy == "timeout":
+            if self.lock_timeout_fn is not None:
+                override = self.lock_timeout_fn(node)
+                if override is not None:
+                    return override
             return self.lock_timeout
         return None
 

@@ -273,6 +273,7 @@ def run_durable_torture(
     mode: str = "fork",
     gc_window: float = 0.0,
     child_timeout: float = 120.0,
+    max_seconds: Optional[float] = None,
 ) -> TortureReport:
     """SIGKILL a child at every crash point; recover from its files.
 
@@ -280,7 +281,9 @@ def run_durable_torture(
     (every scheduler step plus every WAL-record boundary of a reference
     run), but every point is a real process death: the verdicts come
     from the surviving ``wal.log`` / ``pages.db`` on disk plus the tiny
-    verdict file the child fsyncs before killing itself.
+    verdict file the child fsyncs before killing itself.  *max_seconds*
+    stops the sweep when the wall-clock budget runs out and marks the
+    report ``truncated`` (partial-but-honest, as in ``run_torture``).
     """
     from repro.faults.torture import _run_instance
     from repro.recovery import recover
@@ -315,6 +318,7 @@ def run_durable_torture(
     points = [("step", k) for k in step_points]
     if wal_sweep:
         points += [("wal", n) for n in range(1, report.wal_records + 1)]
+    report.planned_points = len(points)
 
     own_dir = None
     if workdir is None:
@@ -322,6 +326,9 @@ def run_durable_torture(
         workdir = own_dir.name
     try:
         for kind, at in points:
+            if max_seconds is not None and time.perf_counter() - started >= max_seconds:
+                report.truncated = True
+                break
             point_dir = os.path.join(workdir, f"{kind}-{at}")
             os.makedirs(point_dir, exist_ok=True)
             config = {

@@ -146,6 +146,8 @@ class TortureReport:
     outcomes: list[CrashOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     durable: bool = False  # real-process SIGKILL sweep over on-disk files
+    planned_points: int = 0  # full sweep size before any time budget
+    truncated: bool = False  # stopped early by max_seconds
 
     @property
     def crash_points(self) -> int:
@@ -174,6 +176,9 @@ class TortureReport:
             "total_steps": self.total_steps,
             "wal_records": self.wal_records,
             "crash_points": self.crash_points,
+            "planned_points": self.planned_points,
+            "covered_points": len(self.outcomes),
+            "truncated": self.truncated,
             "anomalies": [
                 {"at": o.label(), "failures": o.failures, "losers": list(o.losers)}
                 for o in self.anomalies
@@ -195,6 +200,12 @@ class TortureReport:
             f"torture[{self.scenario}]: {self.crash_points} crash points "
             f"({self.total_steps} steps, {self.wal_records} WAL records{mode}) -> {verdict}"
         ]
+        if self.truncated:
+            lines.append(
+                f"  PARTIAL: time budget hit after {len(self.outcomes)} of "
+                f"{self.planned_points} planned points — verdict covers only "
+                "the points that ran"
+            )
         for outcome in self.anomalies:
             lines.append(f"  {outcome.label()}: {', '.join(outcome.failures)}")
         return "\n".join(lines)
@@ -349,6 +360,7 @@ def run_torture(
     step_stride: int = 1,
     wal_sweep: bool = True,
     wal_dir: Optional[str] = None,
+    max_seconds: Optional[float] = None,
 ) -> TortureReport:
     """Crash the scenario at every crash point and verify each recovery.
 
@@ -359,6 +371,11 @@ def run_torture(
     Every crash's log is round-tripped through a pickle file under
     *wal_dir* (a temp dir by default): recovery reads what the disk
     would actually hold.
+
+    *max_seconds* is a wall-clock budget: when it runs out the sweep
+    stops after the current point and the report is partial-but-honest —
+    ``truncated`` is set and ``planned_points`` vs ``covered_points``
+    say exactly how much of the sweep the verdict covers.
     """
     started = time.perf_counter()
     reference, ref_wal, ref_crash = _run_instance(scenario)
@@ -379,6 +396,7 @@ def run_torture(
     points = [("step", k) for k in step_points]
     if wal_sweep:
         points += [("wal", n) for n in range(1, report.wal_records + 1)]
+    report.planned_points = len(points)
 
     own_dir = None
     if wal_dir is None:
@@ -386,6 +404,9 @@ def run_torture(
         wal_dir = own_dir.name
     try:
         for kind, at in points:
+            if max_seconds is not None and time.perf_counter() - started >= max_seconds:
+                report.truncated = True
+                break
             plan = (
                 FaultPlan.crash_at_step(at)
                 if kind == "step"

@@ -2,10 +2,11 @@
 
 Section 2 of the paper (cf. TPC-C's order-entry scenario): a database of
 items, each with a set of orders; encapsulated types ``Item`` (methods
-``NewOrder``, ``ShipOrder``, ``PayOrder``, ``TotalPayment``) and
-``Order`` (``ChangeStatus``, ``TestStatus``), with the compatibility
-matrices of Figs. 2 and 3; transaction types T1–T5; and a configurable
-workload generator for the performance study.
+``NewOrder``, ``ShipOrder``, ``PayOrder``, ``TotalPayment``, plus the
+stock-management extension ``Restock``/``CheckStock`` used by the
+transaction server) and ``Order`` (``ChangeStatus``, ``TestStatus``),
+with the compatibility matrices of Figs. 2 and 3; transaction types
+T1–T5; and a configurable workload generator for the performance study.
 """
 
 from repro.orderentry.schema import (
@@ -22,6 +23,10 @@ from repro.orderentry.transactions import (
     make_t4,
     make_t5,
     make_new_order_txn,
+    make_pay_order_txn,
+    make_ship_order_txn,
+    make_restock_txn,
+    make_stock_check_txn,
 )
 from repro.orderentry.workload import OrderEntryWorkload, WorkloadConfig
 
@@ -38,6 +43,10 @@ __all__ = [
     "make_t4",
     "make_t5",
     "make_new_order_txn",
+    "make_pay_order_txn",
+    "make_ship_order_txn",
+    "make_restock_txn",
+    "make_stock_check_txn",
     "OrderEntryWorkload",
     "WorkloadConfig",
 ]

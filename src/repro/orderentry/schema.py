@@ -276,6 +276,37 @@ async def TotalPayment(ctx, item):
     return total
 
 
+@ITEM_TYPE.method(inverse=lambda result, args: ("Unrestock", (args[0],)))
+async def Restock(ctx, item, quantity):
+    """Add *quantity* units to the item's quantity-on-hand.
+
+    A blind escrow-style increment: the new level is not returned (two
+    concurrent restocks would otherwise observe each other through the
+    return value), so ``Restock`` commutes with every other QOH mutation
+    — including ``ShipOrder``'s decrement — and conflicts only with
+    ``CheckStock``, which actually reads the level.
+    """
+    qoh = item.impl_component("QOH")
+    on_hand = await ctx.get(qoh)
+    await ctx.put(qoh, on_hand + quantity)
+    return None
+
+
+@ITEM_TYPE.method(readonly=True)
+async def CheckStock(ctx, item):
+    """Read the item's current quantity-on-hand."""
+    return await ctx.get(item.impl_component("QOH"))
+
+
+@ITEM_TYPE.method(internal=True)
+async def Unrestock(ctx, item, quantity):
+    """Compensation of :func:`Restock`: take the units back out."""
+    qoh = item.impl_component("QOH")
+    on_hand = await ctx.get(qoh)
+    await ctx.put(qoh, on_hand - quantity)
+    return None
+
+
 @ITEM_TYPE.method(internal=True)
 async def CancelOrder(ctx, item, order_no):
     """Compensation of :func:`NewOrder`: drop the order again."""
@@ -347,6 +378,36 @@ def _build_item_matrix() -> None:
     distinct("UnpayOrder", "CancelOrder")
     matrix.allow("UnpayOrder", "UnshipOrder")
     distinct("UnpayOrder", "UnpayOrder")
+
+    # --- stock management (server workload extension) ---
+    # Restock / Unrestock are blind escrow-style QOH increments and
+    # decrements: they commute with every other method — including
+    # ShipOrder's decrement — and conflict only with CheckStock, the one
+    # method that observes the level.
+    for blind_delta in ("Restock", "Unrestock"):
+        matrix.allow(blind_delta, "NewOrder")
+        matrix.allow(blind_delta, "ShipOrder")
+        matrix.allow(blind_delta, "PayOrder")
+        matrix.allow(blind_delta, "TotalPayment")
+        matrix.allow(blind_delta, "CancelOrder")
+        matrix.allow(blind_delta, "UnshipOrder")
+        matrix.allow(blind_delta, "UnpayOrder")
+    matrix.allow("Restock", "Restock")
+    matrix.allow("Unrestock", "Restock")
+    matrix.allow("Unrestock", "Unrestock")
+
+    # CheckStock reads QOH: conflicts with its mutators, commutes with
+    # the order-ledger methods (which never touch QOH) and itself.
+    matrix.allow("CheckStock", "NewOrder")
+    matrix.conflict("CheckStock", "ShipOrder")
+    matrix.allow("CheckStock", "PayOrder")
+    matrix.allow("CheckStock", "TotalPayment")
+    matrix.allow("CheckStock", "CancelOrder")
+    matrix.conflict("CheckStock", "UnshipOrder")
+    matrix.allow("CheckStock", "UnpayOrder")
+    matrix.conflict("CheckStock", "Restock")
+    matrix.conflict("CheckStock", "Unrestock")
+    matrix.allow("CheckStock", "CheckStock")
 
 
 _build_item_matrix()

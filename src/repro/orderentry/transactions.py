@@ -99,3 +99,39 @@ def make_new_order_txn(
         return await tx.call(item, "NewOrder", customer_no, quantity)
 
     return new_order
+
+
+def make_pay_order_txn(item: EncapsulatedObject, order_no: int) -> TransactionProgram:
+    """Record payment of a single order (server ``pay`` operation)."""
+
+    async def pay_order(tx: TransactionContext) -> Any:
+        return await tx.call(item, "PayOrder", order_no)
+
+    return pay_order
+
+
+def make_ship_order_txn(item: EncapsulatedObject, order_no: int) -> TransactionProgram:
+    """Ship a single order (server ``ship`` operation)."""
+
+    async def ship_order(tx: TransactionContext) -> Any:
+        return await tx.call(item, "ShipOrder", order_no)
+
+    return ship_order
+
+
+def make_restock_txn(item: EncapsulatedObject, quantity: int) -> TransactionProgram:
+    """Stock management: add units to an item's quantity-on-hand."""
+
+    async def restock(tx: TransactionContext) -> Any:
+        return await tx.call(item, "Restock", quantity)
+
+    return restock
+
+
+def make_stock_check_txn(item: EncapsulatedObject) -> TransactionProgram:
+    """Read-only stock check: the operation degraded mode keeps serving."""
+
+    async def stock_check(tx: TransactionContext) -> Any:
+        return await tx.call(item, "CheckStock")
+
+    return stock_check

@@ -666,6 +666,17 @@ class WallClockScheduler:
         self._driving = 0
         self._errors: list[BaseException] = []
         self._shutdown = False
+        # Serve mode (see :meth:`start`): workers idle-wait instead of
+        # exiting when the runnable queue drains, and one task's failure
+        # does not cascade into the others.
+        self._serve = False
+        self._threads: list[threading.Thread] = []
+        #: Fired (outside all scheduler locks) when a task reaches DONE
+        #: or FAILED — the transaction server's completion signal.
+        self.on_task_done: Optional[Callable[[Task], None]] = None
+        #: In serve mode the error list is a bounded diagnostic ring,
+        #: not a run-abort trigger.
+        self.max_kept_errors = 64
         self._t0 = time.monotonic()
         self.steps = 0
         self.on_stall: Optional[Callable[[list[Task]], bool]] = None
@@ -777,7 +788,7 @@ class WallClockScheduler:
                     callback()
                 except BaseException as error:  # noqa: BLE001 - surfaced in run()
                     with self._sched_lock:
-                        self._errors.append(error)
+                        self._record_error(error)
                 finally:
                     with self._sched_lock:
                         self._wakeup.notify_all()
@@ -844,18 +855,116 @@ class WallClockScheduler:
             failure.__cause__ = self._errors[0]
             raise failure
 
+    # ------------------------------------------------------------------
+    # Serve mode (long-running server front-end)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker pool in *serve* mode and return immediately.
+
+        Batch mode (:meth:`run`) treats an empty runnable queue as "the
+        workload is finished" and any worker error as "abort the run".
+        A server needs neither: workers idle-wait for future ``spawn``
+        calls, and a failed task is an ordinary per-request outcome
+        (recorded on the task, reported through :attr:`on_task_done`,
+        kept in a bounded diagnostic ring) rather than a pool-wide
+        abort.  Pair with :meth:`stop`.
+        """
+        with self._sched_lock:
+            if self._threads:
+                raise RuntimeEngineError("scheduler already started")
+            if self._shutdown:
+                raise RuntimeEngineError("scheduler already shut down")
+            self._serve = True
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"cc-serve-{i}", daemon=True)
+            for i in range(self.n_threads)
+        ]
+        for worker in self._threads:
+            worker.start()
+
+    def stop(self, timeout: Optional[float] = None) -> list[str]:
+        """Stop a served pool: set shutdown, join workers, close coros.
+
+        Blocked waits observe the shutdown flag within ``stall_check``
+        seconds and drain.  Returns the names of workers still alive
+        after the join budget (empty on a clean stop).  Unfinished
+        coroutines are closed once no worker can be driving them, so
+        abandoned tasks do not leak pending-coroutine warnings.
+        """
+        with self._sched_lock:
+            self._shutdown = True
+            self._wakeup.notify_all()
+        budget = timeout if timeout is not None else max(1.0, self.stall_check * 40)
+        for worker in self._threads:
+            worker.join(timeout=budget)
+        wedged = [worker.name for worker in self._threads if worker.is_alive()]
+        if not wedged:
+            with self._sched_lock:
+                leftovers = [t for t in self.tasks.values() if not t.finished]
+            for task in leftovers:
+                try:
+                    task.coro.close()
+                except BaseException:  # noqa: BLE001 - best-effort cleanup
+                    pass
+        return wedged
+
+    @property
+    def serving(self) -> bool:
+        return self._serve and not self._shutdown
+
+    def reap(self, name: str) -> Optional[Task]:
+        """Drop a finished task from the registry (long-run hygiene).
+
+        Returns the task if it existed and had finished, else None; a
+        still-running task is left untouched.  Without reaping, a served
+        scheduler's task dict grows with every request ever handled.
+        """
+        with self._sched_lock:
+            task = self.tasks.get(name)
+            if task is not None and task.finished:
+                del self.tasks[name]
+                return task
+            return None
+
+    def drain_errors(self) -> list[BaseException]:
+        """Pop and return the collected diagnostic errors (serve mode)."""
+        with self._sched_lock:
+            errors = list(self._errors)
+            self._errors.clear()
+            return errors
+
+    def _record_error(self, error: BaseException) -> None:
+        """Append to the error list (caller holds the scheduler lock)."""
+        self._errors.append(error)
+        if self._serve and len(self._errors) > self.max_kept_errors:
+            del self._errors[: len(self._errors) - self.max_kept_errors]
+
+    def _notify_task_done(self, task: Task) -> None:
+        """Fire the completion hook outside every scheduler lock."""
+        hook = self.on_task_done
+        if hook is None:
+            return
+        try:
+            hook(task)
+        except BaseException as error:  # noqa: BLE001 - diagnostic only
+            with self._sched_lock:
+                self._record_error(error)
+
     def _worker(self) -> None:
         while True:
             with self._wakeup:
                 while (
                     not self._runnable
-                    and self._driving > 0
-                    and not self._errors
                     and not self._shutdown
+                    and (self._serve or (self._driving > 0 and not self._errors))
                 ):
                     self._wakeup.wait(self.stall_check)
-                if self._shutdown or self._errors or not self._runnable:
+                if self._shutdown:
                     return
+                if not self._serve and (self._errors or not self._runnable):
+                    return
+                if not self._runnable:
+                    continue
                 task = self._runnable.popleft()
                 if task.state not in (Task.PENDING, Task.READY):
                     continue
@@ -909,6 +1018,7 @@ class WallClockScheduler:
                             task.state = Task.DONE
                             task.result = stop.value
                             self._wakeup.notify_all()
+                        self._notify_task_done(task)
                         return
                 finally:
                     shard.release()
@@ -950,8 +1060,9 @@ class WallClockScheduler:
                 # failed or the run is shutting down) are secondary; the
                 # error list keeps primary causes only.
                 if not getattr(error, "_secondary_drain", False):
-                    self._errors.append(error)
+                    self._record_error(error)
                 self._wakeup.notify_all()
+            self._notify_task_done(task)
 
     def _await_signal(self, task: Task, signal: Signal):
         """Block until the signal fires, an interrupt lands, or the
@@ -983,7 +1094,9 @@ class WallClockScheduler:
                         )
                         drain._secondary_drain = True
                         raise drain
-                    if self._errors:
+                    # In serve mode another request's failure is not this
+                    # request's problem — only shutdown drains waiters.
+                    if self._errors and not self._serve:
                         drain = RuntimeEngineError(
                             f"runtime aborted while {task.name} waited for "
                             f"{signal.name or 'a signal'}"
@@ -1078,6 +1191,7 @@ class ThreadedKernel:
         max_subtxn_restarts: Optional[int] = None,
         lock_timeout: Optional[float] = None,
         n_shards: Optional[int] = None,
+        faults=None,
     ) -> None:
         from repro.core.kernel import TransactionManager
 
@@ -1112,9 +1226,13 @@ class ThreadedKernel:
             retry_policy=retry_policy,
             max_subtxn_restarts=max_subtxn_restarts,
             lock_timeout=lock_timeout,
+            faults=faults,
         )
         # Concurrent conflict tests share the memo / relief cache.
         self.kernel.protocol.make_thread_safe()
+        # Reaped transaction names pending a batched history discard.
+        self._reaped_txns: list[str] = []
+        self._reap_batch = 256
 
     # Re-exposed kernel API (everything the virtual-path callers use).
     def spawn(self, name, program):
@@ -1122,6 +1240,40 @@ class ThreadedKernel:
 
     def run(self) -> None:
         self.kernel.run()
+
+    # ------------------------------------------------------------------
+    # Serve mode (long-running server front-end)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker pool in serve mode (see
+        :meth:`WallClockScheduler.start`); pair with :meth:`stop`."""
+        self.runtime.start()
+
+    def stop(self, timeout: Optional[float] = None) -> list[str]:
+        """Stop a served pool; returns names of any wedged workers."""
+        return self.runtime.stop(timeout)
+
+    def reap(self, name: str):
+        """Drop every trace of a finished transaction (server hygiene).
+
+        Removes the scheduler task, the kernel handle, and the
+        transaction's undo entries; history records are discarded in
+        batches of ``_reap_batch``.  A server that never reaped would
+        leak one task + handle + undo/history tail per request served.
+        Returns the reaped task, or None if the task is still running.
+        """
+        task = self.runtime.reap(name)
+        if task is None:
+            return None
+        handle = self.kernel.handles.pop(name, None)
+        if handle is not None and handle.root is not None:
+            for node in handle.root.descendants(include_self=True):
+                self.kernel.undo.discard(node.node_id)
+        self._reaped_txns.append(name)
+        if len(self._reaped_txns) >= self._reap_batch:
+            self.kernel.recorder.discard_txns(set(self._reaped_txns))
+            self._reaped_txns.clear()
+        return task
 
     def history(self):
         return self.kernel.history()

@@ -1,0 +1,199 @@
+"""Request/response model of the order-entry transaction server.
+
+A request names one of the public order-entry operations; the server
+maps it onto a transaction program (one top-level transaction per
+request) over the shared :class:`~repro.orderentry.schema.OrderEntryDatabase`.
+Operations are classed *read* or *write* for admission purposes:
+degraded mode keeps admitting the read class while shedding writes.
+
+Responses are JSON-safe dicts on the wire; errors cross as the stable
+payloads of :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import UnknownObjectError, UnknownOperationError
+from repro.orderentry.schema import OrderEntryDatabase
+from repro.orderentry.transactions import (
+    make_new_order_txn,
+    make_pay_order_txn,
+    make_restock_txn,
+    make_ship_order_txn,
+    make_stock_check_txn,
+    make_t5,
+)
+from repro.runtime.scheduler import Pause
+
+#: Operations that mutate the database (shed first under degradation).
+WRITE_OPS = frozenset({"place", "pay", "ship", "restock"})
+#: Read-only operations (admitted even in degraded mode).
+READ_OPS = frozenset({"stock-check", "total-payment"})
+ALL_OPS = WRITE_OPS | READ_OPS
+
+
+def op_class(op: str) -> str:
+    """``"read"`` or ``"write"`` — the admission class of an operation."""
+    if op in READ_OPS:
+        return "read"
+    if op in WRITE_OPS:
+        return "write"
+    raise UnknownOperationError(f"unknown server operation {op!r}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: an operation plus its arguments.
+
+    ``item`` is a zero-based index into the built database's item list;
+    ``deadline`` is a wall-clock budget in seconds from admission (None
+    uses the server default).  ``request_id`` is an opaque client token
+    echoed back in the response.
+    """
+
+    op: str
+    item: int = 0
+    order_no: int = 1
+    customer_no: int = 100
+    quantity: int = 1
+    deadline: Optional[float] = None
+    request_id: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "op": self.op,
+            "item": self.item,
+            "order_no": self.order_no,
+            "customer_no": self.customer_no,
+            "quantity": self.quantity,
+        }
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Request":
+        return cls(
+            op=str(data.get("op", "")),
+            item=int(data.get("item", 0)),
+            order_no=int(data.get("order_no", 1)),
+            customer_no=int(data.get("customer_no", 100)),
+            quantity=int(data.get("quantity", 1)),
+            deadline=(
+                float(data["deadline"]) if data.get("deadline") is not None else None
+            ),
+            request_id=(
+                str(data["request_id"]) if data.get("request_id") is not None else None
+            ),
+        )
+
+
+@dataclass
+class Response:
+    """The server's answer to one request.
+
+    ``status`` is one of:
+
+    * ``ok`` — the transaction committed; ``result`` holds its value;
+    * ``shed`` — refused at admission or expired in queue; ``error``
+      carries a ``request-shed`` payload with ``retry_after``;
+    * ``aborted`` — admitted but aborted (deadline, lock timeout,
+      injected fault); compensation ran, locks are clean;
+    * ``failed`` — an unexpected error; the request's effects were
+      rolled back through the normal abort path where possible.
+    """
+
+    status: str
+    op: str = ""
+    request_id: Optional[str] = None
+    result: Any = None
+    error: Optional[dict[str, Any]] = None
+    retry_after: Optional[float] = None
+    queue_wait: float = 0.0
+    total_time: float = 0.0
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def shed(self) -> bool:
+        return self.status == "shed"
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "status": self.status,
+            "op": self.op,
+            "queue_wait": round(self.queue_wait, 6),
+            "total_time": round(self.total_time, 6),
+            "degraded": self.degraded,
+        }
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.retry_after is not None:
+            out["retry_after"] = round(self.retry_after, 6)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Response":
+        return cls(
+            status=str(data.get("status", "failed")),
+            op=str(data.get("op", "")),
+            request_id=data.get("request_id"),
+            result=data.get("result"),
+            error=data.get("error"),
+            retry_after=data.get("retry_after"),
+            queue_wait=float(data.get("queue_wait", 0.0)),
+            total_time=float(data.get("total_time", 0.0)),
+            degraded=bool(data.get("degraded", False)),
+        )
+
+
+def build_program(
+    built: OrderEntryDatabase, request: Request, think_cost: float = 0.0
+) -> Callable:
+    """Map a request onto a transaction program over *built*.
+
+    ``think_cost`` adds a Pause (virtual cost units, scaled by the
+    runtime's ``time_scale``) after the operation — the client
+    "thinking" while the transaction is open, which is what makes lock
+    retention visible as wall-clock serialisation under RW locking.
+    """
+    if not 0 <= request.item < len(built.items):
+        raise UnknownObjectError(
+            f"item index {request.item} out of range (have {len(built.items)})"
+        )
+    item = built.items[request.item]
+    op = request.op
+    if op == "place":
+        inner = make_new_order_txn(item, request.customer_no, request.quantity)
+    elif op == "pay":
+        inner = make_pay_order_txn(item, request.order_no)
+    elif op == "ship":
+        inner = make_ship_order_txn(item, request.order_no)
+    elif op == "restock":
+        inner = make_restock_txn(item, request.quantity)
+    elif op == "stock-check":
+        inner = make_stock_check_txn(item)
+    elif op == "total-payment":
+        inner = make_t5(item)
+    else:
+        raise UnknownOperationError(f"unknown server operation {op!r}")
+    if think_cost <= 0:
+        return inner
+
+    async def with_think(tx):
+        result = await inner(tx)
+        await Pause(think_cost)  # think-time: no locks acquired, locks retained
+        return result
+
+    return with_think

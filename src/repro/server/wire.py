@@ -1,0 +1,145 @@
+"""JSON-over-TCP wire protocol (stdlib only).
+
+Newline-delimited JSON objects, one request per line, one response per
+line, over a plain TCP connection.  Three message kinds:
+
+* an operation request — ``{"op": "place" | "pay" | "ship" | "restock"
+  | "stock-check" | "total-payment", "item": 0, ...}`` (see
+  :class:`~repro.server.requests.Request`); answered with a
+  :class:`~repro.server.requests.Response` dict whose ``error`` field,
+  when present, is a stable :mod:`repro.errors` payload;
+* ``{"op": "ping"}`` — liveness probe, answered ``{"status": "ok",
+  "result": "pong"}``;
+* ``{"op": "stats"}`` — answered with the server's operational summary.
+
+Connections are handled by a thread-per-connection
+:class:`socketserver.ThreadingTCPServer`; each line is submitted
+*blocking* to the :class:`~repro.server.core.TransactionServer`, so a
+connection pipelines its own requests in order while different
+connections proceed concurrently (admission, not the socket layer, is
+the concurrency limiter).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Optional
+
+from repro.errors import error_to_payload
+from repro.server.core import TransactionServer
+from repro.server.requests import Request
+
+__all__ = ["WireServer", "TCPClient"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: TransactionServer = self.server.transaction_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                self._reply({"status": "failed", "error": error_to_payload(exc)})
+                continue
+            op = message.get("op")
+            if op == "ping":
+                self._reply({"status": "ok", "result": "pong"})
+                continue
+            if op == "stats":
+                self._reply({"status": "ok", "result": server.stats()})
+                continue
+            try:
+                request = Request.from_dict(message)
+            except (TypeError, ValueError) as exc:
+                self._reply({"status": "failed", "error": error_to_payload(exc)})
+                continue
+            response = server.submit(request)
+            self._reply(response.to_dict())
+
+    def _reply(self, payload: dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class WireServer:
+    """Serve a :class:`TransactionServer` over TCP in a background thread."""
+
+    def __init__(
+        self, server: TransactionServer, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.transaction_server = server
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.transaction_server = server  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port 0 resolves to the real port."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "WireServer":
+        if self._thread is not None:
+            raise RuntimeError("wire server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="cc-wire-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting; existing handler threads finish their lines."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+class TCPClient:
+    """Minimal blocking client for the newline-JSON protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("result") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})["result"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -193,6 +193,16 @@ class HistoryRecorder:
         with self._lock:
             self._records = [r for r in self._records if r.node_id not in node_ids]
 
+    def discard_txns(self, txn_names: set[str]) -> None:
+        """Forget all records of completed top-level transactions.
+
+        Long-running servers reap finished requests; without this the
+        recorder's history grows with every request ever served.  Called
+        in batches (the rebuild is O(total records)).
+        """
+        with self._lock:
+            self._records = [r for r in self._records if r.txn not in txn_names]
+
     def history(self) -> History:
         with self._lock:
             records = sorted(self._records, key=lambda r: r.begin_seq)

@@ -1,0 +1,136 @@
+"""Wire-payload round-tripping for the exception hierarchy.
+
+The transaction server ships kernel errors to clients as JSON payloads;
+these tests pin the contract: every public error class has a stable
+machine-readable code, serialises to a JSON-safe dict, and decodes back
+to the same class, message, and structured fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ERROR_CODES,
+    AggregateWorkerError,
+    CompensationError,
+    CrashPoint,
+    DeadlineExceeded,
+    DeadlockError,
+    DuplicateRecordError,
+    LockTimeout,
+    ProtocolViolation,
+    ReproError,
+    RequestShed,
+    RetryExhausted,
+    RuntimeEngineError,
+    SchemaError,
+    TransactionAborted,
+    TransactionError,
+    UnknownObjectError,
+    UnknownOperationError,
+    WorkloadError,
+    error_from_payload,
+    error_to_payload,
+)
+
+SAMPLES = [
+    ReproError("plain failure"),
+    SchemaError("duplicate method 'Pay'"),
+    UnknownObjectError("oid 42 is not live"),
+    DuplicateRecordError("oid 42 allocated twice"),
+    UnknownOperationError("no operation 'Frob' on Item"),
+    TransactionError("generic transaction trouble"),
+    TransactionAborted("T1", "user rollback"),
+    DeadlockError("T2", ("T2", "T3", "T2")),
+    LockTimeout("T3", "item-0", 12.5),
+    RetryExhausted("T4", "T4.2.1", 3),
+    DeadlineExceeded("req-9", 0.25),
+    RequestShed("queue-full", 0.05, "write queue at bound"),
+    ProtocolViolation("lock released twice"),
+    CompensationError("inverse UnshipOrder failed"),
+    RuntimeEngineError("all tasks blocked, no cycle"),
+    WorkloadError("zipf_s must be positive"),
+    CrashPoint("step:7", "injected"),
+]
+
+
+@pytest.mark.parametrize("exc", SAMPLES, ids=lambda e: type(e).__name__)
+def test_round_trip_preserves_class_and_message(exc):
+    payload = error_to_payload(exc)
+    decoded = error_from_payload(payload)
+    assert type(decoded) is type(exc)
+    assert str(decoded) == str(exc)
+    assert payload["code"] == type(exc).code
+
+
+@pytest.mark.parametrize("exc", SAMPLES, ids=lambda e: type(e).__name__)
+def test_payload_is_json_safe(exc):
+    payload = error_to_payload(exc)
+    rehydrated = json.loads(json.dumps(payload))
+    decoded = error_from_payload(rehydrated)
+    assert type(decoded) is type(exc)
+    assert str(decoded) == str(exc)
+
+
+def test_structured_fields_survive():
+    dl = error_from_payload(error_to_payload(DeadlockError("T2", ("T2", "T3", "T2"))))
+    assert dl.txn_name == "T2"
+    assert dl.cycle == ("T2", "T3", "T2")
+
+    lt = error_from_payload(error_to_payload(LockTimeout("T3", "item-0", 12.5)))
+    assert (lt.txn_name, lt.target, lt.waited) == ("T3", "item-0", 12.5)
+
+    re_ = error_from_payload(error_to_payload(RetryExhausted("T4", "T4.2.1", 3)))
+    assert (re_.txn_name, re_.node_id, re_.attempts) == ("T4", "T4.2.1", 3)
+
+    de = error_from_payload(error_to_payload(DeadlineExceeded("req-9", 0.25)))
+    assert (de.txn_name, de.budget) == ("req-9", 0.25)
+
+    shed = error_from_payload(error_to_payload(RequestShed("draining", 1.5)))
+    assert (shed.reason_code, shed.retry_after) == ("draining", 1.5)
+
+    cp = error_from_payload(error_to_payload(CrashPoint("wal:3", "mid-append")))
+    assert (cp.site, cp.detail) == ("wal:3", "mid-append")
+
+
+def test_aggregate_round_trips_nested_errors():
+    inner = (
+        LockTimeout("T1", "item-0", 4.0),
+        TransactionAborted("T2", "wound by T1"),
+    )
+    agg = AggregateWorkerError("2 workers failed", inner)
+    decoded = error_from_payload(error_to_payload(agg))
+    assert type(decoded) is AggregateWorkerError
+    assert str(decoded) == str(agg)  # summary not re-appended
+    assert [type(e) for e in decoded.errors] == [LockTimeout, TransactionAborted]
+    assert decoded.errors[0].target == "item-0"
+
+
+def test_codes_are_unique_and_stable():
+    # One class per code; renaming/renumbering a code is a wire break.
+    assert len(ERROR_CODES) == len(set(ERROR_CODES))
+    for code, cls in ERROR_CODES.items():
+        assert cls.code == code
+    # Spot-pin a few codes that external tooling depends on.
+    assert LockTimeout.code == "lock-timeout"
+    assert RequestShed.code == "request-shed"
+    assert DeadlineExceeded.code == "deadline-exceeded"
+    assert AggregateWorkerError.code == "aggregate-worker-error"
+
+
+def test_foreign_exception_wraps_as_internal_error():
+    payload = error_to_payload(ValueError("boom"))
+    assert payload["code"] == "internal-error"
+    assert payload["type"] == "ValueError"
+    decoded = error_from_payload(payload)
+    assert type(decoded) is ReproError
+    assert "boom" in str(decoded)
+
+
+def test_unknown_code_degrades_to_base_error():
+    decoded = error_from_payload({"code": "from-the-future", "message": "hi"})
+    assert type(decoded) is ReproError
+    assert str(decoded) == "hi"

@@ -38,8 +38,23 @@ class TestTypeDefinitions:
             "ShipOrder",
             "PayOrder",
             "TotalPayment",
+            "Restock",
+            "CheckStock",
         }
         assert set(ORDER_TYPE.public_methods) == {"ChangeStatus", "TestStatus"}
+
+    def test_stock_management_entries(self):
+        # Restock is a blind escrow increment: commutes with ShipOrder's
+        # decrement and with itself, conflicts only with the QOH reader.
+        m = ITEM_TYPE.matrix
+        inv = Invocation
+        assert m.compatible(inv("Restock", (5,)), inv("ShipOrder", (1,)))
+        assert m.compatible(inv("Restock", (5,)), inv("Restock", (7,)))
+        assert m.compatible(inv("Restock", (5,)), inv("NewOrder", (9, 1)))
+        assert not m.compatible(inv("Restock", (5,)), inv("CheckStock", ()))
+        assert not m.compatible(inv("CheckStock", ()), inv("ShipOrder", (1,)))
+        assert m.compatible(inv("CheckStock", ()), inv("PayOrder", (1,)))
+        assert m.compatible(inv("CheckStock", ()), inv("CheckStock", ()))
 
     def test_fig2_headline_entries(self):
         m = ITEM_TYPE.matrix

@@ -1,0 +1,373 @@
+"""In-process tests for the overload-robust transaction server.
+
+Each test builds a small real server (real threads, real kernel) and
+drives it through one robustness behaviour: plain commits, queue-full
+and deadline-unmeetable shedding, deadline interrupts of in-flight
+work, degraded read-only mode with hysteretic recovery, graceful drain
+with straggler aborts, and fault-injected delays and worker crashes.
+Every server is shut down and its drain report checked — lock hygiene
+after chaos is the point of the exercise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.orderentry.schema import build_order_entry_database
+from repro.server import (
+    AdmissionConfig,
+    DegradeConfig,
+    Request,
+    TransactionServer,
+)
+
+
+def make_server(**kwargs) -> TransactionServer:
+    kwargs.setdefault(
+        "built", build_order_entry_database(n_items=2, orders_per_item=4)
+    )
+    kwargs.setdefault("n_threads", 2)
+    return TransactionServer(**kwargs).start()
+
+
+class TestBasicServing:
+    def test_write_and_read_requests_commit(self):
+        server = make_server()
+        try:
+            placed = server.submit(Request(op="place", item=0, customer_no=42))
+            assert placed.ok, placed.to_dict()
+            assert isinstance(placed.result, int)
+            stock = server.submit(Request(op="stock-check", item=0))
+            assert stock.ok and stock.result == 1000
+            restock = server.submit(Request(op="restock", item=0, quantity=7))
+            assert restock.ok and restock.result is None
+            stock = server.submit(Request(op="stock-check", item=0))
+            assert stock.ok and stock.result == 1007
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+    def test_unknown_op_fails_with_stable_code(self):
+        server = make_server()
+        try:
+            response = server.submit(Request(op="frobnicate"))
+            assert response.status == "failed"
+            assert response.error["code"] == "unknown-operation"
+        finally:
+            assert server.shutdown().clean
+
+    def test_unknown_item_fails_cleanly(self):
+        server = make_server()
+        try:
+            response = server.submit(Request(op="place", item=99))
+            assert response.status == "failed"
+            assert response.error["code"] == "unknown-object"
+        finally:
+            assert server.shutdown().clean
+
+    def test_stats_shape(self):
+        server = make_server()
+        try:
+            server.submit(Request(op="stock-check", item=0))
+            stats = server.stats()
+            for key in ("requests", "ok", "shed", "inflight", "degraded",
+                        "draining", "service_estimate"):
+                assert key in stats
+            assert stats["ok"] >= 1
+        finally:
+            assert server.shutdown().clean
+
+
+class TestOverloadShedding:
+    def test_queue_full_sheds_with_retry_after(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=25.0,  # ~50 ms service time
+            admission=AdmissionConfig(max_inflight=1, queue_cap=1),
+            default_deadline=5.0,
+        )
+        try:
+            pendings = [
+                server.submit_async(Request(op="place", item=0, request_id=f"r{i}"))
+                for i in range(12)
+            ]
+            responses = [p.wait(10.0) for p in pendings]
+            sheds = [r for r in responses if r is not None and r.shed]
+            assert sheds, [r.to_dict() for r in responses if r]
+            for shed in sheds:
+                assert shed.retry_after is not None and shed.retry_after > 0
+                assert shed.error["code"] == "request-shed"
+                assert shed.error["reason_code"] in {
+                    "queue-full", "deadline-unmeetable", "expired-in-queue",
+                    "degraded-writes",
+                }
+            oks = [r for r in responses if r is not None and r.ok]
+            assert oks  # admitted work still finishes
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+    def test_deadline_unmeetable_shed_at_admission(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=250.0,  # ~500 ms service time
+            admission=AdmissionConfig(
+                max_inflight=1, queue_cap=64, initial_service_estimate=0.5
+            ),
+        )
+        try:
+            # One long request occupies the only slot; the estimator then
+            # predicts ~500 ms of wait, dooming a 50 ms deadline upfront.
+            slow = server.submit_async(Request(op="place", item=0, deadline=5.0))
+            time.sleep(0.05)
+            response = server.submit(Request(op="place", item=1, deadline=0.05))
+            assert response.shed, response.to_dict()
+            assert response.error["reason_code"] == "deadline-unmeetable"
+            assert response.retry_after > 0
+            assert slow.wait(10.0).ok
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+
+class TestDeadlines:
+    def test_slow_request_is_deadline_aborted(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=400.0,  # ~800 ms service time
+            deadline_check=0.01,
+        )
+        try:
+            response = server.submit(Request(op="place", item=0, deadline=0.1))
+            assert response.status == "aborted", response.to_dict()
+            assert response.error["code"] == "deadline-exceeded"
+            # The server survives and still serves within-deadline work.
+            follow_up = server.submit(
+                Request(op="stock-check", item=0, deadline=5.0)
+            )
+            assert follow_up.ok
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+    def test_deadline_bounds_lock_waits(self):
+        server = make_server()
+        try:
+            response = server.submit(Request(op="place", item=0, deadline=0.2))
+            assert response.ok
+            # The propagation seam is installed and clamps to the floor.
+            assert server.tk.kernel.lock_timeout_fn is not None
+        finally:
+            assert server.shutdown().clean
+
+
+class TestDegradedMode:
+    def test_degraded_sheds_writes_serves_reads(self):
+        server = make_server()
+        try:
+            server.degrade.force(True)
+            server.admission.set_degraded(True)
+            write = server.submit(Request(op="place", item=0))
+            assert write.shed
+            assert write.error["reason_code"] == "degraded-writes"
+            assert write.degraded
+            read = server.submit(Request(op="stock-check", item=0))
+            assert read.ok
+            server.degrade.force(False)
+            server.admission.set_degraded(False)
+            write = server.submit(Request(op="place", item=0))
+            assert write.ok
+        finally:
+            assert server.shutdown().clean
+
+    def test_sustained_overload_enters_and_exits_degraded(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=50.0,  # ~100 ms service time
+            degrade=DegradeConfig(alpha=0.5, enter_threshold=0.5,
+                                  exit_threshold=0.1, min_dwell=0.0),
+            admission=AdmissionConfig(max_inflight=1, queue_cap=1),
+            default_deadline=10.0,
+        )
+        try:
+            # A write burst against one slot and a one-deep queue: the
+            # overflow sheds queue-full, driving the EWMA over the enter
+            # threshold.
+            pendings = [
+                server.submit_async(Request(op="place", item=0, request_id=f"ov{i}"))
+                for i in range(8)
+            ]
+            assert server.degrade.degraded
+            assert server.degrade.entered_count == 1
+            # Read-only work keeps flowing while degraded, and each
+            # admitted read decays the EWMA until hysteretic recovery.
+            response = None
+            for i in range(30):
+                response = server.submit(
+                    Request(op="stock-check", item=0, request_id=f"rec{i}",
+                            deadline=10.0)
+                )
+                if not server.degrade.degraded:
+                    break
+            assert not server.degrade.degraded
+            assert response is not None and response.ok
+            assert server.degrade.exited_count == 1
+            for p in pendings:
+                assert p.wait(10.0) is not None
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_sheds_queued(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=50.0,  # ~100 ms per request
+            admission=AdmissionConfig(max_inflight=1, queue_cap=8),
+            default_deadline=10.0,
+        )
+        pendings = [
+            server.submit_async(Request(op="place", item=0, request_id=f"d{i}"))
+            for i in range(4)
+        ]
+        time.sleep(0.02)  # let the first request enter the kernel
+        report = server.shutdown(drain_deadline=5.0)
+        assert report.clean, report.to_dict()
+        responses = [p.wait(1.0) for p in pendings]
+        assert all(r is not None for r in responses)
+        statuses = {r.status for r in responses}
+        assert "ok" in statuses  # in-flight work finished
+        draining = [r for r in responses if r.shed]
+        for shed in draining:
+            assert shed.error["reason_code"] == "draining"
+            assert shed.retry_after > 0
+
+    def test_post_drain_submissions_are_shed(self):
+        server = make_server()
+        report = server.shutdown()
+        assert report.clean
+        response = server.submit(Request(op="place", item=0))
+        assert response.shed
+        assert response.error["reason_code"] == "draining"
+
+    def test_drain_aborts_stragglers_past_deadline(self):
+        server = make_server(
+            time_scale=0.002,
+            think_cost=1000.0,  # ~2 s service time, far past the drain budget
+            default_deadline=30.0,
+        )
+        pending = server.submit_async(Request(op="place", item=0))
+        time.sleep(0.05)
+        report = server.shutdown(drain_deadline=0.1, grace=2.0)
+        assert report.stragglers_aborted == 1, report.to_dict()
+        assert report.clean, report.to_dict()
+        response = pending.wait(1.0)
+        assert response is not None and response.status == "aborted"
+
+    def test_double_shutdown_is_safe(self):
+        server = make_server()
+        first = server.shutdown()
+        second = server.shutdown()
+        assert first.clean and second.clean
+
+
+class TestFaultInjection:
+    def test_injected_delay_stretches_but_commits(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="pre-acquire", action="delay", delay=50.0, max_fires=1),
+        ))
+        server = make_server(time_scale=0.002, faults=plan)
+        try:
+            response = server.submit(Request(op="place", item=0, deadline=5.0))
+            assert response.ok, response.to_dict()
+        finally:
+            assert server.shutdown().clean
+
+    def test_injected_crash_aborts_request_not_server(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="pre-acquire", action="crash", txn="req-0", max_fires=1),
+        ))
+        server = make_server(faults=plan)
+        try:
+            crashed = server.submit(Request(op="place", item=0))
+            assert crashed.status == "aborted", crashed.to_dict()
+            assert "injected worker crash" in crashed.error["message"]
+            # The worker survived: the very next request commits.
+            follow_up = server.submit(Request(op="place", item=0))
+            assert follow_up.ok, follow_up.to_dict()
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+    def test_injected_crash_during_overload_keeps_queue_bounded(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="pre-acquire", action="crash", probability=0.3,
+                      max_fires=0),
+        ), seed=7)
+        server = make_server(
+            time_scale=0.001,
+            think_cost=10.0,
+            faults=plan,
+            admission=AdmissionConfig(max_inflight=2, queue_cap=4),
+        )
+        try:
+            pendings = [
+                server.submit_async(Request(op="place", item=i % 2,
+                                            request_id=f"f{i}"))
+                for i in range(20)
+            ]
+            responses = [p.wait(10.0) for p in pendings]
+            assert all(r is not None for r in responses)
+            assert server.admission.depth() <= 4
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+
+class TestConcurrentClients:
+    def test_many_threads_submitting_concurrently(self):
+        server = make_server(n_threads=4)
+        results = []
+        lock = threading.Lock()
+
+        def client(index: int) -> None:
+            response = server.submit(
+                Request(op="place" if index % 2 else "stock-check",
+                        item=index % 2, request_id=f"c{index}", deadline=5.0)
+            )
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15.0)
+        try:
+            assert len(results) == 16
+            assert all(r.ok or r.shed for r in results), [
+                r.to_dict() for r in results if not (r.ok or r.shed)
+            ]
+            assert any(r.ok for r in results)
+        finally:
+            report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        server = make_server()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            assert server.shutdown().clean
+
+    def test_invalid_deadline_config_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionServer(default_deadline=0.0)

@@ -1,0 +1,186 @@
+"""TCP wire-protocol tests: newline-JSON round trips against a live server.
+
+A real :class:`WireServer` on an ephemeral port, a real
+:class:`TCPClient` over a real socket — the full path a remote client
+takes, including the stable error payloads of :mod:`repro.errors`
+crossing the wire and reconstructing on the other side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import RequestShed, error_from_payload
+from repro.orderentry.schema import build_order_entry_database
+from repro.server import Request, TCPClient, TransactionServer, WireServer
+
+
+@pytest.fixture()
+def served():
+    server = TransactionServer(
+        built=build_order_entry_database(n_items=2, orders_per_item=4),
+        n_threads=2,
+    ).start()
+    wire = WireServer(server).start()
+    try:
+        yield server, wire
+    finally:
+        wire.stop()
+        report = server.shutdown()
+        assert report.clean, report.to_dict()
+
+
+def client_for(wire: WireServer) -> TCPClient:
+    host, port = wire.address
+    return TCPClient(host, port, timeout=10.0)
+
+
+class TestWireRoundTrip:
+    def test_ping(self, served):
+        _, wire = served
+        with client_for(wire) as client:
+            assert client.ping()
+
+    def test_place_and_stock_check(self, served):
+        _, wire = served
+        with client_for(wire) as client:
+            placed = client.request({"op": "place", "item": 0, "customer_no": 9})
+            assert placed["status"] == "ok"
+            assert isinstance(placed["result"], int)
+            stock = client.request({"op": "stock-check", "item": 0})
+            assert stock["status"] == "ok" and stock["result"] == 1000
+
+    def test_pipelined_requests_answer_in_order(self, served):
+        _, wire = served
+        with client_for(wire) as client:
+            for index in range(5):
+                response = client.request(
+                    {"op": "stock-check", "item": index % 2,
+                     "request_id": f"p{index}"}
+                )
+                assert response["request_id"] == f"p{index}"
+                assert response["status"] == "ok"
+
+    def test_stats_op(self, served):
+        _, wire = served
+        with client_for(wire) as client:
+            client.request({"op": "place", "item": 0})
+            stats = client.stats()
+            assert stats["requests"] >= 1
+            assert "degraded" in stats and "draining" in stats
+
+    def test_concurrent_connections(self, served):
+        _, wire = served
+        results = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            with client_for(wire) as client:
+                response = client.request(
+                    {"op": "place" if index % 2 else "stock-check",
+                     "item": index % 2, "deadline": 5.0}
+                )
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15.0)
+        assert len(results) == 8
+        assert all(r["status"] in ("ok", "shed") for r in results)
+
+
+class TestWireErrors:
+    def test_unknown_op_carries_stable_code(self, served):
+        _, wire = served
+        with client_for(wire) as client:
+            response = client.request({"op": "frobnicate"})
+            assert response["status"] == "failed"
+            assert response["error"]["code"] == "unknown-operation"
+            exc = error_from_payload(response["error"])
+            assert "frobnicate" in str(exc)
+
+    def test_malformed_json_answers_instead_of_dropping(self, served):
+        _, wire = served
+        host, port = wire.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"this is not json\n")
+            fh.flush()
+            response = json.loads(fh.readline())
+            assert response["status"] == "failed"
+            assert "code" in response["error"]
+            # The connection survives a bad line.
+            fh.write(b'{"op": "ping"}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["result"] == "pong"
+
+    def test_non_object_json_rejected(self, served):
+        _, wire = served
+        host, port = wire.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"[1, 2, 3]\n")
+            fh.flush()
+            assert json.loads(fh.readline())["status"] == "failed"
+
+    def test_blank_lines_ignored(self, served):
+        _, wire = served
+        host, port = wire.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"\n\n{\"op\": \"ping\"}\n")
+            fh.flush()
+            assert json.loads(fh.readline())["result"] == "pong"
+
+    def test_shed_response_reconstructs_as_request_shed(self):
+        server = TransactionServer(
+            built=build_order_entry_database(n_items=2, orders_per_item=4),
+            n_threads=2,
+        ).start()
+        wire = WireServer(server).start()
+        try:
+            server.degrade.force(True)
+            server.admission.set_degraded(True)
+            with client_for(wire) as client:
+                response = client.request({"op": "place", "item": 0})
+                assert response["status"] == "shed"
+                assert response["retry_after"] > 0
+                exc = error_from_payload(response["error"])
+                assert isinstance(exc, RequestShed)
+                assert exc.reason_code == "degraded-writes"
+                assert exc.retry_after == response["retry_after"]
+        finally:
+            wire.stop()
+            report = server.shutdown()
+            assert report.clean, report.to_dict()
+
+
+class TestWireLifecycle:
+    def test_request_dict_round_trip(self):
+        request = Request(op="place", item=1, order_no=3, customer_no=8,
+                          quantity=2, deadline=0.5, request_id="x")
+        assert Request.from_dict(request.to_dict()) == request
+
+    def test_double_start_rejected(self, served):
+        _, wire = served
+        with pytest.raises(RuntimeError):
+            wire.start()
+
+    def test_stop_closes_listener(self):
+        server = TransactionServer(
+            built=build_order_entry_database(n_items=2, orders_per_item=4),
+            n_threads=2,
+        ).start()
+        wire = WireServer(server).start()
+        host, port = wire.address
+        wire.stop()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1.0)
+        assert server.shutdown().clean
