@@ -25,7 +25,9 @@ Commands:
   grid on the threaded runtime (``--jsonl`` exports the grid points);
   ``--openloop`` runs the open-loop saturation sweep against the
   transaction server (``BENCH_server.json`` via ``--baseline`` /
-  ``--compare``);
+  ``--compare``); ``--cluster`` runs the 1/2/4-shard cluster sweep
+  (``BENCH_cluster.json`` via ``--baseline`` / ``--compare``), failing
+  when goodput stops scaling with shard count;
 * ``torture`` — the crash-torture sweep: crash a seeded workload at
   every scheduler step and WAL-record boundary, recover each crash from
   the pickled log, and verify state equivalence, committed-result
@@ -33,16 +35,24 @@ Commands:
   hygiene (``--protocol``, ``--seed``, ``--transactions``, ``--steps``,
   ``--json``); ``--max-seconds`` bounds the sweep by wall clock with a
   partial-but-honest report; exits non-zero when any crash point fails;
+  ``--cluster`` instead SIGKILLs live shard processes at every 2PC
+  crash site and verifies in-doubt recovery (``--shards``,
+  ``--requests``, ``--sites``);
 * ``serve`` — run the overload-robust transaction server: order-entry
   operations over newline-delimited JSON-over-TCP with admission
   control, deadlines, graceful degradation, and a clean drain on ^C
   (``--host``, ``--port``, ``--protocol``, ``--max-inflight``,
-  ``--queue-cap``; docs/SERVER.md).
+  ``--queue-cap``; docs/SERVER.md);
+* ``cluster`` — run a sharded cluster: N shard server processes over
+  durable partitions behind a consistent-hash router with cross-shard
+  two-phase commit (``--shards``, ``--host``, ``--port``,
+  ``--data-dir``; docs/CLUSTER.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional, Sequence
 
 from repro.bench import (
@@ -266,6 +276,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.openloop:
         return cmd_bench_openloop(args)
+    if args.cluster:
+        return cmd_bench_cluster(args)
     if args.durability:
         from repro.bench.durability import durability_rows, run_durability_bench
 
@@ -350,7 +362,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"!! inconsistent point: {p.to_dict()}")
         return 1 if bad else 0
     if args.baseline:
-        doc = write_baseline(args.out, collect_baseline(progress=lambda n: print(f"running {n} ...")))
+        doc = write_baseline(
+            args.out, collect_baseline(progress=lambda n: print(f"running {n} ..."))
+        )
         print(f"wrote baseline ({len(doc['workloads'])} workloads) to {args.out}")
         return 0
     print("running baseline workloads ...")
@@ -380,13 +394,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_torture(args: argparse.Namespace) -> int:
     from repro.faults.torture import order_entry_scenario, run_torture
 
+    if args.cluster:
+        import json as _json
+
+        from repro.faults.cluster import run_cluster_torture
+
+        sites = tuple(args.sites.split(",")) if args.sites else None
+        report = run_cluster_torture(
+            seed=args.seed,
+            n_requests=args.requests,
+            n_shards=args.shards,
+            n_items=args.items if args.items is not None else 8,
+            sites=sites,
+            workdir=args.workdir,
+            max_seconds=args.max_seconds,
+        )
+        summary = report.summary()
+        for outcome in summary["outcomes"]:
+            verdict = "ok" if outcome["ok"] else "FAIL"
+            print(f"shard {outcome['victim']} @ {outcome['site']}: {verdict} "
+                  f"(killed={outcome['process_killed']}, "
+                  f"lost={len(outcome['lost_committed'])}, "
+                  f"dangling={len(outcome['dangling_branches'])}, "
+                  f"serial_equiv={all(outcome['state_ok'])})")
+        print(f"{summary['run_points']}/{summary['planned_points']} crash points, "
+              f"all_ok={summary['all_ok']}"
+              + (" (truncated)" if summary["truncated"] else ""))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                _json.dump(summary, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            print(f"wrote cluster torture report to {args.json}")
+        return 0 if report.all_ok else 1
+    items = args.items if args.items is not None else 2
     if args.durable:
         from repro.faults.durable import run_durable_torture
 
         report = run_durable_torture(
             seed=args.seed,
             n_transactions=args.transactions,
-            n_items=args.items,
+            n_items=items,
             protocol=args.protocol,
             steps=args.steps,
             wal_sweep=not args.no_wal_sweep,
@@ -398,7 +445,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         scenario = order_entry_scenario(
             seed=args.seed,
             n_transactions=args.transactions,
-            n_items=args.items,
+            n_items=items,
             protocol=PROTOCOLS[args.protocol],
         )
         report = run_torture(
@@ -417,6 +464,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.bench.openloop import _protocol_factory
+    from repro.errors import AddressInUseError
     from repro.server import AdmissionConfig, TransactionServer, WireServer
 
     server = TransactionServer(
@@ -432,7 +480,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         default_deadline=args.default_deadline,
     ).start()
-    wire = WireServer(server, host=args.host, port=args.port).start()
+    try:
+        wire = WireServer(server, host=args.host, port=args.port).start()
+    except AddressInUseError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        print("pick another --port, or stop whatever is bound there",
+              file=sys.stderr)
+        server.shutdown()
+        return 1
     host, port = wire.address
     print(f"serving order entry on {host}:{port} "
           f"({args.protocol}, {args.threads} workers, "
@@ -453,6 +508,107 @@ def cmd_serve(args: argparse.Namespace) -> int:
         report = server.shutdown()
         print(f"drain: {report.to_dict()}")
     return 0 if report.clean else 1
+
+
+def cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.bench.baseline import load_baseline
+    from repro.bench.cluster import (
+        collect_cluster_baseline,
+        compare_cluster,
+        write_cluster_baseline,
+    )
+
+    out = args.out if args.out != "BENCH_baseline.json" else "BENCH_cluster.json"
+    if args.baseline:
+        doc = write_cluster_baseline(
+            out,
+            collect_cluster_baseline(progress=lambda n: print(f"running {n} ...")),
+        )
+        print(f"wrote cluster baseline ({len(doc['workloads'])} points) to {out}")
+        return 0
+    print("running the cluster shard-count sweep (fsync per commit) ...")
+    fresh = collect_cluster_baseline(progress=lambda n: print(f"running {n} ..."))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            import json as _json
+
+            _json.dump(fresh, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote fresh cluster results to {args.json}")
+    rows = []
+    for name, entry in sorted(fresh["workloads"].items()):
+        record = entry["metrics"]
+        rows.append({
+            "shards": entry["config"]["n_shards"],
+            "goodput/s": f"{record['goodput']:.1f}",
+            "shed rate": f"{record['shed_rate']:.3f}",
+            "p95 (s)": f"{record['p95_latency']:.3f}",
+            "2pc ok/abort": f"{record['2pc_committed']:g}/{record['2pc_aborted']:g}",
+            "shard down": f"{record['shard_down']:g}",
+        })
+    print(format_table(rows, "cluster goodput scaling by shard count"))
+    if not fresh["goodput_monotonic"]:
+        print("!! goodput did not scale monotonically with the shard count")
+        return 1
+    if args.compare is None:
+        return 0
+    result = compare_cluster(load_baseline(args.compare), fresh)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import tempfile
+    import time as _time
+
+    from repro.cluster import LocalCluster
+    from repro.errors import AddressInUseError
+
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    cluster = LocalCluster(
+        args.shards,
+        data_dir,
+        shard_config={
+            "n_items": args.items,
+            "orders_per_item": args.orders,
+            "n_threads": args.threads,
+            "max_inflight": args.max_inflight,
+            "queue_cap": args.queue_cap,
+            "default_deadline": args.default_deadline,
+            "time_scale": args.time_scale,
+            "think_cost": args.think_cost,
+            "group_commit_window": args.group_commit_window,
+        },
+        router_host=args.host,
+        router_port=args.port,
+    )
+    try:
+        cluster.start()
+    except AddressInUseError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        print("pick another --port, or stop whatever is bound there",
+              file=sys.stderr)
+        cluster.stop()
+        return 1
+    host, port = cluster.wire.address
+    print(f"cluster router on {host}:{port} ({args.shards} shards, "
+          f"durable partitions under {data_dir})", flush=True)
+    for shard in cluster.shards:
+        shard_host, shard_port = shard.address
+        print(f"  shard {shard.shard_id}: {shard_host}:{shard_port} "
+              f"(pid {shard.proc.pid})", flush=True)
+    print("newline-delimited JSON; multi-item requests run as cross-shard "
+          "2PC; try: "
+          '{"op": "place", "lines": [[0, 1], [1, 2]]} | {"op": "stats"}',
+          flush=True)
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nstopping cluster ...")
+    finally:
+        cluster.stop()
+    return 0
 
 
 def cmd_bench_openloop(args: argparse.Namespace) -> int:
@@ -607,6 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
         "server (semantic vs object R/W 2PL); --baseline writes "
         "BENCH_server.json, --compare diffs against a committed one",
     )
+    bench.add_argument(
+        "--cluster", action="store_true",
+        help="run the cluster shard-count sweep (1/2/4 shard processes, "
+        "open-loop with cross-shard 2PC); --baseline writes "
+        "BENCH_cluster.json, --compare diffs against a committed one and "
+        "fails if goodput stops scaling",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     torture = sub.add_parser(
@@ -614,7 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     torture.add_argument("--protocol", choices=sorted(PROTOCOLS), default="semantic")
     torture.add_argument("--transactions", type=int, default=5)
-    torture.add_argument("--items", type=int, default=2)
+    torture.add_argument(
+        "--items", type=int, default=None,
+        help="order-entry items (default: 2, or 8 with --cluster)",
+    )
     torture.add_argument("--seed", type=int, default=0)
     torture.add_argument(
         "--steps", type=int, default=None,
@@ -643,6 +809,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=float, default=None, dest="max_seconds",
         help="wall-clock budget for the sweep: stop after the current "
         "point when it runs out and report partial-but-honest coverage",
+    )
+    torture.add_argument(
+        "--cluster", action="store_true",
+        help="shard-kill sweep: SIGKILL each shard of a live cluster at "
+        "every 2PC crash site, restart it mid-load, and verify zero lost "
+        "commits plus a serializable surviving history",
+    )
+    torture.add_argument(
+        "--shards", type=int, default=2,
+        help="with --cluster: shard process count (default: 2)",
+    )
+    torture.add_argument(
+        "--requests", type=int, default=24,
+        help="with --cluster: workload requests per crash point (default: 24)",
+    )
+    torture.add_argument(
+        "--sites", metavar="SITE[,SITE...]", default=None,
+        help="with --cluster: comma-separated crash sites to sweep "
+        "(default: all seven 2PC sites)",
     )
     torture.set_defaults(fn=cmd_torture)
 
@@ -680,6 +865,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra Pause cost inside each transaction (default: 0)",
     )
     serve.set_defaults(fn=cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a sharded cluster: N shard server processes over durable "
+        "partitions behind a consistent-hash router with cross-shard 2PC "
+        "(newline-delimited JSON; see docs/CLUSTER.md)",
+    )
+    cluster.add_argument("--shards", type=int, default=2, help="shard processes")
+    cluster.add_argument("--host", default="127.0.0.1", help="router bind host")
+    cluster.add_argument("--port", type=int, default=7478, help="router bind port")
+    cluster.add_argument("--items", type=int, default=8)
+    cluster.add_argument("--orders", type=int, default=4)
+    cluster.add_argument(
+        "--threads", type=int, default=4, help="kernel worker threads per shard"
+    )
+    cluster.add_argument(
+        "--max-inflight", type=int, default=4, dest="max_inflight",
+        help="admission concurrency limit per shard (default: 4)",
+    )
+    cluster.add_argument(
+        "--queue-cap", type=int, default=16, dest="queue_cap",
+        help="bounded queue depth per request class per shard (default: 16)",
+    )
+    cluster.add_argument(
+        "--default-deadline", type=float, default=1.0, dest="default_deadline",
+        help="deadline for requests that do not carry one (default: 1.0s)",
+    )
+    cluster.add_argument(
+        "--time-scale", type=float, default=0.0, dest="time_scale",
+        help="seconds of real sleep per cost unit of Pause (default: 0)",
+    )
+    cluster.add_argument(
+        "--think-cost", type=float, default=0.0, dest="think_cost",
+        help="extra Pause cost inside each transaction (default: 0)",
+    )
+    cluster.add_argument(
+        "--group-commit-window", type=float, default=0.0, dest="group_commit_window",
+        help="per-shard WAL group-commit window in seconds (default: 0)",
+    )
+    cluster.add_argument(
+        "--data-dir", metavar="DIR", default=None, dest="data_dir",
+        help="base directory for shard partitions and the coordinator log "
+        "(default: a fresh temp dir)",
+    )
+    cluster.set_defaults(fn=cmd_cluster)
     return parser
 
 

@@ -1,0 +1,327 @@
+"""The shard-side half of presumed-abort two-phase commit.
+
+One :class:`ClusterParticipant` fronts a shard's
+:class:`~repro.server.core.TransactionServer` for cross-shard traffic.
+Open-nested semantics make the protocol's branches *semantically*
+atomic rather than globally isolated: a branch **commits locally at
+PREPARE time** and releases its locks (exactly the paper's open-nested
+subtransaction rule lifted one level), and a global abort undoes the
+branch by running its registered inverse operations as a compensation
+transaction.  The durable ordering that makes this crash-safe:
+
+1. ``2pc-prepare``: append + fsync a
+   :class:`~repro.cluster.records.ClusterPrepareRecord` **before** the
+   branch runs — a crash any later leaves durable evidence that the
+   gtid may have effects here, so recovery knows to ask the
+   coordinator.  Then execute the branch as an ordinary admitted
+   request (admission can shed it — the vote is then "no").  A failed
+   branch logs an abort decision durably before replying, so recovery
+   never needs the coordinator for it.
+2. ``2pc-commit``: append + fsync a ``commit``
+   :class:`~repro.cluster.records.ClusterDecisionRecord`.  The branch
+   data is already durable (it committed under the WAL at prepare).
+3. ``2pc-abort``: append + fsync an ``abort`` decision **first**, then
+   compensate.  If the crash lands mid-compensation, the compensation
+   transaction is a WAL loser — recovery physically undoes its partial
+   effects and re-runs it from the decision record.
+
+In-doubt resolution (:func:`resolve_in_doubt`) runs at shard boot,
+after ordinary recovery: every prepare record without a decision record
+is resolved by querying the coordinator's durable decision log over the
+wire; unknown gtids are presumed aborted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from repro.cluster.records import ClusterDecisionRecord, ClusterPrepareRecord
+from repro.errors import CompensationError, TransactionAborted, error_to_payload
+from repro.recovery.addresses import resolve_address
+from repro.recovery.wal import SubtxnCommitRecord, WriteAheadLog
+from repro.server.core import TransactionServer
+from repro.server.requests import Request
+
+__all__ = [
+    "ClusterParticipant",
+    "branch_inverses",
+    "compensation_program",
+    "in_doubt_gtids",
+    "resolve_in_doubt",
+]
+
+#: Crash sites the shard-kill torture sweep drives (docs/CLUSTER.md).
+CRASH_SITES = (
+    "2pc-prepare-received",
+    "2pc-prepare-logged",
+    "2pc-branch-committed",
+    "2pc-commit-received",
+    "2pc-decision-logged",
+    "2pc-abort-received",
+    "2pc-compensated",
+)
+
+
+def _no_crash(site: str) -> None:
+    return None
+
+
+class ClusterParticipant:
+    """Serves the ``2pc-*`` wire ops for one shard server."""
+
+    def __init__(
+        self,
+        server: TransactionServer,
+        wal: WriteAheadLog,
+        crash: Callable[[str], None] = _no_crash,
+        comp_timeout: float = 30.0,
+    ) -> None:
+        self.server = server
+        self.wal = wal
+        self._crash = crash
+        self._comp_timeout = comp_timeout
+        self._lock = threading.Lock()
+        self._branch_committed: set[str] = set()
+        self._decided: set[str] = set()
+        obs = server.obs
+        self._m_prepares = obs.counter("2pc.prepares")
+        self._m_branch_commits = obs.counter("2pc.branch_commits")
+        self._m_branch_failed = obs.counter("2pc.branch_failed")
+        self._m_commits = obs.counter("2pc.decisions_commit")
+        self._m_aborts = obs.counter("2pc.decisions_abort")
+        self._m_compensations = obs.counter("2pc.compensations")
+
+    # ------------------------------------------------------------------
+    # Wire ops (installed as WireServer extra_ops)
+    # ------------------------------------------------------------------
+    def wire_ops(self) -> dict[str, Callable[[dict[str, Any]], dict[str, Any]]]:
+        return {
+            "2pc-prepare": self.prepare,
+            "2pc-commit": self.commit,
+            "2pc-abort": self.abort,
+            "shard-submit": self.submit,
+        }
+
+    def submit(self, message: dict[str, Any]) -> dict[str, Any]:
+        """A single-shard request routed through, submitted under a
+        stable transaction name (``rq-<request_id>``) so the shard's WAL
+        records which acknowledged requests are durably committed."""
+        request = Request.from_dict(message["request"])
+        name = f"rq-{request.request_id}" if request.request_id is not None else None
+        return self.server.submit(request, name=name).to_dict()
+
+    def prepare(self, message: dict[str, Any]) -> dict[str, Any]:
+        gtid = str(message["gtid"])
+        branch_dict = dict(message["branch"])
+        self._m_prepares.inc()
+        self._crash("2pc-prepare-received")
+        # Durable intent strictly before any branch effect: from here on
+        # a crash leaves evidence that this gtid may own effects here.
+        self.wal.append(
+            ClusterPrepareRecord(
+                lsn=self.wal.next_lsn(),
+                txn=f"2pc-{gtid}",
+                gtid=gtid,
+                coordinator=str(message.get("coordinator", "")),
+                branch=branch_dict,
+            )
+        )
+        self.wal.sync()
+        self._crash("2pc-prepare-logged")
+        request = Request.from_dict(branch_dict)
+        response = self.server.submit(request, name=f"2pc-{gtid}")
+        if response.ok:
+            with self._lock:
+                self._branch_committed.add(gtid)
+            self._crash("2pc-branch-committed")
+            self._m_branch_commits.inc()
+            out = response.to_dict()
+            out["status"] = "prepared"
+            return out
+        # Vote no: the branch shed/aborted/failed, so nothing committed
+        # here — record the abort decision durably so recovery never has
+        # to ask the coordinator about this gtid.
+        self._m_branch_failed.inc()
+        self._log_decision(gtid, "abort")
+        return response.to_dict()
+
+    def commit(self, message: dict[str, Any]) -> dict[str, Any]:
+        gtid = str(message["gtid"])
+        self._crash("2pc-commit-received")
+        self._log_decision(gtid, "commit")
+        self._crash("2pc-decision-logged")
+        self._m_commits.inc()
+        return {"status": "ok", "result": "committed"}
+
+    def abort(self, message: dict[str, Any]) -> dict[str, Any]:
+        gtid = str(message["gtid"])
+        self._crash("2pc-abort-received")
+        with self._lock:
+            committed = gtid in self._branch_committed
+            already = gtid in self._decided
+        if not already:
+            # Decision before compensation: a crash mid-compensation
+            # leaves the abort durable, and recovery re-runs the (then
+            # physically-undone loser) compensation from it.
+            self._log_decision(gtid, "abort")
+        self._m_aborts.inc()
+        if committed and not already:
+            self._compensate(gtid)
+            self._crash("2pc-compensated")
+        return {"status": "ok", "result": "aborted"}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _log_decision(self, gtid: str, decision: str) -> None:
+        with self._lock:
+            if gtid in self._decided:
+                return
+            self._decided.add(gtid)
+        self.wal.append(
+            ClusterDecisionRecord(
+                lsn=self.wal.next_lsn(),
+                txn=f"2pc-{gtid}",
+                gtid=gtid,
+                decision=decision,
+            )
+        )
+        self.wal.sync()
+
+    def _compensate(self, gtid: str) -> None:
+        """Undo a locally-committed branch by running its inverses.
+
+        Spawned directly on the kernel (not through admission — an abort
+        decision must not be shed) under the name ``comp-<gtid>``, whose
+        durable commit status is what recovery checks for idempotency.
+        """
+        inverses = branch_inverses(self.wal, f"2pc-{gtid}")
+        if not inverses:
+            return
+        program = compensation_program(self.server.built.db, inverses)
+        name = f"comp-{gtid}"
+        tk = self.server.tk
+        tk.spawn(name, program)
+        deadline = time.monotonic() + self._comp_timeout
+        handle = tk.kernel.handles.get(name)
+        while handle is not None and handle.task is not None and not handle.task.finished:
+            if time.monotonic() > deadline:
+                raise CompensationError(f"compensation {name} timed out")
+            time.sleep(0.002)
+        committed = handle is not None and handle.committed
+        error = handle.error if handle is not None else None
+        tk.reap(name)
+        if not committed:
+            raise CompensationError(f"compensation {name} failed: {error!r}")
+        self._m_compensations.inc()
+
+
+# ----------------------------------------------------------------------
+# Shared with shard-boot recovery
+# ----------------------------------------------------------------------
+def branch_inverses(
+    wal: Iterable, txn: str
+) -> list[SubtxnCommitRecord]:
+    """The maximal committed subtransactions of *txn*, reversed.
+
+    Compensating a branch means running the inverse of each *top-most*
+    committed subtransaction in reverse commit order; records covered by
+    a larger committed subtree are already undone by its inverse.
+    """
+    subs = [
+        r
+        for r in wal
+        if isinstance(r, SubtxnCommitRecord) and r.txn == txn and r.compensates is None
+    ]
+    covered: set[str] = set()
+    for record in subs:
+        for node_id in record.subtree_ids:
+            if node_id != record.node_id:
+                covered.add(node_id)
+    return [
+        r
+        for r in reversed(subs)
+        if r.node_id not in covered and r.inverse_operation is not None
+    ]
+
+
+def compensation_program(db, inverses: list[SubtxnCommitRecord]):
+    """An async transaction program running *inverses* in order."""
+    calls = [
+        (resolve_address(db, r.target), r.inverse_operation, tuple(r.inverse_args))
+        for r in inverses
+    ]
+
+    async def compensate(tx):
+        for target, operation, args in calls:
+            await tx.call(target, operation, *args)
+        return len(calls)
+
+    return compensate
+
+
+def in_doubt_gtids(wal: Iterable) -> list[ClusterPrepareRecord]:
+    """Prepare records with no decision record, in log order."""
+    prepares: dict[str, ClusterPrepareRecord] = {}
+    decided: set[str] = set()
+    for record in wal:
+        if isinstance(record, ClusterPrepareRecord):
+            prepares.setdefault(record.gtid, record)
+        elif isinstance(record, ClusterDecisionRecord):
+            decided.add(record.gtid)
+    return [record for gtid, record in prepares.items() if gtid not in decided]
+
+
+def resolve_in_doubt(
+    db,
+    wal: WriteAheadLog,
+    query_status: Callable[[str, str], str],
+    run_program: Callable[[str, Any], None],
+    metrics=None,
+) -> dict[str, str]:
+    """Resolve every in-doubt gtid after crash recovery; see module doc.
+
+    ``query_status(gtid, coordinator)`` asks the coordinator's durable
+    decision log (returning ``commit`` / ``abort`` / ``pending``);
+    ``run_program(name, program)`` executes a compensation transaction
+    under a WAL-wired kernel so it is itself durable.  Returns
+    ``{gtid: outcome}`` where outcome is ``commit``, ``abort``, or
+    ``abort+compensated``.
+    """
+    outcomes: dict[str, str] = {}
+    for record in in_doubt_gtids(wal):
+        gtid = record.gtid
+        decision = query_status(gtid, record.coordinator)
+        if metrics is not None:
+            metrics.counter("2pc.indoubt").inc()
+        if decision == "commit":
+            # All-prepared implies our branch committed durably before we
+            # voted; nothing to redo beyond ordinary recovery.
+            outcomes[gtid] = "commit"
+        else:
+            outcome = "abort"
+            branch = f"2pc-{gtid}"
+            if (
+                wal.status_of(branch) == "commit"
+                and wal.status_of(f"comp-{gtid}") != "commit"
+            ):
+                inverses = branch_inverses(wal, branch)
+                if inverses:
+                    run_program(f"comp-{gtid}", compensation_program(db, inverses))
+                    outcome = "abort+compensated"
+                    if metrics is not None:
+                        metrics.counter("2pc.compensations").inc()
+            outcomes[gtid] = outcome
+        # The decision itself becomes durable so the doubt never recurs.
+        wal.append(
+            ClusterDecisionRecord(
+                lsn=wal.next_lsn(),
+                txn=f"2pc-{gtid}",
+                gtid=gtid,
+                decision="commit" if decision == "commit" else "abort",
+            )
+        )
+        wal.sync()
+    return outcomes

@@ -1,0 +1,48 @@
+"""Cluster 2PC record types in the shard write-ahead log.
+
+These frames ride the same durable WAL as the kernel's update and status
+records (:mod:`repro.recovery.wal`), so a shard's vote and the outcome
+it learned survive a SIGKILL together with the branch's data records:
+
+* :class:`ClusterPrepareRecord` — the shard's durable *intent* to run a
+  cross-shard branch, written (and fsynced) **before** the branch
+  executes.  A prepare record with no matching decision record marks the
+  global transaction *in doubt*; on restart the shard resolves it by
+  asking the coordinator (presumed abort: an unknown gtid means abort).
+* :class:`ClusterDecisionRecord` — the durably learned global outcome
+  (``commit`` or ``abort``); once present the gtid is never in doubt
+  again.
+
+Both carry a ``txn`` field naming the branch transaction (``2pc-<gtid>``)
+so generic log consumers can group them, and both are invisible to
+recovery's analysis/redo/undo passes (which act only on the kernel's own
+record types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ClusterPrepareRecord", "ClusterDecisionRecord"]
+
+
+@dataclass(frozen=True)
+class ClusterPrepareRecord:
+    """Durable intent to execute one branch of a global transaction."""
+
+    lsn: int
+    txn: str  # the branch transaction name: "2pc-<gtid>"
+    gtid: str
+    coordinator: str = ""  # "host:port" of the coordinator's status endpoint
+    branch: dict[str, Any] = field(default_factory=dict)  # the branch request
+
+
+@dataclass(frozen=True)
+class ClusterDecisionRecord:
+    """The durably learned global outcome for one gtid."""
+
+    lsn: int
+    txn: str
+    gtid: str
+    decision: str  # "commit" | "abort"

@@ -1,0 +1,570 @@
+"""The cluster router: consistent-hash dispatch plus the 2PC coordinator.
+
+A :class:`ClusterRouter` owns one :class:`~repro.cluster.hashring.HashRing`
+over the shard addresses and a pooled newline-JSON connection per shard
+(:class:`ShardLink`).  Requests that touch a single shard pass through
+untouched (one ``shard-submit`` frame, one response).  Requests that
+touch several shards — multi-line ``place``, multi-item
+``total-payment`` — become presumed-abort two-phase commits:
+
+1. split the request into per-shard branch requests;
+2. send ``2pc-prepare`` to every branch shard; a branch commits locally
+   on success (open-nested semantic atomicity — locks are not held
+   across the global decision) and replies ``prepared``;
+3. if **all** branches prepared: fsync ``commit`` into the
+   :class:`CoordinatorLog`, then send best-effort ``2pc-commit`` to the
+   branches and merge their results;
+4. otherwise: fsync ``abort``, send ``2pc-abort`` to every branch shard
+   (prepared branches compensate), and surface one response — a shed at
+   any shard sheds the whole request with a single ``retry_after``.
+
+The coordinator log is the cluster's decision truth: a restarting shard
+resolves an in-doubt gtid by asking ``2pc-status`` here.  Unknown gtids
+are aborts (presumed abort — the log records only decisions), and gtids
+still in flight answer ``pending`` so the shard retries rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import json
+import os
+import queue
+import socket
+import socketserver
+import threading
+from typing import Any, Optional
+
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing
+from repro.errors import (
+    AddressInUseError,
+    ReproError,
+    RequestShed,
+    error_to_payload,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.server.requests import Request, Response
+
+__all__ = [
+    "CoordinatorLog",
+    "ShardLink",
+    "ClusterRouter",
+    "RouterWireServer",
+    "plan_request",
+]
+
+
+def plan_request(request: Request, shard_of_item) -> dict[int, Request]:
+    """Split *request* into per-shard branch requests.
+
+    Multi-line ``place`` and multi-item ``total-payment`` group their
+    lines/items by owning shard (``shard_of_item(index) -> shard``);
+    everything else maps whole to the shard owning its single item.
+    Branch request ids are suffixed ``@s{shard}`` so a branch is
+    distinguishable from its parent in logs and WAL frames.  A module
+    function (not a router method) so the torture oracle can re-derive
+    the exact branch a shard ran from just the hash ring.
+    """
+    if request.op == "place" and request.lines is not None:
+        by_shard: dict[int, list[tuple[int, int]]] = {}
+        for line in request.lines:
+            by_shard.setdefault(shard_of_item(line[0]), []).append(line)
+        return {
+            shard: Request(
+                op="place",
+                customer_no=request.customer_no,
+                deadline=request.deadline,
+                request_id=(
+                    f"{request.request_id}@s{shard}"
+                    if request.request_id is not None
+                    else None
+                ),
+                lines=tuple(lines),
+            )
+            for shard, lines in by_shard.items()
+        }
+    if request.op == "total-payment" and request.items is not None:
+        by_shard_items: dict[int, list[int]] = {}
+        for item in request.items:
+            by_shard_items.setdefault(shard_of_item(item), []).append(item)
+        return {
+            shard: Request(
+                op="total-payment",
+                deadline=request.deadline,
+                request_id=(
+                    f"{request.request_id}@s{shard}"
+                    if request.request_id is not None
+                    else None
+                ),
+                items=tuple(items),
+            )
+            for shard, items in by_shard_items.items()
+        }
+    return {shard_of_item(request.item): request}
+
+
+class CoordinatorLog:
+    """The coordinator's durable decision log (JSON lines, fsync).
+
+    ``status`` implements presumed abort: decisions answer themselves,
+    gtids still in the in-flight set answer ``pending`` (the coordinator
+    is mid-protocol; ask again), and everything else answers ``abort``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._decisions: dict[str, str] = {}
+        self._inflight: set[str] = set()
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    self._decisions[entry["gtid"]] = entry["decision"]
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def begin(self, gtid: str) -> None:
+        with self._lock:
+            self._inflight.add(gtid)
+
+    def decide(self, gtid: str, decision: str) -> None:
+        """Durably record the global outcome; the commit point of 2PC."""
+        with self._lock:
+            if gtid in self._decisions:
+                return
+            self._fh.write(json.dumps({"gtid": gtid, "decision": decision}) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._decisions[gtid] = decision
+            self._inflight.discard(gtid)
+
+    def status(self, gtid: str) -> str:
+        with self._lock:
+            if gtid in self._decisions:
+                return self._decisions[gtid]
+            if gtid in self._inflight:
+                return "pending"
+            return "abort"
+
+    def decisions(self) -> dict[str, str]:
+        """Snapshot of every durably decided gtid (audit / torture)."""
+        with self._lock:
+            return dict(self._decisions)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class ShardLink:
+    """A pooled newline-JSON client for one shard address.
+
+    A single pipelined connection would serialise the shard to one
+    in-flight request; the pool creates connections on demand up to
+    ``capacity`` and recycles them LIFO, so concurrent router threads
+    drive the shard at its admission-controlled parallelism.
+    """
+
+    def __init__(
+        self, host: str, port: int, capacity: int = 8, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self.timeout = timeout
+        self._pool: queue.LifoQueue = queue.LifoQueue()
+        self._lock = threading.Lock()
+        self._created = 0
+
+    def _connect(self):
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        return sock, sock.makefile("rwb")
+
+    def _borrow(self):
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self.capacity:
+                self._created += 1
+                try:
+                    return self._connect()
+                except Exception:
+                    self._created -= 1
+                    raise
+        return self._pool.get(timeout=self.timeout)
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        conn = self._borrow()
+        sock, fh = conn
+        try:
+            fh.write(json.dumps(message).encode("utf-8") + b"\n")
+            fh.flush()
+            line = fh.readline()
+            if not line:
+                raise ConnectionError(f"shard {self.host}:{self.port} closed connection")
+            self._pool.put(conn)
+            return json.loads(line)
+        except Exception:
+            # Broken connection: drop it so a later borrow reconnects.
+            with self._lock:
+                self._created -= 1
+            try:
+                fh.close()
+                sock.close()
+            except Exception:  # noqa: BLE001 - already failing
+                pass
+            raise
+
+    def close(self) -> None:
+        while True:
+            try:
+                sock, fh = self._pool.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                fh.close()
+                sock.close()
+            except Exception:  # noqa: BLE001 - shutdown path
+                pass
+
+
+class ClusterRouter:
+    """Routes order-entry requests across shard servers; coordinates 2PC."""
+
+    def __init__(
+        self,
+        shard_addresses: list[tuple[str, int]],
+        coordinator_log: CoordinatorLog,
+        vnodes: int = DEFAULT_VNODES,
+        pool_size: int = 8,
+        obs: Optional[MetricsRegistry] = None,
+        status_address: str = "",
+        shard_timeout: float = 30.0,
+    ) -> None:
+        if not shard_addresses:
+            raise ValueError("need at least one shard address")
+        self.ring = HashRing(len(shard_addresses), vnodes)
+        self.links = [
+            ShardLink(host, port, capacity=pool_size, timeout=shard_timeout)
+            for host, port in shard_addresses
+        ]
+        self.log = coordinator_log
+        self.status_address = status_address
+        self.obs = obs if obs is not None else MetricsRegistry(thread_safe=True)
+        self._gtids = itertools.count()
+        self._m_requests = self.obs.counter("cluster.requests")
+        self._m_single = self.obs.counter("cluster.single_shard")
+        self._m_cross = self.obs.counter("cluster.cross_shard")
+        self._m_shard_down = self.obs.counter("cluster.shard_down")
+        self._m_begun = self.obs.counter("2pc.begun")
+        self._m_prepared = self.obs.counter("2pc.prepared")
+        self._m_prepare_failed = self.obs.counter("2pc.prepare_failed")
+        self._m_committed = self.obs.counter("2pc.committed")
+        self._m_aborted = self.obs.counter("2pc.aborted")
+        self._m_status = self.obs.counter("2pc.status_queries")
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.links)
+
+    def shard_of_item(self, item: int) -> int:
+        return self.ring.shard_for(item)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, request: Request) -> dict[int, Request]:
+        """Split a request into per-shard branch requests."""
+        return plan_request(request, self.shard_of_item)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_request(self, request: Request) -> Response:
+        self._m_requests.inc()
+        try:
+            branches = self.plan(request)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            return Response(
+                status="failed",
+                op=request.op,
+                request_id=request.request_id,
+                error=error_to_payload(exc),
+            )
+        if len(branches) == 1:
+            self._m_single.inc()
+            (shard, sub), = branches.items()
+            return self._submit_single(shard, sub, request)
+        self._m_cross.inc()
+        return self._run_two_phase(request, branches)
+
+    def route(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Wire-level entry: a raw request dict to a response dict."""
+        return self.route_request(Request.from_dict(message)).to_dict()
+
+    def _submit_single(self, shard: int, sub: Request, request: Request) -> Response:
+        try:
+            payload = self.links[shard].request(
+                {"op": "shard-submit", "request": sub.to_dict()}
+            )
+        except (OSError, ConnectionError) as exc:
+            self._m_shard_down.inc()
+            return self._shard_down_response(request, shard, exc)
+        response = Response.from_dict(payload)
+        response.op = request.op
+        response.request_id = request.request_id
+        return response
+
+    def _run_two_phase(self, request: Request, branches: dict[int, Request]) -> Response:
+        gtid = f"g{next(self._gtids)}"
+        if request.request_id is not None:
+            gtid = f"{gtid}-{request.request_id}"
+        self.log.begin(gtid)
+        self._m_begun.inc()
+        votes: dict[int, Response] = {}
+        down: Optional[int] = None
+        for shard, sub in branches.items():
+            try:
+                payload = self.links[shard].request(
+                    {
+                        "op": "2pc-prepare",
+                        "gtid": gtid,
+                        "coordinator": self.status_address,
+                        "branch": sub.to_dict(),
+                    }
+                )
+            except (OSError, ConnectionError):
+                self._m_shard_down.inc()
+                down = shard
+                break
+            vote = Response.from_dict(payload)
+            votes[shard] = vote
+            if vote.status != "prepared":
+                break
+        prepared = [s for s, v in votes.items() if v.status == "prepared"]
+        if down is None and len(prepared) == len(branches):
+            self.log.decide(gtid, "commit")
+            self._m_committed.inc()
+            for shard in branches:
+                self._decide_best_effort(shard, gtid, "2pc-commit")
+            return self._merge_commit(request, branches, votes)
+        self.log.decide(gtid, "abort")
+        self._m_aborted.inc()
+        self._m_prepare_failed.inc()
+        for shard in votes:
+            # Every contacted shard learns the abort; prepared branches
+            # compensate, failed branches already logged their own abort.
+            self._decide_best_effort(shard, gtid, "2pc-abort")
+        return self._merge_abort(request, branches, votes, down)
+
+    def _decide_best_effort(self, shard: int, gtid: str, op: str) -> None:
+        try:
+            self.links[shard].request({"op": op, "gtid": gtid})
+        except (OSError, ConnectionError):
+            # The decision is durable at the coordinator; the shard will
+            # learn it through in-doubt resolution on restart.
+            self._m_shard_down.inc()
+
+    def _merge_commit(
+        self,
+        request: Request,
+        branches: dict[int, Request],
+        votes: dict[int, Response],
+    ) -> Response:
+        self._m_prepared.inc(len(votes))
+        queue_wait = max(v.queue_wait for v in votes.values())
+        total_time = max(v.total_time for v in votes.values())
+        if request.op == "place":
+            assert request.lines is not None
+            per_shard = {shard: list(votes[shard].result or []) for shard in branches}
+            result = [
+                per_shard[self.shard_of_item(item)].pop(0)
+                for item, _ in request.lines
+            ]
+        else:
+            result = sum(v.result or 0 for v in votes.values())
+        return Response(
+            status="ok",
+            op=request.op,
+            request_id=request.request_id,
+            result=result,
+            queue_wait=queue_wait,
+            total_time=total_time,
+        )
+
+    def _merge_abort(
+        self,
+        request: Request,
+        branches: dict[int, Request],
+        votes: dict[int, Response],
+        down: Optional[int],
+    ) -> Response:
+        base = dict(op=request.op, request_id=request.request_id)
+        failures = [v for v in votes.values() if v.status != "prepared"]
+        sheds = [v for v in failures if v.status == "shed"]
+        if sheds:
+            # One retry hint for the whole global transaction: the worst
+            # (largest) of the branch hints.
+            retry_after = max(v.retry_after or 0.0 for v in sheds)
+            shed = RequestShed(
+                "cluster-branch-shed",
+                retry_after,
+                f"{len(sheds)} of {len(branches)} branches shed",
+            )
+            return Response(
+                status="shed",
+                error=shed.to_payload(),
+                retry_after=retry_after,
+                **base,
+            )
+        if down is not None:
+            return self._shard_down_response(request, down, None)
+        first = failures[0] if failures else None
+        return Response(
+            status=first.status if first is not None else "failed",
+            error=first.error if first is not None else None,
+            retry_after=first.retry_after if first is not None else None,
+            **base,
+        )
+
+    def _shard_down_response(
+        self, request: Request, shard: int, exc: Optional[BaseException]
+    ) -> Response:
+        detail = f"shard {shard} unreachable"
+        if exc is not None:
+            detail += f": {exc}"
+        return Response(
+            status="failed",
+            op=request.op,
+            request_id=request.request_id,
+            error={"code": "shard-down", "message": detail},
+            retry_after=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def coordinator_status(self, gtid: str) -> str:
+        self._m_status.inc()
+        return self.log.status(gtid)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shards": self.n_shards,
+            "requests": self._m_requests.value,
+            "single_shard": self._m_single.value,
+            "cross_shard": self._m_cross.value,
+            "2pc_committed": self._m_committed.value,
+            "2pc_aborted": self._m_aborted.value,
+            "shard_down": self._m_shard_down.value,
+        }
+
+    def close(self) -> None:
+        for link in self.links:
+            link.close()
+
+
+# ----------------------------------------------------------------------
+# The router's own wire front (status endpoint + routed requests)
+# ----------------------------------------------------------------------
+class _RouterHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        wire: RouterWireServer = self.server.router_wire  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                self._reply({"status": "failed", "error": error_to_payload(exc)})
+                continue
+            try:
+                self._reply(wire.dispatch(message))
+            except Exception as exc:  # noqa: BLE001 - surfaced to the peer
+                self._reply({"status": "failed", "error": error_to_payload(exc)})
+
+    def _reply(self, payload: dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _RouterTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class RouterWireServer:
+    """Serves ``2pc-status`` (and, once attached, routed requests).
+
+    Built around the coordinator log *before* the router exists, because
+    restarting shards must resolve in-doubt transactions during boot —
+    potentially before the router has live links to every shard.
+    """
+
+    def __init__(
+        self, log: CoordinatorLog, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.log = log
+        self.router: Optional[ClusterRouter] = None
+        try:
+            self._tcp = _RouterTCPServer((host, port), _RouterHandler)
+        except OSError as exc:
+            if exc.errno == errno.EADDRINUSE:
+                raise AddressInUseError(host, port) from exc
+            raise
+        self._tcp.router_wire = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address[:2]
+
+    def attach_router(self, router: ClusterRouter) -> None:
+        self.router = router
+
+    def dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "ping":
+            return {"status": "ok", "result": "pong"}
+        if op == "2pc-status":
+            gtid = str(message.get("gtid", ""))
+            if self.router is not None:
+                return {"status": "ok", "result": self.router.coordinator_status(gtid)}
+            return {"status": "ok", "result": self.log.status(gtid)}
+        if op == "stats":
+            if self.router is None:
+                return {"status": "ok", "result": {}}
+            return {"status": "ok", "result": self.router.stats()}
+        if self.router is None:
+            raise ReproError("router not attached yet")
+        return self.router.route(message)
+
+    def start(self) -> "RouterWireServer":
+        if self._thread is not None:
+            raise RuntimeError("router wire server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="cc-router-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -675,7 +675,9 @@ class TransactionManager:
 
         return address_of(obj)
 
-    def _wal_update(self, node: TransactionNode, operation: str, target: DatabaseObject, **fields: Any) -> None:
+    def _wal_update(
+        self, node: TransactionNode, operation: str, target: DatabaseObject, **fields: Any
+    ) -> None:
         if self.wal is None:
             return
         address = self._wal_attached_address(target)

@@ -343,6 +343,29 @@ class WorkloadError(ReproError):
     code = "workload-error"
 
 
+class AddressInUseError(ReproError):
+    """A server could not bind its listen address (already in use).
+
+    Raised by the wire server (and the cluster launcher) instead of the
+    raw ``OSError`` so callers — the CLI in particular — can report a
+    clean, stable-coded failure rather than a traceback.
+    """
+
+    code = "address-in-use"
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(f"address {host}:{port} is already in use")
+        self.host = host
+        self.port = port
+
+    def _payload_extra(self) -> dict[str, Any]:
+        return {"host": self.host, "port": self.port}
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, Any]) -> "AddressInUseError":
+        return cls(payload.get("host", "?"), int(payload.get("port", 0)))
+
+
 class CrashPoint(BaseException):
     """Simulated process death, raised by the fault-injection plane.
 
@@ -398,6 +421,7 @@ ERROR_CODES: dict[str, type[BaseException]] = {
         RuntimeEngineError,
         AggregateWorkerError,
         WorkloadError,
+        AddressInUseError,
         CrashPoint,
     )
 }

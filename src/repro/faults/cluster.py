@@ -1,0 +1,466 @@
+"""Shard-kill torture: SIGKILL a real shard at every 2PC crash site.
+
+:mod:`repro.faults.durable` proves single-node recovery against real
+process death; this module does the same for the cluster's two-phase
+commit.  For every participant crash site
+(:data:`repro.cluster.participant.CRASH_SITES`) on every victim shard,
+a fresh 2-shard :class:`~repro.cluster.process.LocalCluster` runs a
+seeded mixed workload (single-shard writes, committing cross-shard
+places and total-payments, and deliberately aborting cross-shard places
+whose surviving branch must be compensated) through the router.  The
+armed shard durably drops a crash marker and SIGKILLs itself mid-2PC;
+the driver keeps going — shard-down answers are part of the contract —
+then restarts the victim over its surviving files, probes the recovered
+cluster, shuts everything down cleanly, and audits the wreckage:
+
+1. the victim really died by SIGKILL and its marker names the site;
+2. **zero lost committed transactions** — every request the router
+   acked ``ok`` is durably committed on every shard it touched (single
+   requests as ``rq-{id}`` winners, cross-shard requests as a durable
+   ``commit`` decision plus a ``2pc-{gtid}`` branch winner per shard);
+3. **no dangling branches** — every branch of an abort-decided gtid
+   that did commit locally has a committed ``comp-{gtid}``;
+4. **serial equivalence** — each shard's final WAL, recovered onto a
+   fresh database, equals a *serial* replay of its durable winners (the
+   original sub-requests, with compensations re-derived from the WAL's
+   own inverse records): the surviving cluster history is equivalent to
+   a serial one, crash or no crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Optional, Sequence
+
+from repro.cluster.files import CRASH_MARKER_FILENAME, WAL_FILENAME
+from repro.cluster.hashring import HashRing
+from repro.cluster.participant import (
+    CRASH_SITES,
+    branch_inverses,
+    compensation_program,
+)
+from repro.cluster.process import LocalCluster
+from repro.cluster.router import plan_request
+from repro.core.kernel import run_transactions
+from repro.faults.torture import _durable_winners, state_of
+from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE, build_order_entry_database
+from repro.recovery import recover
+from repro.server.requests import Request, Response, build_program
+from repro.storage.durable import load_wal_file
+
+__all__ = [
+    "ClusterCrashOutcome",
+    "ClusterTortureReport",
+    "cluster_workload",
+    "run_cluster_torture",
+]
+
+TYPE_SPECS = {"Item": ITEM_TYPE, "Order": ORDER_TYPE}
+
+
+@dataclass
+class ClusterCrashOutcome:
+    """Verdicts for one (victim shard, crash site) point."""
+
+    site: str
+    victim: int
+    crashed: bool  # the armed site actually fired
+    process_killed: bool = False  # death really was SIGKILL
+    marker_site: str = ""  # what the victim's crash marker says
+    recovery: dict[str, Any] = field(default_factory=dict)
+    acked_ok: int = 0
+    acked_failed: int = 0
+    lost_committed: tuple[str, ...] = ()
+    dangling_branches: tuple[str, ...] = ()
+    state_ok: tuple[bool, ...] = ()  # serial equivalence, per shard
+    winners_per_shard: tuple[int, ...] = ()
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.crashed
+            and self.process_killed
+            and self.marker_site == self.site
+            and not self.lost_committed
+            and not self.dangling_branches
+            and all(self.state_ok)
+        )
+
+
+@dataclass
+class ClusterTortureReport:
+    """One full sweep over (victim, site) crash points."""
+
+    seed: int
+    n_shards: int
+    n_requests: int
+    outcomes: list[ClusterCrashOutcome] = field(default_factory=list)
+    planned_points: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-cluster-torture",
+            "version": 1,
+            "seed": self.seed,
+            "n_shards": self.n_shards,
+            "n_requests": self.n_requests,
+            "planned_points": self.planned_points,
+            "run_points": len(self.outcomes),
+            "truncated": self.truncated,
+            "all_ok": self.all_ok,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "outcomes": [
+                {
+                    "site": o.site,
+                    "victim": o.victim,
+                    "crashed": o.crashed,
+                    "process_killed": o.process_killed,
+                    "lost_committed": list(o.lost_committed),
+                    "dangling_branches": list(o.dangling_branches),
+                    "state_ok": list(o.state_ok),
+                    "winners_per_shard": list(o.winners_per_shard),
+                    "ok": o.ok,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# The seeded workload
+# ----------------------------------------------------------------------
+def _invalid_index_for(ring: HashRing, shard: int, n_items: int) -> int:
+    """An out-of-range item index that still routes to *shard*."""
+    index = n_items
+    while ring.shard_for(index) != shard:
+        index += 1
+    return index
+
+
+def cluster_workload(
+    seed: int,
+    n_requests: int,
+    n_items: int,
+    ring: HashRing,
+    victim: int = 0,
+) -> list[Request]:
+    """A deterministic ring-aware mixed workload.
+
+    Single-shard writes and reads, committing cross-shard places and
+    total-payments, and aborting cross-shard places (one line's item
+    index is out of range on the *non-victim* shard, so the victim's
+    branch commits first and must be compensated by the global abort) —
+    every 2PC crash site on the victim gets hit.
+    """
+    rng = Random(seed)
+    by_shard: dict[int, list[int]] = {}
+    for item in range(n_items):
+        by_shard.setdefault(ring.shard_for(item), []).append(item)
+    if len(by_shard) < 2:
+        raise ValueError(
+            f"workload needs items on >= 2 shards; got shards {sorted(by_shard)}"
+        )
+    shards = sorted(by_shard)
+    others = [s for s in shards if s != victim]
+    requests: list[Request] = []
+    for i in range(n_requests):
+        rid = f"w{i}"
+        kind = rng.random()
+        if kind < 0.35:  # single-shard write
+            item = rng.choice(by_shard[rng.choice(shards)])
+            op = rng.choice(("place", "restock", "pay", "ship"))
+            if op == "place":
+                requests.append(
+                    Request(op="place", item=item, customer_no=200 + i,
+                            quantity=1 + i % 3, request_id=rid)
+                )
+            elif op == "restock":
+                requests.append(
+                    Request(op="restock", item=item, quantity=5, request_id=rid)
+                )
+            else:  # pay / ship a pre-built order
+                requests.append(
+                    Request(op=op, item=item, order_no=1 + i % 2, request_id=rid)
+                )
+        elif kind < 0.45:  # single-shard read
+            item = rng.choice(by_shard[rng.choice(shards)])
+            requests.append(Request(op="stock-check", item=item, request_id=rid))
+        elif kind < 0.70:  # committing cross-shard place
+            a = rng.choice(by_shard[victim])
+            b = rng.choice(by_shard[rng.choice(others)])
+            requests.append(
+                Request(op="place", customer_no=300 + i, request_id=rid,
+                        lines=((a, 1 + i % 2), (b, 1)))
+            )
+        elif kind < 0.85:  # cross-shard read
+            a = rng.choice(by_shard[victim])
+            b = rng.choice(by_shard[rng.choice(others)])
+            requests.append(
+                Request(op="total-payment", items=(a, b), request_id=rid)
+            )
+        else:  # aborting cross-shard place: victim's branch commits, then compensates
+            a = rng.choice(by_shard[victim])
+            bad = _invalid_index_for(ring, rng.choice(others), n_items)
+            requests.append(
+                Request(op="place", customer_no=400 + i, request_id=rid,
+                        lines=((a, 1), (bad, 1)))
+            )
+    return requests
+
+
+# ----------------------------------------------------------------------
+# One crash point
+# ----------------------------------------------------------------------
+def _is_cross(request: Request, ring: HashRing) -> bool:
+    return len(plan_request(request, ring.shard_for)) > 1
+
+
+def _gtid_of(rid: str, decisions: dict[str, str]) -> Optional[str]:
+    for gtid in decisions:
+        if gtid.split("-", 1)[1:] == [rid]:
+            return gtid
+    return None
+
+
+def _audit_shard(
+    shard_dir: str,
+    build_config: dict[str, int],
+    requests_by_id: dict[str, Request],
+    decisions: dict[str, str],
+    ring: HashRing,
+    shard: int,
+) -> tuple[list[str], bool, list[str]]:
+    """(durable winners, serial-equivalence verdict, dangling branches)."""
+    scan = load_wal_file(os.path.join(shard_dir, WAL_FILENAME))
+    winners = _durable_winners(scan.log)
+
+    recovered = build_order_entry_database(**build_config)
+    recover(recovered.db, scan.log, TYPE_SPECS)
+
+    oracle = build_order_entry_database(**build_config)
+    for txn in winners:
+        if txn.startswith("rq-"):
+            request = requests_by_id[txn[len("rq-"):]]
+            sub = plan_request(request, ring.shard_for)[shard]
+            program = build_program(oracle, sub)
+        elif txn.startswith("2pc-"):
+            rid = txn[len("2pc-"):].split("-", 1)[1]
+            sub = plan_request(requests_by_id[rid], ring.shard_for)[shard]
+            program = build_program(oracle, sub)
+        elif txn.startswith("comp-"):
+            gtid = txn[len("comp-"):]
+            program = compensation_program(
+                oracle.db, branch_inverses(scan.log, f"2pc-{gtid}")
+            )
+        else:
+            raise RuntimeError(f"shard {shard}: unexpected durable winner {txn!r}")
+        run_transactions(oracle.db, {txn: program})
+
+    state_ok = state_of(recovered.db) == state_of(oracle.db)
+
+    # A committed branch of an abort-decided gtid must have a committed
+    # compensation — unless it was readonly (no inverse records to run).
+    dangling = [
+        f"s{shard}:{gtid}"
+        for gtid, decision in decisions.items()
+        if decision == "abort"
+        and f"2pc-{gtid}" in winners
+        and f"comp-{gtid}" not in winners
+        and branch_inverses(scan.log, f"2pc-{gtid}")
+    ]
+    return winners, state_ok, dangling
+
+
+def run_crash_point(
+    site: str,
+    victim: int,
+    workdir: str,
+    seed: int = 0,
+    n_requests: int = 24,
+    n_shards: int = 2,
+    n_items: int = 8,
+    orders_per_item: int = 2,
+    hits: int = 1,
+    ready_timeout: float = 30.0,
+) -> ClusterCrashOutcome:
+    """Run one (victim, site) crash point end to end; see module doc."""
+    started = time.perf_counter()
+    ring = HashRing(n_shards)
+    build_config = {"n_items": n_items, "orders_per_item": orders_per_item}
+    workload = cluster_workload(seed, n_requests, n_items, ring, victim=victim)
+    requests_by_id = {r.request_id: r for r in workload}
+    outcome = ClusterCrashOutcome(site=site, victim=victim, crashed=False)
+
+    acked: list[tuple[Request, Response]] = []
+    cluster = LocalCluster(
+        n_shards,
+        workdir,
+        shard_config=build_config,
+        crash_specs={victim: {"site": site, "hits": hits}},
+    ).start(ready_timeout)
+    try:
+        victim_proc = cluster.shards[victim]
+        for request in workload:
+            acked.append((request, cluster.router.route_request(request)))
+            if not outcome.crashed and victim_proc.returncode is not None:
+                # Mid-load death: restart over the surviving files right
+                # away, then keep driving the recovered cluster.
+                outcome.crashed = True
+                outcome.process_killed = victim_proc.returncode == -signal.SIGKILL
+                marker_path = os.path.join(
+                    victim_proc.data_dir, CRASH_MARKER_FILENAME
+                )
+                if os.path.exists(marker_path):
+                    with open(marker_path, encoding="utf-8") as fh:
+                        outcome.marker_site = json.load(fh).get("site", "")
+                outcome.recovery = cluster.restart_shard(
+                    victim, clear_crash=True, ready_timeout=ready_timeout
+                )["recovery"]
+
+        if not outcome.crashed:
+            # The armed site never fired: finish cleanly, nothing to audit.
+            return outcome
+
+        # Post-recovery probes: the revived cluster must serve both paths.
+        probe_items = sorted(
+            (i for i in range(n_items) if ring.shard_for(i) == victim)
+        )
+        other_items = sorted(
+            (i for i in range(n_items) if ring.shard_for(i) != victim)
+        )
+        probes = [
+            Request(op="place", item=probe_items[0], customer_no=900,
+                    quantity=1, request_id="probe-single"),
+            Request(op="place", customer_no=901, request_id="probe-cross",
+                    lines=((probe_items[0], 1), (other_items[0], 1))),
+        ]
+        for request in probes:
+            requests_by_id[request.request_id] = request
+            acked.append((request, cluster.router.route_request(request)))
+
+        decisions = cluster.log.decisions()
+    finally:
+        cluster.stop()
+
+    # ---- the audit: read every shard's surviving files ----
+    winners_by_shard: dict[int, list[str]] = {}
+    state_ok: list[bool] = []
+    dangling: list[str] = []
+    for shard in range(n_shards):
+        shard_dir = os.path.join(workdir, f"shard-{shard}")
+        winners, ok, shard_dangling = _audit_shard(
+            shard_dir, build_config, requests_by_id, decisions, ring, shard
+        )
+        winners_by_shard[shard] = winners
+        state_ok.append(ok)
+        dangling.extend(shard_dangling)
+
+    lost: list[str] = []
+    for request, response in acked:
+        if response.status == "ok":
+            outcome.acked_ok += 1
+        else:
+            outcome.acked_failed += 1
+            continue
+        if request.op in ("stock-check", "total-payment"):
+            continue  # reads cannot be "lost"
+        rid = request.request_id
+        branches = plan_request(request, ring.shard_for)
+        if len(branches) == 1:
+            (shard,) = branches
+            if f"rq-{rid}" not in winners_by_shard[shard]:
+                lost.append(f"rq-{rid}@s{shard}")
+            continue
+        gtid = _gtid_of(rid, decisions)
+        if gtid is None or decisions.get(gtid) != "commit":
+            lost.append(f"{rid}:no-commit-decision")
+            continue
+        for shard in branches:
+            if f"2pc-{gtid}" not in winners_by_shard[shard]:
+                lost.append(f"2pc-{gtid}@s{shard}")
+
+    outcome.lost_committed = tuple(lost)
+    outcome.dangling_branches = tuple(dangling)
+    outcome.state_ok = tuple(state_ok)
+    outcome.winners_per_shard = tuple(
+        len(winners_by_shard[s]) for s in range(n_shards)
+    )
+    outcome.elapsed_seconds = time.perf_counter() - started
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+def run_cluster_torture(
+    seed: int = 0,
+    n_requests: int = 24,
+    n_shards: int = 2,
+    n_items: int = 8,
+    orders_per_item: int = 2,
+    sites: Optional[Sequence[str]] = None,
+    victims: Optional[Sequence[int]] = None,
+    workdir: Optional[str] = None,
+    max_seconds: Optional[float] = None,
+    ready_timeout: float = 30.0,
+) -> ClusterTortureReport:
+    """SIGKILL a shard at every 2PC crash site; audit every recovery.
+
+    Each (victim, site) point gets a fresh cluster directory and a full
+    workload/crash/restart/audit cycle.  *max_seconds* truncates the
+    sweep honestly (``report.truncated``) when the budget runs out.
+    """
+    started = time.perf_counter()
+    sites = tuple(sites) if sites is not None else CRASH_SITES
+    victims = tuple(victims) if victims is not None else tuple(range(n_shards))
+    unknown = [s for s in sites if s not in CRASH_SITES]
+    if unknown:
+        raise ValueError(f"unknown crash sites {unknown}; know {list(CRASH_SITES)}")
+    report = ClusterTortureReport(
+        seed=seed, n_shards=n_shards, n_requests=n_requests
+    )
+    points = [(victim, site) for victim in victims for site in sites]
+    report.planned_points = len(points)
+
+    own_dir = None
+    if workdir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-torture-")
+        workdir = own_dir.name
+    try:
+        for victim, site in points:
+            if max_seconds is not None and time.perf_counter() - started >= max_seconds:
+                report.truncated = True
+                break
+            point_dir = os.path.join(workdir, f"v{victim}-{site}")
+            os.makedirs(point_dir, exist_ok=True)
+            report.outcomes.append(
+                run_crash_point(
+                    site,
+                    victim,
+                    point_dir,
+                    seed=seed,
+                    n_requests=n_requests,
+                    n_shards=n_shards,
+                    n_items=n_items,
+                    orders_per_item=orders_per_item,
+                    ready_timeout=ready_timeout,
+                )
+            )
+    finally:
+        if own_dir is not None:
+            own_dir.cleanup()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -231,7 +231,11 @@ async def NewOrder(ctx, item, customer_no, quantity):
     return order_no
 
 
-@ITEM_TYPE.method(inverse=lambda result, args: None if result == NO_SUCH_ORDER else ("UnshipOrder", (args[0],)))
+@ITEM_TYPE.method(
+    inverse=lambda result, args: (
+        None if result == NO_SUCH_ORDER else ("UnshipOrder", (args[0],))
+    )
+)
 async def ShipOrder(ctx, item, order_no):
     """Ship the order: update Quantity-on-hand, mark the order shipped."""
     orders = item.impl_component("Orders")
@@ -246,7 +250,11 @@ async def ShipOrder(ctx, item, order_no):
     return "shipped"
 
 
-@ITEM_TYPE.method(inverse=lambda result, args: None if result == NO_SUCH_ORDER else ("UnpayOrder", (args[0],)))
+@ITEM_TYPE.method(
+    inverse=lambda result, args: (
+        None if result == NO_SUCH_ORDER else ("UnpayOrder", (args[0],))
+    )
+)
 async def PayOrder(ctx, item, order_no):
     """Record the customer's payment for the order."""
     orders = item.impl_component("Orders")

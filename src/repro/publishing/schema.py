@@ -129,7 +129,11 @@ async def RemoveSection(ctx, document, section_no):
     return None
 
 
-@DOCUMENT_TYPE.method(inverse=lambda result, args: None if result == NOT_FOUND else ("EditSection", (args[0], result)))
+@DOCUMENT_TYPE.method(
+    inverse=lambda result, args: (
+        None if result == NOT_FOUND else ("EditSection", (args[0], result))
+    )
+)
 async def EditSection(ctx, document, section_no, text):
     """Rewrite one section's body; returns the previous text."""
     sections = document.impl_component("Sections")
@@ -139,7 +143,11 @@ async def EditSection(ctx, document, section_no, text):
     return await ctx.call(section, "EditBody", text)
 
 
-@DOCUMENT_TYPE.method(inverse=lambda result, args: None if result == NOT_FOUND else ("RemoveAnnotation", (args[0], args[1])))
+@DOCUMENT_TYPE.method(
+    inverse=lambda result, args: (
+        None if result == NOT_FOUND else ("RemoveAnnotation", (args[0], args[1]))
+    )
+)
 async def Annotate(ctx, document, section_no, note_id, text):
     """Attach a reviewer note to a section (commutes broadly)."""
     sections = document.impl_component("Sections")

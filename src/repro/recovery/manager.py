@@ -186,7 +186,10 @@ def recover(
             # no inverse: the subtransaction's leaves are undone
             # physically below (structural undo)
             continue
-        assert isinstance(record, UpdateRecord)
+        if not isinstance(record, UpdateRecord):
+            # Foreign record types (e.g. cluster 2PC prepare/decision
+            # frames) carry no physical state to undo.
+            continue
         if any(node_id in covered for node_id in record.node_path):
             continue
         _apply_physical_undo(db, record, type_specs)

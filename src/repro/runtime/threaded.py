@@ -1192,6 +1192,7 @@ class ThreadedKernel:
         lock_timeout: Optional[float] = None,
         n_shards: Optional[int] = None,
         faults=None,
+        wal=None,
     ) -> None:
         from repro.core.kernel import TransactionManager
 
@@ -1227,6 +1228,7 @@ class ThreadedKernel:
             max_subtxn_restarts=max_subtxn_restarts,
             lock_timeout=lock_timeout,
             faults=faults,
+            wal=wal,
         )
         # Concurrent conflict tests share the memo / relief cache.
         self.kernel.protocol.make_thread_safe()

@@ -186,7 +186,9 @@ class CompatibilityMatrix:
         """Mark the pair as always conflicting."""
         self.set_entry(held_op, requested_op, value=False)
 
-    def allow_if(self, held_op: str, requested_op: str, predicate: CompatPredicate, label: str = "param") -> None:
+    def allow_if(
+        self, held_op: str, requested_op: str, predicate: CompatPredicate, label: str = "param"
+    ) -> None:
         """Mark the pair as compatible exactly when *predicate* holds."""
         self.set_entry(held_op, requested_op, predicate=predicate, label=label)
 

@@ -182,6 +182,7 @@ class TransactionServer:
         stall_timeout: float = 10.0,
         obs: Optional[MetricsRegistry] = None,
         faults=None,
+        wal=None,
     ) -> None:
         if default_deadline <= 0 or max_deadline <= 0:
             raise ValueError("deadlines must be positive")
@@ -209,6 +210,7 @@ class TransactionServer:
             lock_timeout=lock_timeout_cap,
             obs=obs,
             faults=faults,
+            wal=wal,
         )
         self.admission = AdmissionController(admission, metrics=obs)
         self.degrade = DegradationController(degrade, metrics=obs)
@@ -271,12 +273,15 @@ class TransactionServer:
         self,
         request: Request,
         callback: Optional[Callable[[Response], None]] = None,
+        name: Optional[str] = None,
     ) -> PendingResponse:
         """Admit (or shed) a request; returns immediately.
 
         Shed decisions resolve the returned handle synchronously;
         admitted requests resolve when the transaction finishes (or is
-        deadline-aborted).
+        deadline-aborted).  ``name`` overrides the generated transaction
+        name — the cluster shard uses stable names so the WAL records a
+        request's identity durably.
         """
         pending = PendingResponse(callback)
         self._requests.inc()
@@ -298,7 +303,8 @@ class TransactionServer:
         if budget <= 0:
             budget = self.min_lock_wait
         now = time.monotonic()
-        name = f"req-{next(self._names)}"
+        if name is None:
+            name = f"req-{next(self._names)}"
         degraded = self.degrade.degraded
         ticket = _Ticket(request, name, klass, budget, now, pending, degraded)
         shed = self.admission.admit(ticket, klass, ticket.deadline_at)
@@ -312,10 +318,13 @@ class TransactionServer:
         return pending
 
     def submit(
-        self, request: Request, timeout: Optional[float] = None
+        self,
+        request: Request,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
     ) -> Response:
         """Blocking submit; the in-process client path."""
-        pending = self.submit_async(request)
+        pending = self.submit_async(request, name=name)
         budget = timeout
         if budget is None:
             deadline = (

@@ -60,6 +60,13 @@ class Request:
     quantity: int = 1
     deadline: Optional[float] = None
     request_id: Optional[str] = None
+    #: Multi-line ``place``: ``((item, quantity), ...)``.  When set it
+    #: supersedes ``item``/``quantity``; the result is the list of order
+    #: numbers in line order.  The cluster router splits lines by shard.
+    lines: Optional[tuple[tuple[int, int], ...]] = None
+    #: Multi-item ``total-payment``: item indices to sum over.  When set
+    #: it supersedes ``item``; the result is the grand total.
+    items: Optional[tuple[int, ...]] = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -73,10 +80,16 @@ class Request:
             out["deadline"] = self.deadline
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.lines is not None:
+            out["lines"] = [list(line) for line in self.lines]
+        if self.items is not None:
+            out["items"] = list(self.items)
         return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Request":
+        lines = data.get("lines")
+        items = data.get("items")
         return cls(
             op=str(data.get("op", "")),
             item=int(data.get("item", 0)),
@@ -89,6 +102,12 @@ class Request:
             request_id=(
                 str(data["request_id"]) if data.get("request_id") is not None else None
             ),
+            lines=(
+                tuple((int(item), int(qty)) for item, qty in lines)
+                if lines is not None
+                else None
+            ),
+            items=tuple(int(i) for i in items) if items is not None else None,
         )
 
 
@@ -168,24 +187,50 @@ def build_program(
     "thinking" while the transaction is open, which is what makes lock
     retention visible as wall-clock serialisation under RW locking.
     """
-    if not 0 <= request.item < len(built.items):
-        raise UnknownObjectError(
-            f"item index {request.item} out of range (have {len(built.items)})"
-        )
-    item = built.items[request.item]
+    def item_at(index: int):
+        if not 0 <= index < len(built.items):
+            raise UnknownObjectError(
+                f"item index {index} out of range (have {len(built.items)})"
+            )
+        return built.items[index]
+
     op = request.op
-    if op == "place":
-        inner = make_new_order_txn(item, request.customer_no, request.quantity)
+    if op == "place" and request.lines is not None:
+        if not request.lines:
+            raise UnknownObjectError("multi-line place needs at least one line")
+        targets = [(item_at(index), qty) for index, qty in request.lines]
+
+        async def inner(tx):
+            order_nos = []
+            for target, qty in targets:
+                order_nos.append(
+                    await tx.call(target, "NewOrder", request.customer_no, qty)
+                )
+            return order_nos
+
+    elif op == "total-payment" and request.items is not None:
+        if not request.items:
+            raise UnknownObjectError("multi-item total-payment needs at least one item")
+        targets = [item_at(index) for index in request.items]
+
+        async def inner(tx):
+            total = 0
+            for target in targets:
+                total += await tx.call(target, "TotalPayment")
+            return total
+
+    elif op == "place":
+        inner = make_new_order_txn(item_at(request.item), request.customer_no, request.quantity)
     elif op == "pay":
-        inner = make_pay_order_txn(item, request.order_no)
+        inner = make_pay_order_txn(item_at(request.item), request.order_no)
     elif op == "ship":
-        inner = make_ship_order_txn(item, request.order_no)
+        inner = make_ship_order_txn(item_at(request.item), request.order_no)
     elif op == "restock":
-        inner = make_restock_txn(item, request.quantity)
+        inner = make_restock_txn(item_at(request.item), request.quantity)
     elif op == "stock-check":
-        inner = make_stock_check_txn(item)
+        inner = make_stock_check_txn(item_at(request.item))
     elif op == "total-payment":
-        inner = make_t5(item)
+        inner = make_t5(item_at(request.item))
     else:
         raise UnknownOperationError(f"unknown server operation {op!r}")
     if think_cost <= 0:

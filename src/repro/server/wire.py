@@ -22,13 +22,14 @@ the concurrency limiter).
 
 from __future__ import annotations
 
+import errno
 import json
 import socket
 import socketserver
 import threading
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
-from repro.errors import error_to_payload
+from repro.errors import AddressInUseError, error_to_payload
 from repro.server.core import TransactionServer
 from repro.server.requests import Request
 
@@ -38,6 +39,7 @@ __all__ = ["WireServer", "TCPClient"]
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: TransactionServer = self.server.transaction_server  # type: ignore[attr-defined]
+        extra_ops = self.server.extra_ops  # type: ignore[attr-defined]
         for raw in self.rfile:
             line = raw.strip()
             if not line:
@@ -55,6 +57,15 @@ class _Handler(socketserver.StreamRequestHandler):
                 continue
             if op == "stats":
                 self._reply({"status": "ok", "result": server.stats()})
+                continue
+            handler = extra_ops.get(op)
+            if handler is not None:
+                # Extension seam: the cluster's 2PC control frames and
+                # routed requests travel the same newline-JSON protocol.
+                try:
+                    self._reply(handler(message))
+                except Exception as exc:  # noqa: BLE001 - surfaced to the peer
+                    self._reply({"status": "failed", "error": error_to_payload(exc)})
                 continue
             try:
                 request = Request.from_dict(message)
@@ -78,11 +89,21 @@ class WireServer:
     """Serve a :class:`TransactionServer` over TCP in a background thread."""
 
     def __init__(
-        self, server: TransactionServer, host: str = "127.0.0.1", port: int = 0
+        self,
+        server: TransactionServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        extra_ops: Optional[dict[str, Callable[[dict[str, Any]], dict[str, Any]]]] = None,
     ) -> None:
         self.transaction_server = server
-        self._tcp = _TCPServer((host, port), _Handler)
+        try:
+            self._tcp = _TCPServer((host, port), _Handler)
+        except OSError as exc:
+            if exc.errno == errno.EADDRINUSE:
+                raise AddressInUseError(host, port) from exc
+            raise
         self._tcp.transaction_server = server  # type: ignore[attr-defined]
+        self._tcp.extra_ops = dict(extra_ops or {})  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

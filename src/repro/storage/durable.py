@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -109,6 +110,10 @@ class DurableWriteAheadLog(WriteAheadLog):
         self._gc_deferred = _NULL
         self._gc_bytes_synced = _NULL
         self._gc_batch = _NULL
+        # The threaded kernel appends from several worker threads; every
+        # mutation of the LSN counter, the in-memory record list, and the
+        # file handle happens under this reentrant lock.
+        self._wal_lock = threading.RLock()
         resume = self._try_resume(path)
         self._fh = open(path, "ab" if resume else "wb", buffering=buffering)
         if not resume:
@@ -124,8 +129,14 @@ class DurableWriteAheadLog(WriteAheadLog):
         if not is_wal_file(data):
             return False
         scan = iter_frames(data)
-        for payload in scan.payloads:
-            super().append(pickle.loads(payload))
+        # Threaded appenders draw an LSN and write the frame as separate
+        # steps, so on-disk frame order can trail LSN order; replay in
+        # LSN order (same-object updates are lock-serialised, so the
+        # LSN order is the true update order).
+        for record in sorted(
+            (pickle.loads(payload) for payload in scan.payloads), key=lambda r: r.lsn
+        ):
+            super().append(record)
         self._next_lsn = max((r.lsn for r in self.records), default=0)
         self._durable_lsn = self._appended_lsn = self._next_lsn
         if scan.torn:
@@ -147,36 +158,42 @@ class DurableWriteAheadLog(WriteAheadLog):
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
+    def next_lsn(self) -> int:
+        with self._wal_lock:
+            return super().next_lsn()
+
     def append(self, record: LogRecord) -> None:
-        super().append(record)
-        if record.lsn > self._appended_lsn:
-            self._appended_lsn = record.lsn
-        frame = encode_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
-        self._fh.write(frame)
-        self._pending_bytes += len(frame)
-        self._appends.inc()
-        self._bytes_written.inc(len(frame))
-        if isinstance(record, TxnStatusRecord) and record.status in ("commit", "abort"):
-            self._gc_commits.inc()
-            self._pending_commits += 1
-            if self._pending_commits == 1:
-                self._window_opened = self._clock()
-            if (
-                self.group_commit_window <= 0.0
-                or self._pending_commits >= self.group_commit_max
-                or self._clock() - self._window_opened >= self.group_commit_window
-            ):
-                self.sync()
-            else:
-                self._gc_deferred.inc()
+        with self._wal_lock:
+            super().append(record)
+            if record.lsn > self._appended_lsn:
+                self._appended_lsn = record.lsn
+            frame = encode_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+            self._fh.write(frame)
+            self._pending_bytes += len(frame)
+            self._appends.inc()
+            self._bytes_written.inc(len(frame))
+            if isinstance(record, TxnStatusRecord) and record.status in ("commit", "abort"):
+                self._gc_commits.inc()
+                self._pending_commits += 1
+                if self._pending_commits == 1:
+                    self._window_opened = self._clock()
+                if (
+                    self.group_commit_window <= 0.0
+                    or self._pending_commits >= self.group_commit_max
+                    or self._clock() - self._window_opened >= self.group_commit_window
+                ):
+                    self.sync()
+                else:
+                    self._gc_deferred.inc()
 
     def flush_if_due(self) -> None:
         """Sync pending commits whose group-commit window has expired."""
-        if (
-            self._pending_commits > 0
-            and self._clock() - self._window_opened >= self.group_commit_window
-        ):
-            self.sync()
+        with self._wal_lock:
+            if (
+                self._pending_commits > 0
+                and self._clock() - self._window_opened >= self.group_commit_window
+            ):
+                self.sync()
 
     # ------------------------------------------------------------------
     # Durability
@@ -187,24 +204,27 @@ class DurableWriteAheadLog(WriteAheadLog):
 
     def sync(self) -> None:
         """Flush buffered frames and fsync; everything appended is durable."""
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-        self._durable_lsn = self._appended_lsn
-        self._gc_syncs.inc()
-        if self._pending_commits:
-            self._gc_batch.observe(self._pending_commits)
-        self._gc_bytes_synced.inc(self._pending_bytes)
-        self._pending_commits = 0
-        self._pending_bytes = 0
+        with self._wal_lock:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._durable_lsn = self._appended_lsn
+            self._gc_syncs.inc()
+            if self._pending_commits:
+                self._gc_batch.observe(self._pending_commits)
+            self._gc_bytes_synced.inc(self._pending_bytes)
+            self._pending_commits = 0
+            self._pending_bytes = 0
 
     def sync_to(self, lsn: int) -> None:
-        if lsn > self._durable_lsn:
-            self.sync()
+        with self._wal_lock:
+            if lsn > self._durable_lsn:
+                self.sync()
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self.sync()
-            self._fh.close()
+        with self._wal_lock:
+            if not self._fh.closed:
+                self.sync()
+                self._fh.close()
 
     def __enter__(self) -> "DurableWriteAheadLog":
         return self
@@ -240,7 +260,12 @@ def load_wal_file(path: str) -> WalFileScan:
     if not is_wal_file(data):
         raise ValueError(f"{path} is not a durable WAL file")
     scan = iter_frames(data)
-    records = [pickle.loads(payload) for payload in scan.payloads]
+    # Frames can land on disk out of LSN order under threaded appenders
+    # (LSN draw and file write are separate steps); LSN order is the
+    # true update order.
+    records = sorted(
+        (pickle.loads(payload) for payload in scan.payloads), key=lambda r: r.lsn
+    )
     log = WriteAheadLog(records=records)
     log._next_lsn = max((r.lsn for r in records), default=0)
     return WalFileScan(

@@ -66,7 +66,9 @@ class Lock:
 
     __slots__ = ("lock_id", "node", "target", "invocation", "grant_clock", "tree_root")
 
-    def __init__(self, lock_id: int, node: TransactionNode, target: Oid, invocation: Invocation) -> None:
+    def __init__(
+        self, lock_id: int, node: TransactionNode, target: Oid, invocation: Invocation
+    ) -> None:
         self.lock_id = lock_id
         self.node = node
         self.target = target
@@ -156,10 +158,14 @@ class LockTable:
         self._locks_by_root: defaultdict[TransactionNode, dict[int, Lock]] = defaultdict(dict)
         # Pending requests per owning top-level transaction, in enqueue
         # order (enqueue_seq is monotonic, so insertion order suffices).
-        self._pending_by_root: defaultdict[TransactionNode, dict[int, PendingRequest]] = defaultdict(dict)
+        self._pending_by_root: defaultdict[TransactionNode, dict[int, PendingRequest]] = (
+            defaultdict(dict)
+        )
         # Reverse blocker index: blocking node -> the pending requests
         # whose recorded blocker set contains it.
-        self._blocker_index: defaultdict[TransactionNode, dict[int, PendingRequest]] = defaultdict(dict)
+        self._blocker_index: defaultdict[TransactionNode, dict[int, PendingRequest]] = (
+            defaultdict(dict)
+        )
         # Re-evaluation work list: objects whose granted set or queue
         # changed, and pending requests whose recorded blocker completed.
         self._dirty_targets: set[Oid] = set()

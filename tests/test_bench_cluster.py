@@ -1,0 +1,151 @@
+"""Unit tests for the cluster-sweep bench machinery (no cluster boot).
+
+The expensive path — booting 1/2/4 real shard processes — is the CI
+``cluster-smoke`` job; here we pin the deterministic pieces: schedule
+generation, the monotonic-goodput verdict, and the ``BENCH_cluster.json``
+compare gate including its drift and schema guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cluster import (
+    BASELINE_SHARD_COUNTS,
+    ClusterBenchConfig,
+    ClusterLoopResult,
+    compare_cluster,
+    generate_cluster_arrivals,
+    goodput_monotonic,
+)
+
+
+def result_with(n_shards: int, ok: int, elapsed: float = 1.0) -> ClusterLoopResult:
+    return ClusterLoopResult(
+        n_shards=n_shards, config=ClusterBenchConfig(), ok=ok, offered=ok,
+        elapsed=elapsed,
+    )
+
+
+class TestArrivalSchedule:
+    def test_schedule_is_deterministic(self):
+        config = ClusterBenchConfig()
+        first = generate_cluster_arrivals(config)
+        second = generate_cluster_arrivals(config)
+        assert [(t, r.to_dict()) for t, r in first] == [
+            (t, r.to_dict()) for t, r in second
+        ]
+
+    def test_offsets_are_sorted_and_bounded(self):
+        arrivals = generate_cluster_arrivals(ClusterBenchConfig())
+        offsets = [offset for offset, _ in arrivals]
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset for offset in offsets)
+
+    def test_cross_fraction_is_roughly_honoured(self):
+        config = ClusterBenchConfig(rate=500.0, duration=4.0, cross_fraction=0.2)
+        arrivals = generate_cluster_arrivals(config)
+        cross = sum(
+            1 for _, request in arrivals
+            if (request.lines is not None and len(request.lines) > 1)
+            or (request.items is not None and len(request.items) > 1)
+        )
+        fraction = cross / len(arrivals)
+        assert 0.1 <= fraction <= 0.3, fraction
+
+    def test_rejects_nonsense_config(self):
+        with pytest.raises(ValueError):
+            ClusterBenchConfig(rate=0.0).validate()
+        with pytest.raises(ValueError):
+            ClusterBenchConfig(cross_fraction=1.5).validate()
+
+
+class TestMonotonicVerdict:
+    def test_clean_staircase_passes(self):
+        results = [result_with(1, 50), result_with(2, 80), result_with(4, 140)]
+        assert goodput_monotonic(results)
+
+    def test_scale_down_fails(self):
+        results = [result_with(1, 50), result_with(2, 80), result_with(4, 60)]
+        assert not goodput_monotonic(results)
+
+    def test_small_jitter_is_tolerated(self):
+        results = [result_with(1, 100), result_with(2, 98), result_with(4, 140)]
+        assert goodput_monotonic(results)
+
+
+class TestCompareGate:
+    def synthetic_doc(self) -> dict:
+        doc = {
+            "schema": "repro-bench-cluster",
+            "schema_version": 1,
+            "base_config": ClusterBenchConfig().to_dict(),
+            "goodput_monotonic": True,
+            "workloads": {},
+        }
+        for n_shards, goodput in zip(BASELINE_SHARD_COUNTS, (50.0, 80.0, 140.0)):
+            result = result_with(n_shards, int(goodput))
+            doc["workloads"][f"s{n_shards}"] = {
+                "config": {"n_shards": n_shards, "rate": 280.0},
+                "metrics": result.metrics_record(),
+            }
+        return doc
+
+    def test_identical_docs_pass(self):
+        doc = self.synthetic_doc()
+        comparison = compare_cluster(doc, doc)
+        assert comparison.ok, comparison.summary()
+        gated = [row for row in comparison.rows if row.gated]
+        assert {row.metric for row in gated} == {"goodput", "shard_down"}
+
+    def test_goodput_collapse_fails_the_gate(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["workloads"]["s4"]["metrics"]["goodput"] = 10.0
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+
+    def test_nonmonotonic_fresh_sweep_is_an_error(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["goodput_monotonic"] = False
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+        assert any("monotonic" in error for error in comparison.errors)
+
+    def test_shard_down_regression_fails_the_gate(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["workloads"]["s2"]["metrics"]["shard_down"] = 3.0
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+
+    def test_config_drift_is_an_error(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["workloads"]["s2"]["config"]["rate"] = 999.0
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+        assert any("drifted" in error for error in comparison.errors)
+
+    def test_schema_mismatch_is_an_error(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["schema_version"] = 99
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+
+    def test_committed_baseline_matches_the_collector_shape(self):
+        import json
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), os.pardir, "BENCH_cluster.json"
+        )
+        with open(path) as fh:
+            committed = json.load(fh)
+        assert committed["schema"] == "repro-bench-cluster"
+        assert committed["goodput_monotonic"] is True
+        assert set(committed["workloads"]) == {
+            f"s{n}" for n in BASELINE_SHARD_COUNTS
+        }

@@ -1,0 +1,47 @@
+"""Shard crash/recovery: one real SIGKILL through the torture harness.
+
+The full seven-site sweep is the CI gauntlet (``repro torture
+--cluster``); here we pin the single most load-bearing crash point —
+after the branch committed locally but before any decision arrived —
+which forces the restarted shard to resolve the in-doubt gtid against
+the coordinator log and compensate under presumed abort.
+"""
+
+from __future__ import annotations
+
+from repro.faults.cluster import CRASH_SITES, run_cluster_torture
+
+
+def test_kill_after_branch_commit_recovers_in_doubt(tmp_path):
+    report = run_cluster_torture(
+        seed=0,
+        n_requests=24,
+        n_shards=2,
+        sites=("2pc-branch-committed",),
+        victims=(0,),
+        workdir=str(tmp_path),
+    )
+    assert report.planned_points == 1 and not report.truncated
+    outcome = report.outcomes[0]
+    assert outcome.crashed and outcome.process_killed, outcome.__dict__
+    assert outcome.marker_site == "2pc-branch-committed"
+    assert not outcome.lost_committed
+    assert not outcome.dangling_branches
+    assert all(outcome.state_ok), outcome.state_ok
+    # The restarted shard answered the post-recovery probes.
+    assert outcome.acked_ok >= 1
+    assert report.all_ok
+
+
+def test_crash_sites_cover_the_whole_2pc_lifecycle():
+    # The sweep must bracket every durable transition: intent, local
+    # commit, decision arrival, decision durability, and compensation.
+    assert CRASH_SITES == (
+        "2pc-prepare-received",
+        "2pc-prepare-logged",
+        "2pc-branch-committed",
+        "2pc-commit-received",
+        "2pc-decision-logged",
+        "2pc-abort-received",
+        "2pc-compensated",
+    )

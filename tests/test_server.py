@@ -371,3 +371,82 @@ class TestLifecycle:
     def test_invalid_deadline_config_rejected(self):
         with pytest.raises(ValueError):
             TransactionServer(default_deadline=0.0)
+
+
+class TestMultiRootRequests:
+    """Multi-line place and multi-item total-payment — the request
+    shapes the cluster router splits into cross-shard 2PC branches —
+    must first work as plain single-server transactions."""
+
+    def test_multi_line_place_opens_one_order_per_line(self):
+        server = make_server()
+        try:
+            placed = server.submit(
+                Request(op="place", customer_no=7, lines=((0, 3), (1, 2)))
+            )
+            assert placed.ok, placed.to_dict()
+            assert isinstance(placed.result, list) and len(placed.result) == 2
+            assert all(isinstance(no, int) for no in placed.result)
+            # Each line's order exists on its own item: paying it works.
+            for item, order_no in zip((0, 1), placed.result):
+                paid = server.submit(
+                    Request(op="pay", item=item, order_no=order_no)
+                )
+                assert paid.ok, paid.to_dict()
+        finally:
+            assert server.shutdown().clean
+
+    def test_multi_item_total_payment_sums_the_singles(self):
+        server = make_server()
+        try:
+            for item in (0, 1):
+                placed = server.submit(Request(op="place", item=item, quantity=2))
+                paid = server.submit(
+                    Request(op="pay", item=item, order_no=placed.result)
+                )
+                assert paid.ok, paid.to_dict()
+            singles = [
+                server.submit(Request(op="total-payment", item=item)).result
+                for item in (0, 1)
+            ]
+            combined = server.submit(Request(op="total-payment", items=(0, 1)))
+            assert combined.ok, combined.to_dict()
+            assert combined.result == sum(singles) > 0
+        finally:
+            assert server.shutdown().clean
+
+    def test_bad_line_item_fails_whole_request_atomically(self):
+        server = make_server()
+        try:
+            probe = server.submit(Request(op="place", item=0))
+            placed = server.submit(
+                Request(op="place", customer_no=7, lines=((0, 3), (99, 1)))
+            )
+            assert placed.status == "failed"
+            assert placed.error["code"] == "unknown-object"
+            # Nothing escaped the failed place: the order counter did not
+            # advance, so the next single place gets the adjacent number.
+            after = server.submit(Request(op="place", item=0))
+            assert after.result == probe.result + 1
+        finally:
+            assert server.shutdown().clean
+
+    def test_empty_lines_and_items_are_rejected(self):
+        server = make_server()
+        try:
+            empty_place = server.submit(Request(op="place", lines=()))
+            assert empty_place.status == "failed"
+            assert empty_place.error["code"] == "unknown-object"
+            empty_total = server.submit(Request(op="total-payment", items=()))
+            assert empty_total.status == "failed"
+            assert empty_total.error["code"] == "unknown-object"
+        finally:
+            assert server.shutdown().clean
+
+    def test_request_roundtrips_lines_and_items_through_json(self):
+        original = Request(op="place", customer_no=3, lines=((0, 1), (1, 2)))
+        decoded = Request.from_dict(original.to_dict())
+        assert decoded.lines == ((0, 1), (1, 2))
+        original = Request(op="total-payment", items=(0, 1))
+        decoded = Request.from_dict(original.to_dict())
+        assert decoded.items == (0, 1)

@@ -162,6 +162,22 @@ class TestWireErrors:
             assert report.clean, report.to_dict()
 
 
+class TestWireErrorsBinding:
+    def test_bound_port_raises_address_in_use_with_stable_code(self, served):
+        from repro.errors import AddressInUseError
+
+        _, wire = served
+        host, port = wire.address
+        with pytest.raises(AddressInUseError) as excinfo:
+            WireServer(served[0], host=host, port=port).start()
+        exc = excinfo.value
+        assert exc.code == "address-in-use"
+        assert f"{host}:{port}" in str(exc)
+        # The original server is unharmed by the failed bind.
+        with client_for(wire) as client:
+            assert client.ping()
+
+
 class TestWireLifecycle:
     def test_request_dict_round_trip(self):
         request = Request(op="place", item=1, order_no=3, customer_no=8,
