@@ -827,7 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     torture.add_argument(
         "--sites", metavar="SITE[,SITE...]", default=None,
         help="with --cluster: comma-separated crash sites to sweep "
-        "(default: all seven 2PC sites)",
+        "(default: all eight 2PC sites)",
     )
     torture.set_defaults(fn=cmd_torture)
 

@@ -26,9 +26,13 @@ transaction.  The durable ordering that makes this crash-safe:
    effects and re-runs it from the decision record.
 
 In-doubt resolution (:func:`resolve_in_doubt`) runs at shard boot,
-after ordinary recovery: every prepare record without a decision record
-is resolved by querying the coordinator's durable decision log over the
-wire; unknown gtids are presumed aborted.
+after ordinary recovery, and settles both halves of the crash window:
+every prepare record *without* a decision record is resolved by
+querying the coordinator's durable decision log over the wire (unknown
+gtids are presumed aborted), and every durable ``abort`` decision whose
+branch committed but whose compensation did not
+(:func:`unfinished_compensations`) has its compensation re-run from the
+decision record.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ __all__ = [
     "compensation_program",
     "in_doubt_gtids",
     "resolve_in_doubt",
+    "unfinished_compensations",
 ]
 
 #: Crash sites the shard-kill torture sweep drives (docs/CLUSTER.md).
@@ -60,6 +65,7 @@ CRASH_SITES = (
     "2pc-commit-received",
     "2pc-decision-logged",
     "2pc-abort-received",
+    "2pc-abort-logged",
     "2pc-compensated",
 )
 
@@ -163,9 +169,11 @@ class ClusterParticipant:
             already = gtid in self._decided
         if not already:
             # Decision before compensation: a crash mid-compensation
-            # leaves the abort durable, and recovery re-runs the (then
-            # physically-undone loser) compensation from it.
+            # leaves the abort durable, and boot-time recovery re-runs
+            # the (then physically-undone loser) compensation via
+            # unfinished_compensations().
             self._log_decision(gtid, "abort")
+            self._crash("2pc-abort-logged")
         self._m_aborts.inc()
         if committed and not already:
             self._compensate(gtid)
@@ -262,6 +270,32 @@ def compensation_program(db, inverses: list[SubtxnCommitRecord]):
     return compensate
 
 
+def unfinished_compensations(wal: WriteAheadLog) -> list[str]:
+    """Abort-decided gtids whose compensation never durably committed.
+
+    These are *not* in doubt — the decision record exists — but a crash
+    between the fsynced abort decision and the compensation commit
+    leaves the locally-committed branch standing while recovery
+    physically undoes the partial compensation as a WAL loser.  Boot
+    must re-run the compensation for each of these, in log order.
+    """
+    gtids: list[str] = []
+    seen: set[str] = set()
+    for record in wal:
+        if (
+            isinstance(record, ClusterDecisionRecord)
+            and record.decision == "abort"
+            and record.gtid not in seen
+        ):
+            seen.add(record.gtid)
+            if (
+                wal.status_of(f"2pc-{record.gtid}") == "commit"
+                and wal.status_of(f"comp-{record.gtid}") != "commit"
+            ):
+                gtids.append(record.gtid)
+    return gtids
+
+
 def in_doubt_gtids(wal: Iterable) -> list[ClusterPrepareRecord]:
     """Prepare records with no decision record, in log order."""
     prepares: dict[str, ClusterPrepareRecord] = {}
@@ -291,6 +325,17 @@ def resolve_in_doubt(
     ``abort+compensated``.
     """
     outcomes: dict[str, str] = {}
+    # Decided aborts first: the decision is already durable (no
+    # coordinator query needed), only the compensation commit is
+    # missing, so re-run it from the decision record.
+    for gtid in unfinished_compensations(wal):
+        inverses = branch_inverses(wal, f"2pc-{gtid}")
+        if not inverses:
+            continue
+        run_program(f"comp-{gtid}", compensation_program(db, inverses))
+        outcomes[gtid] = "abort+compensated"
+        if metrics is not None:
+            metrics.counter("2pc.compensations").inc()
     for record in in_doubt_gtids(wal):
         gtid = record.gtid
         decision = query_status(gtid, record.coordinator)

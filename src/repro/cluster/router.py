@@ -35,6 +35,7 @@ import queue
 import socket
 import socketserver
 import threading
+import uuid
 from typing import Any, Optional
 
 from repro.cluster.hashring import DEFAULT_VNODES, HashRing
@@ -199,7 +200,16 @@ class ShardLink:
                 except Exception:
                     self._created -= 1
                     raise
-        return self._pool.get(timeout=self.timeout)
+        try:
+            return self._pool.get(timeout=self.timeout)
+        except queue.Empty:
+            # Surface exhaustion as a connection error so callers take
+            # the existing shard-down / retry path instead of a bare
+            # queue.Empty escaping as a generic failure.
+            raise ConnectionError(
+                f"shard {self.host}:{self.port}: connection pool exhausted "
+                f"({self.capacity} in flight for {self.timeout}s)"
+            ) from None
 
     def request(self, message: dict[str, Any]) -> dict[str, Any]:
         conn = self._borrow()
@@ -210,8 +220,9 @@ class ShardLink:
             line = fh.readline()
             if not line:
                 raise ConnectionError(f"shard {self.host}:{self.port} closed connection")
-            self._pool.put(conn)
-            return json.loads(line)
+            # Parse before pooling: a connection whose response didn't
+            # decode is out of sync and must be discarded, not reused.
+            payload = json.loads(line)
         except Exception:
             # Broken connection: drop it so a later borrow reconnects.
             with self._lock:
@@ -222,6 +233,8 @@ class ShardLink:
             except Exception:  # noqa: BLE001 - already failing
                 pass
             raise
+        self._pool.put(conn)
+        return payload
 
     def close(self) -> None:
         while True:
@@ -259,6 +272,13 @@ class ClusterRouter:
         self.log = coordinator_log
         self.status_address = status_address
         self.obs = obs if obs is not None else MetricsRegistry(thread_safe=True)
+        # The coordinator log outlives any one router (shard restarts
+        # rebuild the router; reruns reuse the --data-dir), so a bare
+        # counter would reuse gtids and decide() would silently keep the
+        # old decision.  A per-router epoch makes every gtid globally
+        # unique; it stays dash-free so the ``-<request_id>`` suffix is
+        # still what follows the first dash.
+        self._gtid_epoch = uuid.uuid4().hex[:12]
         self._gtids = itertools.count()
         self._m_requests = self.obs.counter("cluster.requests")
         self._m_single = self.obs.counter("cluster.single_shard")
@@ -323,10 +343,14 @@ class ClusterRouter:
         response.request_id = request.request_id
         return response
 
-    def _run_two_phase(self, request: Request, branches: dict[int, Request]) -> Response:
-        gtid = f"g{next(self._gtids)}"
+    def _next_gtid(self, request: Request) -> str:
+        gtid = f"g{self._gtid_epoch}.{next(self._gtids)}"
         if request.request_id is not None:
             gtid = f"{gtid}-{request.request_id}"
+        return gtid
+
+    def _run_two_phase(self, request: Request, branches: dict[int, Request]) -> Response:
+        gtid = self._next_gtid(request)
         self.log.begin(gtid)
         self._m_begun.inc()
         votes: dict[int, Response] = {}

@@ -13,8 +13,11 @@ cross-shard transaction (durable prepare without a durable decision) by
 querying the coordinator's ``2pc-status`` endpoint: a ``commit`` answer
 stands, an ``abort`` answer compensates any locally-committed branch
 under a WAL-wired kernel, and ``pending`` retries until the coordinator
-has decided.  Only then does the shard open its port and write the
-ready file, so the router never sees a shard with unresolved doubt.
+has decided.  Durable abort decisions whose compensation never
+committed (a crash between the decision record and the compensation
+commit) have the compensation re-run directly, no coordinator query
+needed.  Only then does the shard open its port and write the ready
+file, so the router never sees a shard with unresolved doubt.
 
 The crash switch (``config["crash"]``) arms one named 2PC site
 (:data:`repro.cluster.participant.CRASH_SITES`): on the k-th hit the

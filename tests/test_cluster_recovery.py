@@ -1,10 +1,14 @@
-"""Shard crash/recovery: one real SIGKILL through the torture harness.
+"""Shard crash/recovery: real SIGKILLs through the torture harness.
 
-The full seven-site sweep is the CI gauntlet (``repro torture
---cluster``); here we pin the single most load-bearing crash point —
-after the branch committed locally but before any decision arrived —
-which forces the restarted shard to resolve the in-doubt gtid against
-the coordinator log and compensate under presumed abort.
+The full eight-site sweep is the CI gauntlet (``repro torture
+--cluster``); here we pin the two most load-bearing crash points.
+Killing after the branch committed locally but before any decision
+arrived forces the restarted shard to resolve the in-doubt gtid against
+the coordinator log and compensate under presumed abort.  Killing
+between the fsynced abort decision and the compensation commit lands in
+the window where the gtid is *not* in doubt (the decision record
+exists) yet the branch still stands — boot must re-run the compensation
+from the decision record.
 """
 
 from __future__ import annotations
@@ -33,9 +37,32 @@ def test_kill_after_branch_commit_recovers_in_doubt(tmp_path):
     assert report.all_ok
 
 
+def test_kill_between_abort_decision_and_compensation_commit(tmp_path):
+    # The decision record already exists, so the gtid is not in doubt;
+    # recovery must still re-run the compensation or the locally
+    # committed branch survives a global abort.
+    report = run_cluster_torture(
+        seed=0,
+        n_requests=24,
+        n_shards=2,
+        sites=("2pc-abort-logged",),
+        victims=(0,),
+        workdir=str(tmp_path),
+    )
+    assert report.planned_points == 1 and not report.truncated
+    outcome = report.outcomes[0]
+    assert outcome.crashed and outcome.process_killed, outcome.__dict__
+    assert outcome.marker_site == "2pc-abort-logged"
+    assert not outcome.lost_committed
+    assert not outcome.dangling_branches
+    assert all(outcome.state_ok), outcome.state_ok
+    assert report.all_ok
+
+
 def test_crash_sites_cover_the_whole_2pc_lifecycle():
     # The sweep must bracket every durable transition: intent, local
-    # commit, decision arrival, decision durability, and compensation.
+    # commit, decision arrival, decision durability, abort durability,
+    # and compensation.
     assert CRASH_SITES == (
         "2pc-prepare-received",
         "2pc-prepare-logged",
@@ -43,5 +70,6 @@ def test_crash_sites_cover_the_whole_2pc_lifecycle():
         "2pc-commit-received",
         "2pc-decision-logged",
         "2pc-abort-received",
+        "2pc-abort-logged",
         "2pc-compensated",
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import LocalCluster
+from repro.cluster.router import ClusterRouter, CoordinatorLog, ShardLink
 from repro.server.requests import Request
 
 CROSS = (0, 3)  # item 0 -> shard 1, item 3 -> shard 0
@@ -119,6 +120,37 @@ class TestTwoPhaseCommit:
         assert shed.status == "shed", shed.to_dict()
         assert shed.error["reason_code"] == "cluster-branch-shed"
         assert shed.retry_after is not None and shed.retry_after > 0
+
+
+class TestShardLink:
+    def test_pool_exhaustion_raises_connection_error(self):
+        # capacity=0 forces the blocking-get path immediately; it must
+        # surface as ConnectionError (the shard-down/retry path), not a
+        # bare queue.Empty.
+        link = ShardLink("127.0.0.1", 1, capacity=0, timeout=0.05)
+        with pytest.raises(ConnectionError, match="pool exhausted"):
+            link._borrow()
+
+
+class TestGtidUniqueness:
+    def test_router_rebuilds_over_one_log_never_reuse_gtids(self, tmp_path):
+        # The coordinator log persists across router rebuilds (shard
+        # restarts, reruns on the same --data-dir); a reused gtid would
+        # make decide() a silent no-op serving a stale decision.
+        log = CoordinatorLog(str(tmp_path / "coordinator.json"))
+        anonymous = Request(op="place", item=0)
+        gtids: set[str] = set()
+        for _ in range(2):
+            router = ClusterRouter([("127.0.0.1", 1)], log)
+            for _ in range(5):
+                gtid = router._next_gtid(anonymous)
+                assert gtid not in gtids
+                gtids.add(gtid)
+        # The epoch stays dash-free so the request id is still exactly
+        # what follows the first dash (the torture oracle parses this).
+        named = router._next_gtid(Request(op="place", item=0, request_id="t-a-b"))
+        assert named.split("-", 1)[1] == "t-a-b"
+        log.close()
 
 
 class TestWireProtocol:
