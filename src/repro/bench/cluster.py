@@ -18,6 +18,13 @@ Open-loop semantics: a dispatcher pool fires requests at their
 scheduled wall-clock offsets whether or not earlier ones have finished;
 the router's blocking calls ride on the pool, sheds come back fast with
 ``retry_after``, and the schedule never stretches to fit the cluster.
+
+Since schema v2 the document also carries a **branch-count latency
+sweep** (:func:`run_branch_latency_sweep`): closed-loop p50/p95 of a
+k-branch cross-shard read at 4 shards, once with the router's parallel
+prepare fan-out and once sequential.  ``parallel_beats_sequential`` is
+a hard compare gate — sequential prepare is linear in the branch count
+by construction, the fan-out must stay flat-ish at the slowest branch.
 """
 
 from __future__ import annotations
@@ -34,13 +41,22 @@ from typing import Any, Callable, Optional
 from repro.bench.baseline import BaselineComparison, ComparisonRow, Tolerance
 from repro.bench.openloop import percentile
 from repro.cluster.process import LocalCluster
+from repro.cluster.router import ClusterRouter
+from repro.obs.registry import MetricsRegistry
 from repro.server.requests import Request
 
 CLUSTER_SCHEMA = "repro-bench-cluster"
-CLUSTER_SCHEMA_VERSION = 1
+#: v2 added the ``branch_latency`` section (parallel vs. sequential
+#: prepare fan-out at 4 shards) and its compare gate.
+CLUSTER_SCHEMA_VERSION = 2
 
 #: The committed sweep: the same offered load against 1, 2, 4 shards.
 BASELINE_SHARD_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+#: The branch-count latency sweep: k-branch cross-shard reads at a
+#: fixed shard count, parallel vs. sequential prepare.
+BRANCH_SWEEP_SHARDS = 4
+BRANCH_SWEEP_COUNTS: tuple[int, ...] = (1, 2, 4)
 
 #: Only goodput gates (wall-clock noise), loosely; shard-down must stay
 #: zero — a flaky cluster boot is a real regression, not noise.
@@ -49,16 +65,30 @@ CLUSTER_TOLERANCES: dict[str, Tolerance] = {
     "shard_down": Tolerance("lower_is_better", abs_=0.0),
 }
 
+#: The branch sweep's only gated metric: parallel-prepare p95 at each
+#: branch count, very loosely (service time dominates and is pinned by
+#: think_cost, so only a gross regression — e.g. fan-out silently going
+#: sequential — should trip it).
+BRANCH_TOLERANCES: dict[str, Tolerance] = {
+    "parallel_p95": Tolerance("lower_is_better", rel=1.5, abs_=0.05),
+}
+
 __all__ = [
     "CLUSTER_SCHEMA",
     "CLUSTER_SCHEMA_VERSION",
     "BASELINE_SHARD_COUNTS",
+    "BRANCH_SWEEP_SHARDS",
+    "BRANCH_SWEEP_COUNTS",
     "CLUSTER_TOLERANCES",
+    "BRANCH_TOLERANCES",
     "ClusterBenchConfig",
     "ClusterLoopResult",
+    "BranchLatencyPoint",
     "generate_cluster_arrivals",
     "run_cluster_open_loop",
     "sweep_shards",
+    "run_branch_latency_sweep",
+    "branch_latency_section",
     "goodput_monotonic",
     "collect_cluster_baseline",
     "write_cluster_baseline",
@@ -333,6 +363,152 @@ def sweep_shards(
     return results
 
 
+@dataclass
+class BranchLatencyPoint:
+    """Latency of one k-branch cross-shard read, both prepare modes."""
+
+    branches: int
+    samples: int
+    parallel_p50: float
+    parallel_p95: float
+    sequential_p50: float
+    sequential_p95: float
+
+    @property
+    def parallel_beats_sequential(self) -> bool:
+        return self.parallel_p95 < self.sequential_p95
+
+    def metrics_record(self) -> dict[str, float]:
+        return {
+            "parallel_p50": round(self.parallel_p50, 6),
+            "parallel_p95": round(self.parallel_p95, 6),
+            "sequential_p50": round(self.sequential_p50, 6),
+            "sequential_p95": round(self.sequential_p95, 6),
+        }
+
+
+def run_branch_latency_sweep(
+    n_shards: int = BRANCH_SWEEP_SHARDS,
+    branch_counts: tuple[int, ...] = BRANCH_SWEEP_COUNTS,
+    samples: int = 30,
+    warmup: int = 5,
+    think_cost: float = 20.0,
+    time_scale: float = 0.001,
+    n_items: int = 64,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[BranchLatencyPoint]:
+    """Closed-loop latency of k-branch reads, parallel vs. sequential.
+
+    One cluster at *n_shards*; for each k in *branch_counts* a
+    ``total-payment`` touching k items on k **distinct** shards is
+    driven one-at-a-time (closed loop — this measures the commit path's
+    latency shape, not throughput) through two routers over the same
+    shards and coordinator log: one with parallel prepare fan-out, one
+    sequential.  Each branch costs ``think_cost * time_scale`` seconds
+    of service, so sequential prepare is linear in k by construction and
+    the parallel curve should stay flat-ish at the slowest branch.
+    """
+    if max(branch_counts) > n_shards:
+        raise ValueError("branch count cannot exceed the shard count")
+    shard_config = {
+        "n_items": n_items,
+        "orders_per_item": 2,
+        "n_threads": 4,
+        "time_scale": time_scale,
+        "think_cost": think_cost,
+        "max_inflight": 8,
+        "queue_cap": 16,
+        "default_deadline": 10.0,
+        "group_commit_window": 0.0,
+    }
+    points: list[BranchLatencyPoint] = []
+    with tempfile.TemporaryDirectory(prefix="repro-branch-bench-") as workdir:
+        with LocalCluster(
+            n_shards, workdir, shard_config=shard_config, pool_size=16
+        ) as cluster:
+            # One representative item per shard, smallest index first.
+            item_of_shard: dict[int, int] = {}
+            for item in range(n_items):
+                item_of_shard.setdefault(cluster.router.shard_of_item(item), item)
+            if len(item_of_shard) < max(branch_counts):
+                raise RuntimeError(
+                    f"ring left {len(item_of_shard)} of {n_shards} shards populated"
+                )
+            shard_items = [item_of_shard[s] for s in sorted(item_of_shard)]
+            addresses = [shard.address for shard in cluster.shards]
+
+            def measure(parallel: bool, k: int) -> tuple[float, float]:
+                router = ClusterRouter(
+                    addresses,
+                    cluster.log,
+                    pool_size=16,
+                    obs=MetricsRegistry(thread_safe=True),
+                    status_address="%s:%d" % cluster.wire.address,
+                    parallel_prepare=parallel,
+                )
+                try:
+                    items = tuple(shard_items[:k])
+                    mode = "p" if parallel else "s"
+                    latencies: list[float] = []
+                    for i in range(warmup + samples):
+                        request = Request(
+                            op="total-payment",
+                            items=items,
+                            deadline=10.0,
+                            request_id=f"bl-{mode}{k}-{i}",
+                        )
+                        started = time.monotonic()
+                        response = router.route_request(request)
+                        elapsed = time.monotonic() - started
+                        if response.status != "ok":
+                            raise RuntimeError(
+                                f"branch sweep request failed: {response.to_dict()}"
+                            )
+                        if i >= warmup:
+                            latencies.append(elapsed)
+                    return percentile(latencies, 50), percentile(latencies, 95)
+                finally:
+                    router.close()
+
+            for k in branch_counts:
+                if progress is not None:
+                    progress(f"{k}-branch read @ {n_shards} shards")
+                par_p50, par_p95 = measure(True, k)
+                seq_p50, seq_p95 = measure(False, k)
+                points.append(
+                    BranchLatencyPoint(
+                        branches=k,
+                        samples=samples,
+                        parallel_p50=par_p50,
+                        parallel_p95=par_p95,
+                        sequential_p50=seq_p50,
+                        sequential_p95=seq_p95,
+                    )
+                )
+    return points
+
+
+def branch_latency_section(points: list[BranchLatencyPoint]) -> dict:
+    """The ``branch_latency`` document section for a sweep's points.
+
+    ``parallel_beats_sequential`` is the acceptance bit: at the largest
+    branch count, parallel-prepare p95 must beat sequential's.
+    """
+    widest = max(points, key=lambda p: p.branches)
+    return {
+        "n_shards": BRANCH_SWEEP_SHARDS,
+        "samples": widest.samples,
+        "parallel_beats_sequential": widest.parallel_beats_sequential,
+        "points": {
+            f"b{point.branches}": {
+                "config": {"branches": point.branches},
+                "metrics": point.metrics_record(),
+            }
+            for point in points
+        },
+    }
+
+
 def goodput_monotonic(results: list[ClusterLoopResult], slack: float = 0.95) -> bool:
     """Goodput must not drop as shards are added (tolerating noise).
 
@@ -354,7 +530,7 @@ def collect_cluster_baseline(
     base: Optional[ClusterBenchConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> dict:
-    """Run the sweep and assemble the ``repro-bench-cluster`` document."""
+    """Run the sweeps and assemble the ``repro-bench-cluster`` document."""
     base = base if base is not None else ClusterBenchConfig()
     results = sweep_shards(shard_counts, base, progress)
     doc: dict = {
@@ -369,6 +545,9 @@ def collect_cluster_baseline(
             "config": {"n_shards": result.n_shards, "rate": result.config.rate},
             "metrics": result.metrics_record(),
         }
+    doc["branch_latency"] = branch_latency_section(
+        run_branch_latency_sweep(progress=progress)
+    )
     return doc
 
 
@@ -399,32 +578,59 @@ def compare_cluster(
             )
     if not fresh.get("goodput_monotonic", False):
         result.errors.append("fresh sweep: goodput is not monotonic in shard count")
+    if not fresh.get("branch_latency", {}).get("parallel_beats_sequential", False):
+        result.errors.append(
+            "fresh branch sweep: parallel prepare does not beat sequential "
+            "p95 at the largest branch count"
+        )
     if result.errors:
         return result
-    for name, entry in baseline["workloads"].items():
-        fresh_entry = fresh["workloads"].get(name)
-        if fresh_entry is None:
-            result.errors.append(f"fresh sweep is missing workload {name!r}")
-            continue
-        if fresh_entry.get("config") != entry.get("config"):
-            result.errors.append(
-                f"workload {name!r} config drifted: baseline "
-                f"{entry.get('config')} != fresh {fresh_entry.get('config')}"
-            )
-            continue
-        for metric, base_value in entry["metrics"].items():
-            fresh_value = fresh_entry["metrics"].get(metric)
-            if fresh_value is None:
-                result.errors.append(f"{name}: fresh sweep lacks metric {metric!r}")
+
+    def diff_section(
+        section: str,
+        base_entries: dict,
+        fresh_entries: dict,
+        gates: dict[str, Tolerance],
+    ) -> None:
+        for name, entry in base_entries.items():
+            label = name if section == "workloads" else f"{section}:{name}"
+            fresh_entry = fresh_entries.get(name)
+            if fresh_entry is None:
+                result.errors.append(f"fresh sweep is missing workload {label!r}")
                 continue
-            tolerance = tolerances.get(metric)
-            if tolerance is None:
-                result.rows.append(
-                    ComparisonRow(name, metric, base_value, fresh_value, False, True)
+            if fresh_entry.get("config") != entry.get("config"):
+                result.errors.append(
+                    f"workload {label!r} config drifted: baseline "
+                    f"{entry.get('config')} != fresh {fresh_entry.get('config')}"
                 )
                 continue
-            ok, bound = tolerance.check(base_value, fresh_value)
-            result.rows.append(
-                ComparisonRow(name, metric, base_value, fresh_value, True, ok, bound)
-            )
+            for metric, base_value in entry["metrics"].items():
+                fresh_value = fresh_entry["metrics"].get(metric)
+                if fresh_value is None:
+                    result.errors.append(
+                        f"{label}: fresh sweep lacks metric {metric!r}"
+                    )
+                    continue
+                tolerance = gates.get(metric)
+                if tolerance is None:
+                    result.rows.append(
+                        ComparisonRow(
+                            label, metric, base_value, fresh_value, False, True
+                        )
+                    )
+                    continue
+                ok, bound = tolerance.check(base_value, fresh_value)
+                result.rows.append(
+                    ComparisonRow(
+                        label, metric, base_value, fresh_value, True, ok, bound
+                    )
+                )
+
+    diff_section("workloads", baseline["workloads"], fresh["workloads"], tolerances)
+    diff_section(
+        "branch",
+        baseline.get("branch_latency", {}).get("points", {}),
+        fresh.get("branch_latency", {}).get("points", {}),
+        BRANCH_TOLERANCES,
+    )
     return result

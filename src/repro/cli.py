@@ -547,8 +547,26 @@ def cmd_bench_cluster(args: argparse.Namespace) -> int:
             "shard down": f"{record['shard_down']:g}",
         })
     print(format_table(rows, "cluster goodput scaling by shard count"))
+    branch = fresh.get("branch_latency", {})
+    branch_rows = []
+    for name, entry in sorted(branch.get("points", {}).items()):
+        record = entry["metrics"]
+        branch_rows.append({
+            "branches": entry["config"]["branches"],
+            "parallel p95 (s)": f"{record['parallel_p95']:.3f}",
+            "sequential p95 (s)": f"{record['sequential_p95']:.3f}",
+        })
+    if branch_rows:
+        print()
+        print(format_table(
+            branch_rows,
+            f"cross-shard prepare fan-out at {branch.get('n_shards', '?')} shards",
+        ))
     if not fresh["goodput_monotonic"]:
         print("!! goodput did not scale monotonically with the shard count")
+        return 1
+    if not branch.get("parallel_beats_sequential", False):
+        print("!! parallel prepare fan-out did not beat sequential p95")
         return 1
     if args.compare is None:
         return 0

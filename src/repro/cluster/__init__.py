@@ -8,16 +8,22 @@ frames are durable WAL records on every shard.
 """
 
 from repro.cluster.hashring import DEFAULT_VNODES, HashRing
-from repro.cluster.participant import ClusterParticipant
+from repro.cluster.participant import AckBook, ClusterParticipant
 from repro.cluster.process import LocalCluster, ShardProcess
-from repro.cluster.records import ClusterDecisionRecord, ClusterPrepareRecord
+from repro.cluster.records import (
+    ClusterAckRecord,
+    ClusterDecisionRecord,
+    ClusterPrepareRecord,
+)
 from repro.cluster.router import ClusterRouter, CoordinatorLog, RouterWireServer, ShardLink
 
 __all__ = [
     "HashRing",
     "DEFAULT_VNODES",
+    "AckBook",
     "ClusterPrepareRecord",
     "ClusterDecisionRecord",
+    "ClusterAckRecord",
     "ClusterParticipant",
     "ClusterRouter",
     "CoordinatorLog",

@@ -24,6 +24,14 @@ transaction.  The durable ordering that makes this crash-safe:
    compensate.  If the crash lands mid-compensation, the compensation
    transaction is a WAL loser — recovery physically undoes its partial
    effects and re-runs it from the decision record.
+4. once the decision is fully applied (decision record fsynced; for
+   aborts, the compensation committed), append + fsync a
+   :class:`~repro.cluster.records.ClusterAckRecord` carrying the
+   coordinator's per-shard decision sequence number, and piggyback the
+   contiguous ack high-water mark (:class:`AckBook`) on the reply.  The
+   ack is what licenses the coordinator to truncate the decision from
+   its own log, so it must be durable *here* first — after truncation,
+   this WAL is the only place the decision exists.
 
 In-doubt resolution (:func:`resolve_in_doubt`) runs at shard boot,
 after ordinary recovery, and settles both halves of the crash window:
@@ -41,7 +49,11 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Optional
 
-from repro.cluster.records import ClusterDecisionRecord, ClusterPrepareRecord
+from repro.cluster.records import (
+    ClusterAckRecord,
+    ClusterDecisionRecord,
+    ClusterPrepareRecord,
+)
 from repro.errors import CompensationError, TransactionAborted, error_to_payload
 from repro.recovery.addresses import resolve_address
 from repro.recovery.wal import SubtxnCommitRecord, WriteAheadLog
@@ -49,7 +61,9 @@ from repro.server.core import TransactionServer
 from repro.server.requests import Request
 
 __all__ = [
+    "AckBook",
     "ClusterParticipant",
+    "applied_decisions",
     "branch_inverses",
     "compensation_program",
     "in_doubt_gtids",
@@ -67,11 +81,54 @@ CRASH_SITES = (
     "2pc-abort-received",
     "2pc-abort-logged",
     "2pc-compensated",
+    "2pc-ack-logged",
 )
 
 
 def _no_crash(site: str) -> None:
     return None
+
+
+class AckBook:
+    """Contiguity tracker over the coordinator's per-shard decision seqs.
+
+    The ack high-water mark must be the largest ``n`` with **all** of
+    seqs ``1..n`` durably applied here — a plain max would be unsound: a
+    shard can miss a decision send (the router treats a dead shard as
+    best-effort) for seq 3 yet apply seq 5, and claiming "everything
+    through 5" would license the coordinator to forget a decision this
+    shard never heard, turning a committed gtid into a presumed abort at
+    the next in-doubt query.  Seqs applied above a gap ride along as
+    ``extra`` until the gap fills (via in-doubt resolution at boot).
+    """
+
+    def __init__(self) -> None:
+        self.hwm = 0
+        self._extra: set[int] = set()
+
+    def record(self, seq: int) -> bool:
+        """Fold one applied seq in; True when it was new."""
+        seq = int(seq)
+        if seq <= self.hwm or seq in self._extra:
+            return False
+        self._extra.add(seq)
+        while self.hwm + 1 in self._extra:
+            self.hwm += 1
+            self._extra.discard(self.hwm)
+        return True
+
+    @property
+    def extra(self) -> tuple[int, ...]:
+        """Applied seqs stranded above the contiguous high-water mark."""
+        return tuple(sorted(self._extra))
+
+    @classmethod
+    def from_wal(cls, wal: Iterable) -> "AckBook":
+        book = cls()
+        for record in wal:
+            if isinstance(record, ClusterAckRecord):
+                book.record(record.shard_seq)
+        return book
 
 
 class ClusterParticipant:
@@ -91,6 +148,8 @@ class ClusterParticipant:
         self._lock = threading.Lock()
         self._branch_committed: set[str] = set()
         self._decided: set[str] = set()
+        self._durably_decided: set[str] = set()
+        self.acks = AckBook.from_wal(wal)
         obs = server.obs
         self._m_prepares = obs.counter("2pc.prepares")
         self._m_branch_commits = obs.counter("2pc.branch_commits")
@@ -98,6 +157,7 @@ class ClusterParticipant:
         self._m_commits = obs.counter("2pc.decisions_commit")
         self._m_aborts = obs.counter("2pc.decisions_abort")
         self._m_compensations = obs.counter("2pc.compensations")
+        self._m_acks = obs.counter("2pc.ack.logged")
 
     # ------------------------------------------------------------------
     # Wire ops (installed as WireServer extra_ops)
@@ -159,7 +219,11 @@ class ClusterParticipant:
         self._log_decision(gtid, "commit")
         self._crash("2pc-decision-logged")
         self._m_commits.inc()
-        return {"status": "ok", "result": "committed"}
+        # The branch data committed durably at prepare and the decision
+        # record is fsynced: the commit is fully applied here, so ack.
+        self._log_ack(gtid, message.get("seq"))
+        self._crash("2pc-ack-logged")
+        return self._decision_reply(gtid, "committed")
 
     def abort(self, message: dict[str, Any]) -> dict[str, Any]:
         gtid = str(message["gtid"])
@@ -178,11 +242,29 @@ class ClusterParticipant:
         if committed and not already:
             self._compensate(gtid)
             self._crash("2pc-compensated")
-        return {"status": "ok", "result": "aborted"}
+        if not already:
+            # Only ack an abort this call fully applied: the decision is
+            # durable and the compensation (if any) committed.  A
+            # duplicate send leaves acking to the boot-time announce.
+            self._log_ack(gtid, message.get("seq"))
+            self._crash("2pc-ack-logged")
+        return self._decision_reply(gtid, "aborted")
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _decision_reply(self, gtid: str, result: str) -> dict[str, Any]:
+        """The decision reply; ``ack_hwm`` is the coordinator's license
+        to treat the reply as an ack, so it is only present when the
+        decision is durable from this call's point of view — a duplicate
+        send that raced `_log_decision`'s idempotency check ahead of the
+        first sender's fsync must not trigger truncation."""
+        out: dict[str, Any] = {"status": "ok", "result": result}
+        with self._lock:
+            if gtid in self._durably_decided:
+                out["ack_hwm"] = self.acks.hwm
+        return out
+
     def _log_decision(self, gtid: str, decision: str) -> None:
         with self._lock:
             if gtid in self._decided:
@@ -197,6 +279,39 @@ class ClusterParticipant:
             )
         )
         self.wal.sync()
+        with self._lock:
+            self._durably_decided.add(gtid)
+
+    def _log_ack(self, gtid: str, seq: Any) -> None:
+        """Durably ack an applied decision by its coordinator seq.
+
+        Guarded on the decision being durable *from this thread's view*:
+        a duplicate decision send races `_log_decision`'s idempotency
+        check ahead of the first sender's fsync, and acking then would
+        let the coordinator truncate a decision that is not yet anywhere
+        durable.  The skipped ack is re-announced at the next boot.
+        """
+        if seq is None:
+            return
+        with self._lock:
+            if gtid not in self._durably_decided:
+                return
+            # The book dedups duplicate sends of the same seq; recording
+            # before the WAL sync is safe because truncation is licensed
+            # by the (already durable) decision record, not the ack — a
+            # torn ack record merely re-announces less at the next boot.
+            if not self.acks.record(int(seq)):
+                return
+        self.wal.append(
+            ClusterAckRecord(
+                lsn=self.wal.next_lsn(),
+                txn=f"2pc-{gtid}",
+                gtid=gtid,
+                shard_seq=int(seq),
+            )
+        )
+        self.wal.sync()
+        self._m_acks.inc()
 
     def _compensate(self, gtid: str) -> None:
         """Undo a locally-committed branch by running its inverses.
@@ -292,6 +407,27 @@ def unfinished_compensations(wal: WriteAheadLog) -> list[str]:
                 wal.status_of(f"2pc-{record.gtid}") == "commit"
                 and wal.status_of(f"comp-{record.gtid}") != "commit"
             ):
+                gtids.append(record.gtid)
+    return gtids
+
+
+def applied_decisions(wal: WriteAheadLog) -> list[str]:
+    """Gtids whose decision is fully applied on this shard, in log order.
+
+    The boot-time ack announcement: every gtid with a durable decision
+    record — minus abort decisions whose compensation has not committed
+    yet (:func:`unfinished_compensations`); those finish applying during
+    boot and are covered by the next incarnation's announcement.  Sent
+    by gtid (not seq) because decisions learned through in-doubt
+    resolution never carried a coordinator seq.
+    """
+    unfinished = set(unfinished_compensations(wal))
+    gtids: list[str] = []
+    seen: set[str] = set()
+    for record in wal:
+        if isinstance(record, ClusterDecisionRecord) and record.gtid not in seen:
+            seen.add(record.gtid)
+            if record.gtid not in unfinished:
                 gtids.append(record.gtid)
     return gtids
 

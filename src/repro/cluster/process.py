@@ -121,6 +121,9 @@ class LocalCluster:
         pool_size: int = 8,
         router_host: str = "127.0.0.1",
         router_port: int = 0,
+        parallel_prepare: bool = True,
+        max_fanout: int = 8,
+        compact_threshold: int = 256,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -132,6 +135,9 @@ class LocalCluster:
         self.pool_size = pool_size
         self.router_host = router_host
         self.router_port = router_port
+        self.parallel_prepare = parallel_prepare
+        self.max_fanout = max_fanout
+        self.compact_threshold = compact_threshold
         self.shards: list[ShardProcess] = []
         self.router: Optional[ClusterRouter] = None
         self.wire: Optional[RouterWireServer] = None
@@ -168,6 +174,9 @@ class LocalCluster:
             pool_size=self.pool_size,
             obs=self.obs,
             status_address="%s:%d" % self.wire.address,
+            parallel_prepare=self.parallel_prepare,
+            max_fanout=self.max_fanout,
+            compact_threshold=self.compact_threshold,
         )
         self.wire.attach_router(self.router)
 

@@ -12,11 +12,19 @@ it learned survive a SIGKILL together with the branch's data records:
 * :class:`ClusterDecisionRecord` — the durably learned global outcome
   (``commit`` or ``abort``); once present the gtid is never in doubt
   again.
+* :class:`ClusterAckRecord` — the shard's durable acknowledgement that
+  a decision is *fully applied* here (decision record fsynced, and for
+  aborts the compensation committed).  The record carries the
+  coordinator's per-shard decision sequence number; at boot the shard
+  folds every ack record into its contiguous ack high-water mark
+  (:class:`~repro.cluster.participant.AckBook`) and re-announces it to
+  the coordinator, which may then truncate fully-acked decisions from
+  its own log.
 
-Both carry a ``txn`` field naming the branch transaction (``2pc-<gtid>``)
-so generic log consumers can group them, and both are invisible to
-recovery's analysis/redo/undo passes (which act only on the kernel's own
-record types).
+All three carry a ``txn`` field naming the branch transaction
+(``2pc-<gtid>``) so generic log consumers can group them, and all are
+invisible to recovery's analysis/redo/undo passes (which act only on
+the kernel's own record types).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ClusterPrepareRecord", "ClusterDecisionRecord"]
+__all__ = ["ClusterPrepareRecord", "ClusterDecisionRecord", "ClusterAckRecord"]
 
 
 @dataclass(frozen=True)
@@ -46,3 +54,20 @@ class ClusterDecisionRecord:
     txn: str
     gtid: str
     decision: str  # "commit" | "abort"
+
+
+@dataclass(frozen=True)
+class ClusterAckRecord:
+    """Durable proof that a decision is fully applied on this shard.
+
+    ``shard_seq`` is the coordinator's per-shard decision sequence
+    number; the ack high-water mark is the largest ``n`` such that every
+    seq in ``1..n`` has an ack record, so a decision the shard never
+    received (a lost ``2pc-commit`` send) can never be falsely acked by
+    a later one.
+    """
+
+    lsn: int
+    txn: str
+    gtid: str
+    shard_seq: int

@@ -16,8 +16,12 @@ under a WAL-wired kernel, and ``pending`` retries until the coordinator
 has decided.  Durable abort decisions whose compensation never
 committed (a crash between the decision record and the compensation
 commit) have the compensation re-run directly, no coordinator query
-needed.  Only then does the shard open its port and write the ready
-file, so the router never sees a shard with unresolved doubt.
+needed.  Once doubt is resolved, the shard re-announces its durable ack
+high-water mark and applied-decision list to the coordinator
+(``2pc-ack``, best-effort) so fully-applied decisions lost in the crash
+window become truncatable from the coordinator log.  Only then does the
+shard open its port and write the ready file, so the router never sees
+a shard with unresolved doubt.
 
 The crash switch (``config["crash"]``) arms one named 2PC site
 (:data:`repro.cluster.participant.CRASH_SITES`): on the k-th hit the
@@ -44,7 +48,11 @@ from repro.cluster.files import (
     STORE_DIRNAME,
     WAL_FILENAME,
 )
-from repro.cluster.participant import ClusterParticipant, resolve_in_doubt
+from repro.cluster.participant import (
+    ClusterParticipant,
+    applied_decisions,
+    resolve_in_doubt,
+)
 from repro.core.kernel import TransactionManager
 from repro.errors import CompensationError
 from repro.orderentry.schema import ITEM_TYPE, ORDER_TYPE, build_order_entry_database
@@ -130,6 +138,42 @@ def _query_coordinator(
     )
 
 
+def _send_boot_acks(
+    coordinator: str, shard_id: int, participant: ClusterParticipant
+) -> None:
+    """Re-announce this shard's durable acks to the coordinator.
+
+    Best-effort by design: the announcement only licenses coordinator-log
+    truncation, so a lost send merely leaves fully-applied decisions in
+    the coordinator's file until the next boot (or inline ack) covers
+    them.  Sends both the seq high-water mark (covers decisions applied
+    through the normal wire path) and the full applied-gtid list (covers
+    decisions learned through in-doubt resolution, which carry no seq).
+    """
+    if not coordinator:
+        return
+    gtids = applied_decisions(participant.wal)
+    book = participant.acks
+    if not gtids and book.hwm == 0 and not book.extra:
+        return
+    host, _, port = coordinator.rpartition(":")
+    message = {
+        "op": "2pc-ack",
+        "shard": shard_id,
+        "hwm": book.hwm,
+        "extra": list(book.extra),
+        "gtids": gtids,
+    }
+    try:
+        with socket.create_connection((host, int(port)), timeout=2.0) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(json.dumps(message).encode("utf-8") + b"\n")
+            fh.flush()
+            fh.readline()
+    except (OSError, ValueError):
+        pass
+
+
 def run_shard(config: dict[str, Any]) -> int:
     data_dir = config["data_dir"]
     os.makedirs(data_dir, exist_ok=True)
@@ -200,6 +244,12 @@ def run_shard(config: dict[str, Any]) -> int:
         wal=wal,
     ).start()
     participant = ClusterParticipant(server, wal, crash=crash.maybe)
+    if resume:
+        _send_boot_acks(
+            str(config.get("coordinator", "")),
+            int(config.get("shard_id", 0)),
+            participant,
+        )
     wire = WireServer(
         server,
         host=config.get("host", "127.0.0.1"),

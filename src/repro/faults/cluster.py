@@ -310,6 +310,11 @@ def run_crash_point(
         workdir,
         shard_config=build_config,
         crash_specs={victim: {"site": site, "hits": hits}},
+        # A deliberately tiny threshold so coordinator-log compaction
+        # runs repeatedly *during* the crash workload: the audit then
+        # proves in-doubt resolution and the zero-lost-commit invariant
+        # hold across truncation, not just on an ever-growing log.
+        compact_threshold=4,
     ).start(ready_timeout)
     try:
         victim_proc = cluster.shards[victim]

@@ -12,12 +12,27 @@ import pytest
 
 from repro.bench.cluster import (
     BASELINE_SHARD_COUNTS,
+    BRANCH_SWEEP_COUNTS,
+    BRANCH_SWEEP_SHARDS,
+    BranchLatencyPoint,
     ClusterBenchConfig,
     ClusterLoopResult,
+    branch_latency_section,
     compare_cluster,
     generate_cluster_arrivals,
     goodput_monotonic,
 )
+
+
+def branch_point(branches: int, parallel_p95: float, sequential_p95: float) -> BranchLatencyPoint:
+    return BranchLatencyPoint(
+        branches=branches,
+        samples=30,
+        parallel_p50=parallel_p95 * 0.9,
+        parallel_p95=parallel_p95,
+        sequential_p50=sequential_p95 * 0.9,
+        sequential_p95=sequential_p95,
+    )
 
 
 def result_with(n_shards: int, ok: int, elapsed: float = 1.0) -> ClusterLoopResult:
@@ -78,7 +93,7 @@ class TestCompareGate:
     def synthetic_doc(self) -> dict:
         doc = {
             "schema": "repro-bench-cluster",
-            "schema_version": 1,
+            "schema_version": 2,
             "base_config": ClusterBenchConfig().to_dict(),
             "goodput_monotonic": True,
             "workloads": {},
@@ -89,6 +104,13 @@ class TestCompareGate:
                 "config": {"n_shards": n_shards, "rate": 280.0},
                 "metrics": result.metrics_record(),
             }
+        doc["branch_latency"] = branch_latency_section(
+            [
+                branch_point(1, 0.025, 0.024),
+                branch_point(2, 0.028, 0.050),
+                branch_point(4, 0.035, 0.100),
+            ]
+        )
         return doc
 
     def test_identical_docs_pass(self):
@@ -96,7 +118,9 @@ class TestCompareGate:
         comparison = compare_cluster(doc, doc)
         assert comparison.ok, comparison.summary()
         gated = [row for row in comparison.rows if row.gated]
-        assert {row.metric for row in gated} == {"goodput", "shard_down"}
+        assert {row.metric for row in gated} == {
+            "goodput", "shard_down", "parallel_p95",
+        }
 
     def test_goodput_collapse_fails_the_gate(self):
         baseline = self.synthetic_doc()
@@ -135,6 +159,27 @@ class TestCompareGate:
         comparison = compare_cluster(baseline, fresh)
         assert not comparison.ok
 
+    def test_sequential_parity_is_an_error(self):
+        # The whole point of the fan-out: at the widest branch count,
+        # parallel prepare must beat sequential p95.
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        fresh["branch_latency"]["parallel_beats_sequential"] = False
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+        assert any("parallel" in error for error in comparison.errors)
+
+    def test_parallel_p95_blowup_fails_the_gate(self):
+        baseline = self.synthetic_doc()
+        fresh = self.synthetic_doc()
+        # Fan-out silently gone sequential-and-then-some: far past the
+        # generous rel=1.5 / abs=0.05 tolerance band.
+        fresh["branch_latency"]["points"]["b4"]["metrics"]["parallel_p95"] = 0.25
+        comparison = compare_cluster(baseline, fresh)
+        assert not comparison.ok
+        bad = [r for r in comparison.rows if r.gated and not r.ok]
+        assert [r.workload for r in bad] == ["branch:b4"]
+
     def test_committed_baseline_matches_the_collector_shape(self):
         import json
         import os
@@ -145,7 +190,16 @@ class TestCompareGate:
         with open(path) as fh:
             committed = json.load(fh)
         assert committed["schema"] == "repro-bench-cluster"
+        assert committed["schema_version"] == 2
         assert committed["goodput_monotonic"] is True
         assert set(committed["workloads"]) == {
             f"s{n}" for n in BASELINE_SHARD_COUNTS
         }
+        branch = committed["branch_latency"]
+        assert branch["n_shards"] == BRANCH_SWEEP_SHARDS
+        assert set(branch["points"]) == {f"b{k}" for k in BRANCH_SWEEP_COUNTS}
+        # The committed evidence for the acceptance criterion: a 4-branch
+        # cross-shard request is faster under parallel prepare.
+        assert branch["parallel_beats_sequential"] is True
+        widest = branch["points"][f"b{max(BRANCH_SWEEP_COUNTS)}"]["metrics"]
+        assert widest["parallel_p95"] < widest["sequential_p95"]

@@ -1,7 +1,7 @@
 """Shard crash/recovery: real SIGKILLs through the torture harness.
 
-The full eight-site sweep is the CI gauntlet (``repro torture
---cluster``); here we pin the two most load-bearing crash points.
+The full nine-site sweep is the CI gauntlet (``repro torture
+--cluster``); here we pin the most load-bearing crash points.
 Killing after the branch committed locally but before any decision
 arrived forces the restarted shard to resolve the in-doubt gtid against
 the coordinator log and compensate under presumed abort.  Killing
@@ -59,10 +59,35 @@ def test_kill_between_abort_decision_and_compensation_commit(tmp_path):
     assert report.all_ok
 
 
+def test_kill_after_ack_logged_recovers_and_reannounces(tmp_path):
+    # Crashing right after the durable ack record exercises the newest
+    # window: the decision and ack are durable on the shard while the
+    # reply never reached the router, so the coordinator entry stays
+    # alive until the restarted shard's boot-time 2pc-ack announcement
+    # covers it — with compaction running live (threshold 4 in the
+    # harness), so truncation happens under the same workload.
+    report = run_cluster_torture(
+        seed=0,
+        n_requests=24,
+        n_shards=2,
+        sites=("2pc-ack-logged",),
+        victims=(0,),
+        workdir=str(tmp_path),
+    )
+    assert report.planned_points == 1 and not report.truncated
+    outcome = report.outcomes[0]
+    assert outcome.crashed and outcome.process_killed, outcome.__dict__
+    assert outcome.marker_site == "2pc-ack-logged"
+    assert not outcome.lost_committed
+    assert not outcome.dangling_branches
+    assert all(outcome.state_ok), outcome.state_ok
+    assert report.all_ok
+
+
 def test_crash_sites_cover_the_whole_2pc_lifecycle():
     # The sweep must bracket every durable transition: intent, local
     # commit, decision arrival, decision durability, abort durability,
-    # and compensation.
+    # compensation, and the durable decision ack.
     assert CRASH_SITES == (
         "2pc-prepare-received",
         "2pc-prepare-logged",
@@ -72,4 +97,5 @@ def test_crash_sites_cover_the_whole_2pc_lifecycle():
         "2pc-abort-received",
         "2pc-abort-logged",
         "2pc-compensated",
+        "2pc-ack-logged",
     )

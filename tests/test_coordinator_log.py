@@ -1,0 +1,303 @@
+"""Unit tests for the coordinator log's v2 format: seqs, acks, compaction.
+
+No cluster boot here — the log is a plain file-backed object, so every
+durability claim is checked by reloading the file (or a crash-site copy
+of it) into a fresh :class:`CoordinatorLog`.  The load-bearing claims:
+
+* per-shard decision seqs are monotonic and survive reload/compaction,
+  so a restarted coordinator can never reuse a seq a shard already
+  acked;
+* a gtid becomes compactable only when **every** contacted shard acked
+  it, and compaction never drops anything else;
+* compaction is atomic — a crash at either injectable site leaves the
+  complete old file or the complete new file, never a mix;
+* the participant's :class:`AckBook` high-water mark is contiguous (a
+  skipped seq is never covered) and rebuilt from durable WAL records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.participant import AckBook
+from repro.cluster.records import ClusterAckRecord
+from repro.cluster.router import CoordinatorLog
+from repro.recovery.wal import WriteAheadLog
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "coordinator.log")
+
+
+class TestDecisionSeqs:
+    def test_seqs_are_per_shard_and_monotonic(self, log_path):
+        log = CoordinatorLog(log_path)
+        assert log.decide("g-a", "commit", [0, 1]) == {0: 1, 1: 1}
+        assert log.decide("g-b", "commit", [1, 2]) == {1: 2, 2: 1}
+        assert log.decide("g-c", "abort", [0]) == {0: 2}
+        log.close()
+
+    def test_decide_is_idempotent_and_returns_the_stored_seqs(self, log_path):
+        log = CoordinatorLog(log_path)
+        first = log.decide("g-a", "commit", [0, 1])
+        again = log.decide("g-a", "abort", [0, 1, 2])  # ignored: already decided
+        assert again == first
+        assert log.status("g-a") == "commit"
+        log.close()
+
+    def test_seq_counters_survive_reload(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-a", "commit", [0, 1])
+        log.close()
+        reloaded = CoordinatorLog(log_path)
+        assert reloaded.decide("g-b", "commit", [0]) == {0: 2}
+        reloaded.close()
+
+    def test_seq_counters_survive_compaction_and_reload(self, log_path):
+        # The dangerous path: the decision that *held* the counter high
+        # is truncated away; the meta line must carry the counters.
+        log = CoordinatorLog(log_path)
+        log.decide("g-a", "commit", [0, 1])
+        log.ack("g-a", 0)
+        log.ack("g-a", 1)
+        log.compact()
+        log.close()
+        reloaded = CoordinatorLog(log_path)
+        assert reloaded.decide("g-b", "commit", [0, 1]) == {0: 2, 1: 2}
+        reloaded.close()
+
+
+class TestAcksAndTruncation:
+    def test_fully_acked_means_every_contacted_shard(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-a", "commit", [0, 1])
+        assert log.ack("g-a", 0) is False
+        assert log.compactable == 0
+        assert log.ack("g-a", 1) is True
+        assert log.compactable == 1
+        log.close()
+
+    def test_duplicate_and_unknown_acks_are_inert(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-a", "commit", [0])
+        assert log.ack("g-a", 0) is True
+        assert log.ack("g-a", 0) is False
+        assert log.ack("g-a", 7) is False
+        assert log.ack("nonsense", 0) is False
+        assert log.compactable == 1
+        log.close()
+
+    def test_acks_survive_reload(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-a", "commit", [0, 1])
+        log.ack("g-a", 0)
+        log.close()
+        reloaded = CoordinatorLog(log_path)
+        assert reloaded.compactable == 0  # shard 1 still owes an ack
+        assert reloaded.ack("g-a", 1) is True
+        assert reloaded.compactable == 1
+        reloaded.close()
+
+    def test_compaction_keeps_unacked_drops_acked(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-done", "commit", [0, 1])
+        log.ack("g-done", 0)
+        log.ack("g-done", 1)
+        log.decide("g-open", "commit", [0, 1])
+        log.ack("g-open", 0)  # shard 1 never acked: must survive
+        kept, dropped = log.compact()
+        assert (kept, dropped) == (1, 1)
+        assert log.file_entries() == 1
+        # In-process decisions stay complete: the torture audit and
+        # status queries still see the truncated gtid.
+        assert log.status("g-done") == "commit"
+        log.close()
+        # A reloaded coordinator has forgotten g-done — presumed abort
+        # answers for it, which is safe *because* both shards hold the
+        # commit decision durably and can never ask again.
+        reloaded = CoordinatorLog(log_path)
+        assert reloaded.status("g-open") == "commit"
+        assert reloaded.status("g-done") == "abort"
+        # The partial ack state of the survivor was preserved.
+        assert reloaded.ack("g-open", 0) is False  # already acked pre-compact
+        assert reloaded.ack("g-open", 1) is True
+        reloaded.close()
+
+    def test_ack_upto_covers_hwm_extras_and_named_gtids(self, log_path):
+        log = CoordinatorLog(log_path)
+        log.decide("g-1", "commit", [0])  # seq 1
+        log.decide("g-2", "commit", [0])  # seq 2
+        log.decide("g-3", "commit", [0])  # seq 3
+        log.decide("g-4", "commit", [0])  # seq 4
+        log.decide("g-5", "abort", [0])  # seq 5
+        # hwm 2 covers seqs 1-2; extra covers 4; the named gtid covers
+        # g-5 (a decision learned via in-doubt resolution has no seq on
+        # the shard, so boot announces it by name).  Seq 3 stays open.
+        acked, full = log.ack_upto(0, hwm=2, extra=[4], gtids=["g-5"])
+        assert (acked, full) == (4, 4)
+        assert log.compactable == 4
+        kept, dropped = log.compact()
+        assert (kept, dropped) == (1, 4)
+        assert log.file_entries() == 1
+        log.close()
+        reloaded = CoordinatorLog(log_path)
+        assert reloaded.status("g-3") == "commit"
+        reloaded.close()
+
+    def test_v1_lines_load_as_immediately_compactable(self, log_path):
+        # PR 9 logs carried no shard map; nothing can ever ack them, so
+        # they must not pin the file forever.
+        with open(log_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"gtid": "g-old", "decision": "commit"}) + "\n")
+        log = CoordinatorLog(log_path)
+        assert log.status("g-old") == "commit"
+        assert log.compactable == 1
+        kept, dropped = log.compact()
+        assert (kept, dropped) == (0, 1)
+        log.close()
+
+
+class TestCompactionCrashAtomicity:
+    """Crash mid-compact recovers either the old or the new file, never a mix."""
+
+    def setup_log(self, path) -> CoordinatorLog:
+        log = CoordinatorLog(path)
+        log.decide("g-acked", "commit", [0])
+        log.ack("g-acked", 0)
+        log.decide("g-open", "commit", [0, 1])
+        log.ack("g-open", 1)
+        return log
+
+    def test_crash_before_rename_keeps_the_old_file(self, tmp_path):
+        path = str(tmp_path / "coordinator.log")
+        log = self.setup_log(path)
+        before = open(path, encoding="utf-8").read()
+
+        class Boom(RuntimeError):
+            pass
+
+        def crash(site: str) -> None:
+            if site == "compact-temp-written":
+                raise Boom(site)
+
+        with pytest.raises(Boom):
+            log.compact(crash=crash)
+        log.close()
+        # The live file is byte-identical to the pre-compaction one; the
+        # temp file is litter a later compaction overwrites.
+        assert open(path, encoding="utf-8").read() == before
+        reloaded = CoordinatorLog(path)
+        assert reloaded.decisions() == {"g-acked": "commit", "g-open": "commit"}
+        assert reloaded.compactable == 1  # g-acked is still compactable
+        assert reloaded.decide("g-probe", "abort", [0])[0] == 3
+        reloaded.close()
+
+    def test_crash_after_rename_keeps_the_new_file(self, tmp_path):
+        path = str(tmp_path / "coordinator.log")
+        log = self.setup_log(path)
+
+        class Boom(RuntimeError):
+            pass
+
+        def crash(site: str) -> None:
+            if site == "compact-renamed":
+                raise Boom(site)
+
+        with pytest.raises(Boom):
+            log.compact(crash=crash)
+        log.close()
+        reloaded = CoordinatorLog(path)
+        # The compacted file won: g-acked is forgotten (presumed abort),
+        # g-open survives with its partial ack, and the seq counters
+        # carried over through the meta line.
+        assert reloaded.decisions() == {"g-open": "commit"}
+        assert reloaded.status("g-acked") == "abort"
+        assert reloaded.ack("g-open", 1) is False
+        assert reloaded.ack("g-open", 0) is True
+        assert reloaded.decide("g-probe", "abort", [0])[0] == 3
+        reloaded.close()
+
+    def test_every_crash_site_yields_old_xor_new(self, tmp_path):
+        # Generic sweep: whatever site fires, a reload sees exactly one
+        # of the two well-formed states — never a torn hybrid.
+        old_state = new_state = None
+        for prep in ("old", "new"):
+            path = str(tmp_path / f"{prep}.log")
+            log = self.setup_log(path)
+            if prep == "new":
+                log.compact()
+            log.close()
+            reloaded = CoordinatorLog(path)
+            state = {
+                "decisions": reloaded.decisions(),
+                "compactable": reloaded.compactable,
+            }
+            reloaded.close()
+            if prep == "old":
+                old_state = state
+            else:
+                new_state = state
+        assert old_state != new_state
+
+        class Boom(RuntimeError):
+            pass
+
+        for site in ("compact-temp-written", "compact-renamed"):
+            path = str(tmp_path / f"crash-{site}.log")
+            log = self.setup_log(path)
+
+            def crash(at: str, stop: str = site) -> None:
+                if at == stop:
+                    raise Boom(at)
+
+            with pytest.raises(Boom):
+                log.compact(crash=crash)
+            log.close()
+            reloaded = CoordinatorLog(path)
+            state = {
+                "decisions": reloaded.decisions(),
+                "compactable": reloaded.compactable,
+            }
+            reloaded.close()
+            assert state in (old_state, new_state), site
+
+
+class TestAckBook:
+    def test_hwm_is_contiguous_not_max(self):
+        book = AckBook()
+        assert book.record(1) and book.hwm == 1
+        # Seq 2 never arrives (say, its 2pc-commit send failed): 3 and 5
+        # must NOT advance the hwm past the gap, or the coordinator
+        # would forget a decision this shard never heard.
+        assert book.record(3) and book.hwm == 1
+        assert book.record(5) and book.hwm == 1
+        assert book.extra == (3, 5)
+        assert book.record(2) and book.hwm == 3
+        assert book.extra == (5,)
+        assert book.record(4) and book.hwm == 5
+        assert book.extra == ()
+
+    def test_duplicates_are_not_new(self):
+        book = AckBook()
+        assert book.record(1) is True
+        assert book.record(1) is False
+        book.record(3)
+        assert book.record(3) is False
+
+    def test_rebuilt_from_durable_wal_records(self, tmp_path):
+        wal = WriteAheadLog()
+        for seq, gtid in ((1, "g-a"), (2, "g-b"), (4, "g-d")):
+            wal.append(
+                ClusterAckRecord(
+                    lsn=wal.next_lsn(),
+                    txn=f"2pc-{gtid}",
+                    gtid=gtid,
+                    shard_seq=seq,
+                )
+            )
+        book = AckBook.from_wal(wal)
+        assert book.hwm == 2
+        assert book.extra == (4,)

@@ -65,6 +65,35 @@ def test_ignores_external_links_and_code_blocks(tmp_path):
     assert checker.main([str(doc)]) == 0
 
 
+def test_detects_backticked_path_to_missing_file(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("the router lives in `src/repro/cluster/renamed_away.py` now\n")
+    assert checker.main([str(doc)]) == 1
+    assert "renamed_away.py" in capsys.readouterr().out
+
+
+def test_accepts_real_code_paths_in_both_spellings(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "see `src/repro/cluster/router.py` and the module-style\n"
+        "`repro/cluster/participant.py`, plus `docs/CLUSTER.md`\n"
+    )
+    assert checker.main([str(doc)]) == 0
+
+
+def test_ignores_non_path_code_spans(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "`wal.log` and `store/pages.db` are data files; `a/*.py` is a\n"
+        "glob; `repro.cluster.shard` is a module; `src/<pkg>/x.py` is a\n"
+        "placeholder; `../escape/x.py` is relative; and fences hide\n"
+        "```\n"
+        "`src/repro/not/checked/in/fence.py`\n"
+        "```\n"
+    )
+    assert checker.main([str(doc)]) == 0
+
+
 def test_directory_argument_recurses(tmp_path, capsys):
     sub = tmp_path / "docs"
     sub.mkdir()

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Intra-repo markdown link checker (stdlib only).
+"""Intra-repo markdown link and code-path checker (stdlib only).
 
 Scans markdown files for inline links/images ``[text](target)`` and
 fails on any *intra-repo* target that does not resolve:
@@ -8,6 +8,14 @@ fails on any *intra-repo* target that does not resolve:
 * ``path#anchor`` additionally requires a matching heading in the
   target markdown file;
 * bare ``#anchor`` targets must match a heading in the same file.
+
+It also validates **backticked code paths**: an inline code span that
+looks like a repository file path — contains a ``/``, ends in a source
+extension (``.py``, ``.md``, ``.json``, ``.yml``, ``.toml``, …), and
+carries no glob or placeholder characters — must name a file that
+exists, resolved against the repo root (with an ``src/`` fallback, so
+both ``src/repro/cli.py`` and the module-style ``repro/cli.py`` spelling
+resolve).  That is the guard against docs drifting behind a rename.
 
 External schemes (``http://``, ``https://``, ``mailto:``) are ignored —
 CI must not depend on the network.  Anchors use GitHub's slug rules:
@@ -38,6 +46,17 @@ LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Inline code span: `...` (no backticks inside).
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+#: Extensions a backticked repo path may end with; anything else
+#: (``wal.log``, ``pages.db``, dotted module names) is not checked.
+CODE_PATH_EXTENSIONS = (
+    ".py", ".md", ".json", ".jsonl", ".yml", ".yaml", ".toml", ".cfg", ".txt",
+)
+#: A checkable path is plain characters only — a glob, placeholder,
+#: space, or ``..`` means the span is illustrative, not a literal path.
+CODE_PATH_RE = re.compile(r"^[\w.\-]+(/[\w.\-]+)+$")
 
 
 def github_slug(heading: str) -> str:
@@ -86,6 +105,31 @@ def iter_links(path: Path):
             yield lineno, match.group(1)
 
 
+def iter_code_paths(path: Path):
+    """Yield (line_number, span) for every path-shaped inline code span."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in CODE_SPAN_RE.finditer(line):
+            span = match.group(1).strip()
+            if not CODE_PATH_RE.match(span):
+                continue
+            if ".." in span or not span.endswith(CODE_PATH_EXTENSIONS):
+                continue
+            yield lineno, span
+
+
+def code_path_resolves(span: str) -> bool:
+    """True if the span names a real repo file (``src/`` fallback included)."""
+    return (REPO_ROOT / span).exists() or (REPO_ROOT / "src" / span).exists()
+
+
 def display_path(path: Path) -> str:
     try:
         return str(path.resolve().relative_to(REPO_ROOT))
@@ -123,6 +167,12 @@ def check_file(path: Path) -> list[str]:
                     f"{where}:{lineno}: "
                     f"{file_part!r} has no heading for anchor #{anchor}"
                 )
+    for lineno, span in iter_code_paths(path):
+        if not code_path_resolves(span):
+            problems.append(
+                f"{where}:{lineno}: "
+                f"backticked path `{span}` names no repo file"
+            )
     return problems
 
 
